@@ -1,0 +1,332 @@
+(* rushby: command-line front end to the separation-kernel reproduction.
+
+   One subcommand per activity: verifying kernels (exhaustively or by
+   randomized sampling), running the IFA baseline, driving the SNFE, the
+   Guard and the MLS system, measuring covert bandwidth, and printing the
+   kernel-comparison metrics. *)
+
+open Cmdliner
+
+let scenario_of_string = function
+  | "pipeline" -> Ok Sep_core.Scenarios.pipeline
+  | "interrupt" -> Ok Sep_core.Scenarios.interrupt
+  | "snfe-micro" -> Ok Sep_core.Scenarios.snfe_micro
+  | "preemptive" -> Ok Sep_core.Scenarios.preemptive
+  | s -> Error (`Msg ("unknown scenario " ^ s ^ " (pipeline|interrupt|snfe-micro|preemptive)"))
+
+let scenario_conv = Arg.conv (scenario_of_string, fun ppf i -> Fmt.string ppf i.Sep_core.Scenarios.label)
+
+let bug_of_string s =
+  let matching b = Fmt.str "%a" Sep_core.Sue.pp_bug b = s in
+  match List.find_opt matching Sep_core.Sue.all_bugs with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (`Msg
+         (Fmt.str "unknown bug %s (one of: %a)" s
+            Fmt.(list ~sep:(any ", ") Sep_core.Sue.pp_bug)
+            Sep_core.Sue.all_bugs))
+
+let bug_conv = Arg.conv (bug_of_string, Sep_core.Sue.pp_bug)
+
+let scenario_arg =
+  Arg.(value & opt scenario_conv Sep_core.Scenarios.pipeline & info [ "scenario" ] ~doc:"Scenario: pipeline, interrupt, snfe-micro or preemptive.")
+
+let bugs_arg =
+  Arg.(value & opt_all bug_conv [] & info [ "bug" ] ~doc:"Inject a kernel bug (repeatable).")
+
+let uncut_arg =
+  Arg.(value & flag & info [ "uncut" ] ~doc:"Skip the wire-cutting transformation (channels left shared).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let impl_arg =
+  let impl_of_string = function
+    | "microcode" -> Ok Sep_core.Sue.Microcode
+    | "assembly" | "asm" -> Ok Sep_core.Sue.Assembly
+    | other -> Error (`Msg ("unknown kernel implementation " ^ other))
+  in
+  let impl_conv = Arg.conv (impl_of_string, Sep_core.Sue.pp_impl) in
+  Arg.(value & opt impl_conv Sep_core.Sue.Microcode
+       & info [ "impl" ] ~doc:"Kernel implementation: microcode or assembly (machine code).")
+
+(* -- verify ---------------------------------------------------------------- *)
+
+let verify_run scenario bugs uncut impl =
+  let cfg =
+    if uncut then Sep_core.Config.cut_none scenario.Sep_core.Scenarios.cfg
+    else scenario.Sep_core.Scenarios.cfg
+  in
+  let sys = Sep_core.Sue.to_system ~bugs ~impl ~inputs:scenario.Sep_core.Scenarios.alphabet cfg in
+  let report = Sep_core.Separability.check sys in
+  Fmt.pr "%a@." Sep_core.Separability.pp_report report;
+  if Sep_core.Separability.verified report then 0 else 1
+
+let verify_cmd =
+  let doc = "Exhaustive Proof of Separability over a micro-scenario." in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const verify_run $ scenario_arg $ bugs_arg $ uncut_arg $ impl_arg)
+
+(* -- verify-random ---------------------------------------------------------- *)
+
+let verify_random_run scenario bugs seed walks walk_len scrambles impl =
+  let params = { Sep_core.Randomized.walks; walk_len; scrambles } in
+  let report =
+    Sep_core.Randomized.check ~bugs ~impl ~params ~seed
+      ~inputs:scenario.Sep_core.Scenarios.alphabet scenario.Sep_core.Scenarios.cfg
+  in
+  Fmt.pr "%a@." Sep_core.Separability.pp_report report;
+  if Sep_core.Separability.verified report then 0 else 1
+
+let verify_random_cmd =
+  let doc = "Randomized Proof of Separability (random walks plus scrambled partners)." in
+  let walks = Arg.(value & opt int 8 & info [ "walks" ] ~doc:"Random walks.") in
+  let walk_len = Arg.(value & opt int 64 & info [ "len" ] ~doc:"Steps per walk.") in
+  let scrambles = Arg.(value & opt int 2 & info [ "scrambles" ] ~doc:"Scrambled partners per state per colour.") in
+  Cmd.v (Cmd.info "verify-random" ~doc)
+    Term.(
+      const verify_random_run $ scenario_arg $ bugs_arg $ seed_arg $ walks $ walk_len $ scrambles
+      $ impl_arg)
+
+(* -- mutants ---------------------------------------------------------------- *)
+
+let mutants_run () =
+  let table = Sep_util.Table.create ~title:"Seeded kernel bugs vs the six conditions"
+      ~columns:[ "bug"; "scenario"; "predicted"; "failing"; "caught" ] in
+  let all_caught = ref true in
+  List.iter
+    (fun (e : Sep_core.Mutants.expectation) ->
+      let report = Sep_core.Mutants.run e in
+      let caught = Sep_core.Mutants.detected e report in
+      if not caught then all_caught := false;
+      Sep_util.Table.add_row table
+        [
+          Fmt.str "%a" Sep_core.Sue.pp_bug e.bug;
+          e.scenario.Sep_core.Scenarios.label;
+          string_of_int e.primary;
+          String.concat "," (List.map string_of_int (Sep_core.Separability.failing_conditions report));
+          (if caught then "yes" else "NO");
+        ])
+    Sep_core.Mutants.catalogue;
+  Sep_util.Table.print table;
+  if !all_caught then 0 else 1
+
+let mutants_cmd =
+  Cmd.v (Cmd.info "mutants" ~doc:"Check every seeded kernel bug against its predicted condition.")
+    Term.(const mutants_run $ const ())
+
+(* -- ifa -------------------------------------------------------------------- *)
+
+let ifa_run () =
+  let table =
+    Sep_util.Table.create ~title:"Information Flow Analysis verdicts"
+      ~columns:[ "program"; "semantically secure"; "IFA verdict"; "taint verdict"; "note" ]
+  in
+  List.iter
+    (fun (case : Sep_ifa.Programs.case) ->
+      let violations = Sep_ifa.Certify.certify case.env case.program in
+      let taint = Sep_ifa.Taint.run ~env:case.env case.store case.program in
+      Sep_util.Table.add_row table
+        [
+          case.name;
+          (if case.expect_secure then "yes" else "no");
+          (if violations = [] then "certified" else Fmt.str "rejected (%d flows)" (List.length violations));
+          (if taint.Sep_ifa.Taint.violations = [] then "clean" else "flagged");
+          case.note;
+        ])
+    Sep_ifa.Programs.all;
+  Sep_util.Table.print table;
+  0
+
+let ifa_cmd = Cmd.v (Cmd.info "ifa" ~doc:"Run the IFA baseline over the program catalogue.") Term.(const ifa_run $ const ())
+
+(* -- snfe ------------------------------------------------------------------- *)
+
+let censor_of_string = function
+  | "off" -> Ok Sep_components.Censor.Off
+  | "basic" -> Ok Sep_components.Censor.Basic
+  | "strict" -> Ok Sep_components.Censor.Strict
+  | s -> Error (`Msg ("unknown censor mode " ^ s))
+
+let censor_conv = Arg.conv (censor_of_string, Sep_components.Censor.pp_mode)
+
+let censor_arg =
+  Arg.(value & opt censor_conv Sep_components.Censor.Basic & info [ "censor" ] ~doc:"Censor mode: off, basic or strict.")
+
+let kind_arg =
+  let kind_of_string = function
+    | "distributed" -> Ok Sep_snfe.Substrate.Distributed
+    | "kernelized" -> Ok Sep_snfe.Substrate.Kernelized
+    | s -> Error (`Msg ("unknown substrate " ^ s))
+  in
+  let kind_conv = Arg.conv (kind_of_string, Sep_snfe.Substrate.pp_kind) in
+  Arg.(value & opt kind_conv Sep_snfe.Substrate.Kernelized & info [ "substrate" ] ~doc:"distributed or kernelized.")
+
+let snfe_run kind censor =
+  let cfg = { Sep_snfe.Snfe.default_config with censor_mode = censor } in
+  let outbound = [ "attack at dawn"; "hold position"; "regroup at bridge" ] in
+  let inbound = [ "acknowledged"; "send supplies" ] in
+  let r = Sep_snfe.Snfe.run_duplex kind cfg ~outbound ~inbound ~steps:40 in
+  Fmt.pr "@[<v>network saw:@,%a@,host saw:@,%a@,cleartext leaks: %d@]@."
+    Fmt.(list ~sep:cut (fun ppf s -> Fmt.pf ppf "  %s" s))
+    r.Sep_snfe.Snfe.net_packets
+    Fmt.(list ~sep:cut (fun ppf s -> Fmt.pf ppf "  %s" s))
+    r.Sep_snfe.Snfe.host_packets
+    (List.length r.Sep_snfe.Snfe.cleartext_on_net);
+  if r.Sep_snfe.Snfe.cleartext_on_net = [] then 0 else 1
+
+let snfe_cmd =
+  Cmd.v (Cmd.info "snfe" ~doc:"Drive the secure network front end end-to-end.")
+    Term.(const snfe_run $ kind_arg $ censor_arg)
+
+(* -- bandwidth -------------------------------------------------------------- *)
+
+let bandwidth_run messages seed =
+  let table =
+    Sep_util.Table.create
+      ~title:"Covert bandwidth through the bypass (bits reliably recovered per message)"
+      ~columns:[ "encoder"; "censor off"; "censor basic"; "censor strict" ]
+  in
+  List.iter
+    (fun vector ->
+      let cell mode =
+        let b = Sep_snfe.Snfe.measure_covert ~vector ~mode ~messages ~seed () in
+        Fmt.str "%.2f" b.Sep_snfe.Snfe.bits_per_message
+      in
+      Sep_util.Table.add_row table
+        [
+          Fmt.str "%a" Sep_components.Covert.pp_vector vector;
+          cell Sep_components.Censor.Off;
+          cell Sep_components.Censor.Basic;
+          cell Sep_components.Censor.Strict;
+        ])
+    [ Sep_components.Covert.Pad_field; Sep_components.Covert.Length_raw; Sep_components.Covert.Length_bucket ];
+  Sep_util.Table.print table;
+  0
+
+let bandwidth_cmd =
+  let messages = Arg.(value & opt int 200 & info [ "messages" ] ~doc:"Covert messages to send.") in
+  Cmd.v (Cmd.info "bandwidth" ~doc:"Measure covert bandwidth through the SNFE bypass (E6).")
+    Term.(const bandwidth_run $ messages $ seed_arg)
+
+(* -- guard / mls / spooler --------------------------------------------------- *)
+
+let guard_run kind =
+  let r = Sep_apps.Guard_app.run kind Sep_apps.Guard_app.demo_script in
+  Fmt.pr "@[<v>HIGH screen: %a@,LOW screen: %a@,officer saw %d reviews@,%d up, %d reviewed, %d released, %d denied@]@."
+    Fmt.(Dump.list string)
+    r.Sep_apps.Guard_app.high_screen
+    Fmt.(Dump.list string)
+    r.Sep_apps.Guard_app.low_screen
+    (List.length r.Sep_apps.Guard_app.officer_screen)
+    r.Sep_apps.Guard_app.stats.Sep_components.Guard.passed_up
+    r.Sep_apps.Guard_app.stats.Sep_components.Guard.reviewed
+    r.Sep_apps.Guard_app.stats.Sep_components.Guard.released
+    r.Sep_apps.Guard_app.stats.Sep_components.Guard.denied;
+  0
+
+let guard_cmd = Cmd.v (Cmd.info "guard" ~doc:"Run the ACCAT Guard demo.") Term.(const guard_run $ kind_arg)
+
+let mls_run kind =
+  let r = Sep_apps.Mls.run kind Sep_apps.Mls.demo_script in
+  List.iter
+    (fun (c, lines) ->
+      Fmt.pr "== %s ==@." (Sep_model.Colour.name c);
+      List.iter (Fmt.pr "  %s@.") lines)
+    r.Sep_apps.Mls.screens;
+  Fmt.pr "== printer ==@.";
+  List.iter (Fmt.pr "  %s@.") r.Sep_apps.Mls.printer_output;
+  Fmt.pr "spool files left: %a@." Fmt.(Dump.list string) r.Sep_apps.Mls.spool_files_left;
+  0
+
+let mls_cmd = Cmd.v (Cmd.info "mls" ~doc:"Run the multilevel multi-user system demo.") Term.(const mls_run $ kind_arg)
+
+let spooler_run trusted =
+  let jobs =
+    [
+      { Sep_conventional.Spooler.owner = "alice"; level = Sep_lattice.Sclass.unclassified; text = "memo" };
+      { Sep_conventional.Spooler.owner = "bob"; level = Sep_lattice.Sclass.secret; text = "plans" };
+    ]
+  in
+  Fmt.pr "%a@." Sep_conventional.Spooler.pp_outcome (Sep_conventional.Spooler.run ~trusted ~jobs);
+  0
+
+let spooler_cmd =
+  let trusted = Arg.(value & flag & info [ "trusted" ] ~doc:"Grant the spooler the trusted-process exemption.") in
+  Cmd.v (Cmd.info "spooler" ~doc:"Run the conventional-kernel spooler scenario (E9).")
+    Term.(const spooler_run $ trusted)
+
+(* -- dot --------------------------------------------------------------------- *)
+
+let dot_run which =
+  let topo =
+    match which with
+    | "snfe" -> Sep_snfe.Snfe.topology Sep_snfe.Snfe.default_config
+    | "mls" -> Sep_apps.Mls.topology ()
+    | "guard" -> Sep_apps.Guard_app.topology ()
+    | other ->
+      Fmt.epr "unknown system %s (snfe|mls|guard)@." other;
+      exit 1
+  in
+  let highlight =
+    match which with
+    | "snfe" -> [ Sep_snfe.Snfe.censor_tx; Sep_snfe.Snfe.censor_rx; Sep_snfe.Snfe.crypto_tx; Sep_snfe.Snfe.crypto_rx ]
+    | "mls" -> [ Sep_apps.Mls.file_server; Sep_apps.Mls.printer; Sep_apps.Mls.auth ]
+    | _ -> [ Sep_apps.Guard_app.guard ]
+  in
+  print_string (Sep_policy.Channel_matrix.to_dot ~highlight (Sep_policy.Channel_matrix.of_topology topo));
+  0
+
+let dot_cmd =
+  let which = Arg.(value & pos 0 string "snfe" & info [] ~docv:"SYSTEM" ~doc:"snfe, mls or guard.") in
+  Cmd.v (Cmd.info "dot" ~doc:"Emit a system's channel diagram as Graphviz (trusted boxes doubled).")
+    Term.(const dot_run $ which)
+
+(* -- trace ------------------------------------------------------------------- *)
+
+let trace_run scenario bugs steps impl =
+  let t = Sep_core.Sue.build ~bugs ~impl scenario.Sep_core.Scenarios.cfg in
+  let alphabet = Array.of_list scenario.Sep_core.Scenarios.alphabet in
+  let inputs n =
+    (* a deterministic drip of external input to keep the regimes busy *)
+    if Array.length alphabet > 1 && n mod 10 = 0 then alphabet.((n / 10) mod (Array.length alphabet - 1) + 1)
+    else []
+  in
+  print_string (Sep_core.Ktrace.render (Sep_core.Ktrace.record t ~steps ~inputs));
+  0
+
+let trace_cmd =
+  let steps = Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Steps to trace.") in
+  Cmd.v (Cmd.info "trace" ~doc:"Trace a kernel run: instructions, traps, switches, interrupts.")
+    Term.(const trace_run $ scenario_arg $ bugs_arg $ steps $ impl_arg)
+
+(* -- metrics ----------------------------------------------------------------- *)
+
+let metrics_run () =
+  Fmt.pr "%a@.@.%a@." Sep_core.Metrics.pp_profile
+    (Sep_core.Metrics.sue_profile Sep_core.Scenarios.pipeline.Sep_core.Scenarios.cfg)
+    Sep_core.Metrics.pp_profile Sep_core.Metrics.conventional_profile;
+  0
+
+let metrics_cmd =
+  Cmd.v (Cmd.info "metrics" ~doc:"Print the kernel comparison profiles (E2).") Term.(const metrics_run $ const ())
+
+let main_cmd =
+  let doc = "reproduction of Rushby's separation kernel and Proof of Separability (SOSP 1981)" in
+  Cmd.group (Cmd.info "rushby" ~version:"1.0.0" ~doc)
+    [
+      verify_cmd;
+      verify_random_cmd;
+      mutants_cmd;
+      ifa_cmd;
+      snfe_cmd;
+      bandwidth_cmd;
+      guard_cmd;
+      mls_cmd;
+      spooler_cmd;
+      dot_cmd;
+      trace_cmd;
+      metrics_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/guard_demo.ml: Fmt List Sep_apps Sep_components Sep_snfe

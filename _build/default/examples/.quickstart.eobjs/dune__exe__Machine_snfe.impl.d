@@ -1,0 +1,1 @@
+examples/machine_snfe.ml: Dump Fmt List Sep_core

@@ -1,0 +1,1 @@
+examples/mls_demo.ml: Dump Fmt List Sep_apps Sep_conventional Sep_lattice Sep_model Sep_snfe

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dump Fmt Sep_core Sep_hw Sep_model

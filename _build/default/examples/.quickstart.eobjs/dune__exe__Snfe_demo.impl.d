@@ -1,0 +1,1 @@
+examples/snfe_demo.ml: Dump Fmt List Sep_components Sep_model Sep_policy Sep_snfe

@@ -1,0 +1,1 @@
+examples/snfe_demo.mli:

@@ -1,0 +1,35 @@
+(* The ACCAT Guard: bidirectional flow, different rules per direction.
+
+   LOW traffic passes to HIGH unhindered; HIGH traffic reaches LOW only
+   after the Security Watch Officer releases it. A denied message leaves
+   no trace on the LOW side. *)
+
+module Guard_app = Sep_apps.Guard_app
+module Substrate = Sep_snfe.Substrate
+
+let () =
+  let script =
+    [
+      (0, Guard_app.low, "request: weather for tomorrow");
+      (1, Guard_app.high, "forecast: clear, winds light");
+      (2, Guard_app.high, "order of battle: REDACTED");
+      (3, Guard_app.low, "request: resupply schedule");
+      (10, Guard_app.officer, "RELEASE 0");
+      (11, Guard_app.officer, "DENY 1");
+    ]
+  in
+  List.iter
+    (fun kind ->
+      let r = Guard_app.run kind ~steps:25 script in
+      Fmt.pr "@.[%a]@." Substrate.pp_kind kind;
+      Fmt.pr "HIGH terminal (sees everything LOW sent):@.";
+      List.iter (Fmt.pr "  %s@.") r.Guard_app.high_screen;
+      Fmt.pr "officer console:@.";
+      List.iter (Fmt.pr "  %s@.") r.Guard_app.officer_screen;
+      Fmt.pr "LOW terminal (sees only released messages):@.";
+      List.iter (Fmt.pr "  %s@.") r.Guard_app.low_screen;
+      let s = r.Guard_app.stats in
+      Fmt.pr "passed up: %d, reviewed: %d, released: %d, denied: %d@."
+        s.Sep_components.Guard.passed_up s.Sep_components.Guard.reviewed
+        s.Sep_components.Guard.released s.Sep_components.Guard.denied)
+    Substrate.both

@@ -1,0 +1,49 @@
+(* The SNFE rebuilt at machine level, watched through the kernel tracer.
+
+   Three regimes on one simulated processor: RED (host line + in-line
+   crypto device), CENSOR (its procedural check is machine code), BLACK
+   (network transmitter). The kernel between them is the SUE-style
+   separation kernel; this demo runs cleartext words through it, shows the
+   kernel's own activity, and then proves the configuration separable. *)
+
+module Scenarios = Sep_core.Scenarios
+module Sue = Sep_core.Sue
+module Config = Sep_core.Config
+module Ktrace = Sep_core.Ktrace
+module Separability = Sep_core.Separability
+
+let () =
+  (* run the working (uncut) system: words in, ciphertext out *)
+  let cfg = Config.cut_none Scenarios.snfe_micro.Scenarios.cfg in
+  let t = Sue.build cfg in
+  let words = [ 0x11; 0x02; 0x3f ] in
+  let inputs n = if n mod 30 = 0 && n / 30 < 3 then [ (0, List.nth words (n / 30)) ] else [] in
+  let outs = List.concat (Sue.run t ~steps:120 ~inputs) in
+  Fmt.pr "host words:   %a@." Fmt.(Dump.list (fun ppf w -> Fmt.pf ppf "%02x" w)) words;
+  Fmt.pr "network sees: %a  (xor key 2a)@."
+    Fmt.(Dump.list (fun ppf (_, w) -> Fmt.pf ppf "%02x" w))
+    outs;
+
+  (* watch the kernel work: first 30 steps of a fresh run *)
+  Fmt.pr "@.kernel trace (first word arriving):@.";
+  let traced = Sue.build cfg in
+  print_string
+    (Ktrace.render (Ktrace.record traced ~steps:26 ~inputs:(fun n -> if n = 0 then [ (0, 0x11) ] else [])));
+
+  (* and verify: cut the three channels, check the six conditions — over
+     both kernel implementations, including the one that is machine code *)
+  Fmt.pr "@.wire-cutting and Proof of Separability:@.";
+  List.iter
+    (fun impl ->
+      let built = Sue.build ~impl Scenarios.snfe_micro.Scenarios.cfg in
+      let report =
+        Separability.check
+          (Sue.to_system ~impl ~inputs:Scenarios.snfe_micro.Scenarios.alphabet
+             Scenarios.snfe_micro.Scenarios.cfg)
+      in
+      Fmt.pr "[%a kernel%s] %a@." Sue.pp_impl impl
+        (match Sue.kernel_code_words built with
+        | 0 -> ""
+        | n -> Fmt.str ", %d words of kernel code" n)
+        Separability.pp_report report)
+    [ Sue.Microcode; Sue.Assembly ]

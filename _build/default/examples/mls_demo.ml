@@ -1,0 +1,37 @@
+(* The multilevel secure multi-user system of Section 2.
+
+   Two users at different clearances, a file server enforcing
+   Bell-LaPadula, a printer server that cleans up after itself through an
+   explicitly privileged channel (no trusted processes anywhere), and an
+   authentication service binding sessions to clearances.
+
+   For contrast, the same print-and-clean-up workload is then run on the
+   conventional kernelized system, where the spooler must either leak
+   spool files or hold a policy exemption. *)
+
+module Mls = Sep_apps.Mls
+module Substrate = Sep_snfe.Substrate
+module Spooler = Sep_conventional.Spooler
+module Sclass = Sep_lattice.Sclass
+
+let () =
+  let r = Mls.run Substrate.Kernelized Mls.demo_script in
+  List.iter
+    (fun (c, lines) ->
+      Fmt.pr "== %s's terminal ==@." (Sep_model.Colour.name c);
+      List.iter (Fmt.pr "  %s@.") lines)
+    r.Mls.screens;
+  Fmt.pr "== printer room ==@.";
+  List.iter (Fmt.pr "  %s@.") r.Mls.printer_output;
+  Fmt.pr "spool files left over: %a@.@." Fmt.(Dump.list string) r.Mls.spool_files_left;
+
+  Fmt.pr "-- the same job on a conventional kernel --@.";
+  let jobs =
+    [
+      { Spooler.owner = "alice"; level = Sclass.unclassified; text = "hello from alice" };
+      { Spooler.owner = "bob"; level = Sclass.secret; text = "move the fleet at dawn" };
+    ]
+  in
+  List.iter
+    (fun trusted -> Fmt.pr "  %a@." Spooler.pp_outcome (Spooler.run ~trusted ~jobs))
+    [ false; true ]

@@ -1,0 +1,83 @@
+(* Quickstart: build a two-regime separation kernel, run it, verify it.
+
+   This walks the library's core loop end to end:
+   1. describe a system as a configuration (regimes + channels);
+   2. run it on the simulated machine under the SUE-style kernel;
+   3. apply the wire-cutting transformation and prove separability
+      exhaustively — then watch the proof fail on a sabotaged kernel. *)
+
+module Colour = Sep_model.Colour
+module Isa = Sep_hw.Isa
+module Machine = Sep_hw.Machine
+
+let () =
+  (* A RED regime that echoes whatever arrives on its serial device to a
+     transmit device, and a BLACK regime that just spins. RED's devices
+     are its own; BLACK cannot even name them. *)
+  let red_program =
+    [
+      Isa.Instr (Isa.Loadi (6, 1));
+      Isa.Instr (Isa.Shl (6, 15));  (* r6 = device space base *)
+      Isa.Label "loop";
+      Isa.Instr (Isa.Loadi (5, 0));
+      Isa.Instr (Isa.Load (1, 6, 1));  (* poll Rx status *)
+      Isa.Instr (Isa.Cmp (1, 5));
+      Isa.Branch_eq "wait";
+      Isa.Instr (Isa.Load (2, 6, 0));  (* consume the word *)
+      Isa.Instr (Isa.Loadi (3, 9));  (* working state SWAP must preserve *)
+      Isa.Instr (Isa.Store (2, 6, 2));  (* echo it on Tx *)
+      Isa.Instr (Isa.Trap 0);  (* yield *)
+      Isa.Branch "loop";
+      Isa.Label "wait";
+      Isa.Instr Isa.Halt;  (* wait for the Rx interrupt *)
+      Isa.Branch "loop";
+    ]
+  in
+  let black_program = [ Isa.Label "spin"; Isa.Instr (Isa.Trap 0); Isa.Branch "spin" ] in
+  let cfg =
+    Sep_core.Config.make
+      ~regimes:
+        [
+          {
+            Sep_core.Config.colour = Colour.red;
+            part_size = 16;
+            program = red_program;
+            devices = [ Machine.Rx; Machine.Tx ];
+          };
+          {
+            Sep_core.Config.colour = Colour.black;
+            part_size = 8;
+            program = black_program;
+            devices = [];
+          };
+        ]
+      ~channels:[] ()
+  in
+
+  (* Run it: feed words 10, 20, 30 to RED's Rx device and watch them come
+     back out of its Tx device. The kernel round-robins between RED and
+     BLACK the whole time; BLACK sees none of it. *)
+  let sue = Sep_core.Sue.build cfg in
+  (* one word every 15 steps, so the echo loop keeps up *)
+  let inputs n = if n mod 15 = 0 && n < 45 then [ (0, ((n / 15) + 1) * 10) ] else [] in
+  let outputs = Sep_core.Sue.run sue ~steps:80 ~inputs in
+  Fmt.pr "echoed words: %a@."
+    Fmt.(Dump.list (Dump.list (Dump.pair int int)))
+    outputs;
+  Fmt.pr "kernel size: %d words (the SUE was ~5K)@." (Sep_core.Sue.kernel_words sue);
+
+  (* Verify it: Proof of Separability over every reachable state, with the
+     (here trivial) wire-cutting transformation applied first. *)
+  let alphabet = [ []; [ (0, 10) ]; [ (0, 20) ] ] in
+  let sys = Sep_core.Sue.to_system ~inputs:alphabet (Sep_core.Config.cut_all cfg) in
+  let report = Sep_core.Separability.check sys in
+  Fmt.pr "%a@." Sep_core.Separability.pp_report report;
+
+  (* Sabotage it: a kernel that forgets to save R3 on SWAP is caught by
+     condition 1 — the regime's world diverges from its private machine. *)
+  let bad = Sep_core.Sue.to_system ~bugs:[ Sep_core.Sue.Forget_register_save ] ~inputs:alphabet cfg in
+  let bad_report = Sep_core.Separability.check bad in
+  Fmt.pr "sabotaged kernel: %s (conditions %a violated)@."
+    (if Sep_core.Separability.verified bad_report then "VERIFIED?!" else "rejected")
+    Fmt.(Dump.list int)
+    (Sep_core.Separability.failing_conditions bad_report)

@@ -1,0 +1,1 @@
+lib/apps/guard_app.ml: List Sep_components Sep_model Sep_snfe

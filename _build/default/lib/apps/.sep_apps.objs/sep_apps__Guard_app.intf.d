@@ -1,0 +1,1 @@
+lib/apps/guard_app.mli: Sep_components Sep_model Sep_snfe

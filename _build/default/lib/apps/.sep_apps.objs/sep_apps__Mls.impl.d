@@ -1,0 +1,1 @@
+lib/apps/mls.ml: List Sep_components Sep_lattice Sep_model Sep_snfe String

@@ -1,0 +1,1 @@
+lib/apps/mls.mli: Sep_model Sep_snfe

@@ -1,0 +1,1 @@
+lib/apps/sri_checks.ml: Array Fmt List Sep_components Sep_lattice Sep_model Sep_policy

@@ -1,0 +1,1 @@
+lib/apps/sri_checks.mli: Sep_lattice Sep_model Sep_policy

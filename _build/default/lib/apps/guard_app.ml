@@ -1,0 +1,69 @@
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Guard = Sep_components.Guard
+
+let low = Colour.make "LOW-SYSTEM"
+let high = Colour.make "HIGH-SYSTEM"
+let officer = Colour.make "OFFICER"
+let guard = Colour.make "GUARD"
+
+(* Wires: 0 low->guard, 1 guard->low, 2 high->guard, 3 guard->high,
+   4 officer->guard, 5 guard->officer. *)
+let guard_wires =
+  { Guard.low_in = 0; low_out = 1; high_in = 2; high_out = 3; officer_in = 4; officer_out = 5 }
+
+let endpoint ~name ~to_guard =
+  Component.stateless ~name (function
+    | Component.External msg -> [ Component.Send (to_guard, msg) ]
+    | Component.Recv (_, msg) -> [ Component.Output msg ])
+
+let topology () =
+  Topology.make
+    ~parts:
+      [
+        (low, endpoint ~name:"low-system" ~to_guard:guard_wires.Guard.low_in);
+        (high, endpoint ~name:"high-system" ~to_guard:guard_wires.Guard.high_in);
+        (officer, endpoint ~name:"officer" ~to_guard:guard_wires.Guard.officer_in);
+        (guard, Guard.component ~name:"guard" ~wires:guard_wires);
+      ]
+    ~wires:
+      [
+        (low, guard, 16);
+        (guard, low, 16);
+        (high, guard, 16);
+        (guard, high, 16);
+        (officer, guard, 16);
+        (guard, officer, 16);
+      ]
+
+type script = (int * Colour.t * string) list
+
+let demo_script =
+  [
+    (0, low, "weather report: clear skies");
+    (1, low, "supply request: more tea");
+    (2, high, "declassify: convoy arrived safely");
+    (3, high, "secret: submarine positions");
+    (8, officer, "RELEASE 0");
+    (9, officer, "DENY 1");
+  ]
+
+type result = {
+  low_screen : string list;
+  high_screen : string list;
+  officer_screen : string list;
+  stats : Guard.stats;
+}
+
+let run kind ?(steps = 20) script =
+  let module Sub = (val Sep_snfe.Substrate.get kind) in
+  let sys = Sub.build (topology ()) in
+  let externals n = List.filter_map (fun (s, c, m) -> if s = n then Some (c, m) else None) script in
+  Sub.run sys ~steps ~externals;
+  {
+    low_screen = Sub.outputs sys low;
+    high_screen = Sub.outputs sys high;
+    officer_screen = Sub.outputs sys officer;
+    stats = Guard.stats_of_trace guard_wires (Sub.trace sys guard);
+  }

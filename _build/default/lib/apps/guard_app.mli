@@ -1,0 +1,37 @@
+(** The ACCAT Guard, assembled with its surrounding systems.
+
+    A LOW system, a HIGH system and the Security Watch Officer's console,
+    each a separate box, wired through the {!Sep_components.Guard}
+    component. Drive the systems with external inputs:
+
+    - to LOW: any text — submitted towards HIGH (passes unhindered);
+    - to HIGH: any text — submitted towards LOW (queued for review);
+    - to OFFICER: ["RELEASE <id>"] or ["DENY <id>"].
+
+    The officer's screen shows ["REVIEW <id> <msg>"] lines; LOW's screen
+    shows only released messages; HIGH's screen shows everything LOW
+    sent. *)
+
+module Colour = Sep_model.Colour
+
+val low : Colour.t
+val high : Colour.t
+val officer : Colour.t
+val guard : Colour.t
+
+val guard_wires : Sep_components.Guard.wires
+
+val topology : unit -> Sep_model.Topology.t
+
+type script = (int * Colour.t * string) list
+
+val demo_script : script
+
+type result = {
+  low_screen : string list;
+  high_screen : string list;
+  officer_screen : string list;
+  stats : Sep_components.Guard.stats;
+}
+
+val run : Sep_snfe.Substrate.kind -> ?steps:int -> script -> result

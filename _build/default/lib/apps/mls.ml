@@ -1,0 +1,160 @@
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Sclass = Sep_lattice.Sclass
+module File_server = Sep_components.File_server
+module Printer_server = Sep_components.Printer_server
+module Auth = Sep_components.Auth
+module Protocol = Sep_components.Protocol
+
+let alice = Colour.make "ALICE"
+let bob = Colour.make "BOB"
+let file_server = Colour.make "FS"
+let printer = Colour.make "PRINTER"
+let auth = Colour.make "AUTH"
+
+(* Wire plan (see the mli): dedicated lines user<->server, a privileged
+   printer<->fs pair, and the auth control line into the fs. *)
+let w_alice_fs = 0
+let w_fs_alice = 1
+let w_bob_fs = 2
+let w_fs_bob = 3
+let w_alice_prt = 4
+let w_prt_alice = 5
+let w_bob_prt = 6
+let w_prt_bob = 7
+let w_prt_fs = 8
+let w_fs_prt = 9
+let w_auth_fs = 10
+let w_alice_auth = 11
+let w_auth_alice = 12
+let w_bob_auth = 13
+let w_auth_bob = 14
+
+(* A user's single-user machine: forward typed commands down the right
+   dedicated line, show every reply on the screen. *)
+let terminal ~name ~fs_out ~printer_out ~auth_out =
+  Component.stateless ~name (function
+    | Component.External msg -> begin
+      match Protocol.verb msg with
+      | "FS" -> [ Component.Send (fs_out, Protocol.tail 1 msg) ]
+      | "PRINT" -> [ Component.Send (printer_out, msg) ]
+      | "LOGIN" -> [ Component.Send (auth_out, msg) ]
+      | _ -> [ Component.Output ("?unknown command: " ^ msg) ]
+    end
+    | Component.Recv (_, msg) -> [ Component.Output msg ])
+
+let topology () =
+  let fs =
+    File_server.component ~name:"file-server"
+      ~sessions:
+        [
+          { File_server.wire_in = w_alice_fs; wire_out = w_fs_alice; clearance = Sclass.unclassified; privileged = false };
+          { File_server.wire_in = w_bob_fs; wire_out = w_fs_bob; clearance = Sclass.unclassified; privileged = false };
+          { File_server.wire_in = w_prt_fs; wire_out = w_fs_prt; clearance = Sclass.unclassified; privileged = true };
+        ]
+      ~control_wire:w_auth_fs ()
+  in
+  let prt =
+    Printer_server.component ~name:"printer-server"
+      ~users:
+        [
+          { Printer_server.wire_in = w_alice_prt; wire_out = w_prt_alice };
+          { Printer_server.wire_in = w_bob_prt; wire_out = w_prt_bob };
+        ]
+      ~fs_out:w_prt_fs ~fs_in:w_fs_prt
+  in
+  let auth_c =
+    Auth.component ~name:"auth"
+      ~accounts:
+        [
+          { Auth.user = "alice"; password = "redqueen"; clearance = Sclass.unclassified };
+          { Auth.user = "bob"; password = "looking-glass"; clearance = Sclass.secret };
+        ]
+      ~terminals:
+        [
+          { Auth.term_in = w_alice_auth; term_out = w_auth_alice; fs_session = w_alice_fs };
+          { Auth.term_in = w_bob_auth; term_out = w_auth_bob; fs_session = w_bob_fs };
+        ]
+      ~fs_control:w_auth_fs ()
+  in
+  Topology.make
+    ~parts:
+      [
+        (alice, terminal ~name:"alice" ~fs_out:w_alice_fs ~printer_out:w_alice_prt ~auth_out:w_alice_auth);
+        (bob, terminal ~name:"bob" ~fs_out:w_bob_fs ~printer_out:w_bob_prt ~auth_out:w_bob_auth);
+        (file_server, fs);
+        (printer, prt);
+        (auth, auth_c);
+      ]
+    ~wires:
+      [
+        (alice, file_server, 16);
+        (file_server, alice, 16);
+        (bob, file_server, 16);
+        (file_server, bob, 16);
+        (alice, printer, 16);
+        (printer, alice, 16);
+        (bob, printer, 16);
+        (printer, bob, 16);
+        (printer, file_server, 16);
+        (file_server, printer, 16);
+        (auth, file_server, 16);
+        (alice, auth, 16);
+        (auth, alice, 16);
+        (bob, auth, 16);
+        (auth, bob, 16);
+      ]
+
+type script = (int * Colour.t * string) list
+
+let demo_script =
+  [
+    (0, alice, "LOGIN alice redqueen");
+    (0, bob, "LOGIN bob looking-glass");
+    (3, alice, "FS CREATE spool/a1 0 hello from alice");
+    (5, bob, "FS CREATE spool/b1 2 move the fleet at dawn");
+    (7, alice, "FS READ spool/a1");
+    (9, bob, "FS READ spool/a1");
+    (11, alice, "FS READ spool/b1");
+    (13, alice, "FS CREATE memo/high 2 eyes only");
+    (15, alice, "FS READ memo/high");
+    (17, bob, "FS APPEND spool/b1  -- addendum");
+    (19, alice, "PRINT spool/a1");
+    (25, bob, "PRINT spool/b1");
+  ]
+
+type result = {
+  screens : (Colour.t * string list) list;
+  printer_output : string list;
+  spool_files_left : string list;
+}
+
+let run kind ?(steps = 60) script =
+  let module Sub = (val Sep_snfe.Substrate.get kind) in
+  let sys = Sub.build (topology ()) in
+  let probe_step = steps in
+  let externals n =
+    if n = probe_step then [ (bob, "FS LIST") ]
+    else List.filter_map (fun (s, c, m) -> if s = n then Some (c, m) else None) script
+  in
+  Sub.run sys ~steps:(steps + 8) ~externals;
+  let screen c = Sub.outputs sys c in
+  let listing =
+    List.fold_left
+      (fun acc line -> if Protocol.verb line = "FILES" then Some line else acc)
+      None (screen bob)
+  in
+  let spool_files_left =
+    match listing with
+    | None -> []
+    | Some line ->
+      List.filter
+        (fun w -> String.length w >= 6 && String.sub w 0 6 = "spool/")
+        (Protocol.words line)
+  in
+  {
+    screens = [ (alice, screen alice); (bob, screen bob) ];
+    printer_output = Sub.outputs sys printer;
+    spool_files_left;
+  }

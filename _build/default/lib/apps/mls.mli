@@ -1,0 +1,44 @@
+(** The multilevel secure multi-user system of Section 2, assembled.
+
+    "Each user is given his own private, physically isolated, single-user
+    machine and a dedicated communication line to a common, shared
+    file-server" — plus the printer server with its concrete special
+    services, and the authentication mechanism that tells the servers who
+    is who. Every box is an ordinary component; no component holds any
+    kernel-granted privilege; the printer's special powers are a property
+    of {e one wire} into the file server.
+
+    Users: ALICE (cleared UNCLASSIFIED) and BOB (cleared SECRET), each
+    with a terminal component that forwards typed commands and displays
+    replies. Drive it with external inputs of the form:
+    - ["LOGIN <user> <password>"] — authenticate (alice/redqueen,
+      bob/looking-glass);
+    - ["FS <request>"] — any {!Sep_components.File_server} session request;
+    - ["PRINT <file>"] — queue a spool file for printing.
+
+    The same topology runs distributed or kernelized. *)
+
+module Colour = Sep_model.Colour
+
+val alice : Colour.t
+val bob : Colour.t
+val file_server : Colour.t
+val printer : Colour.t
+val auth : Colour.t
+
+val topology : unit -> Sep_model.Topology.t
+
+type script = (int * Colour.t * string) list
+(** (step, user, external input). *)
+
+val demo_script : script
+(** Log both users in, exercise reads/writes across levels, spool and
+    print a job at each level. *)
+
+type result = {
+  screens : (Colour.t * string list) list;  (** terminal outputs per user *)
+  printer_output : string list;  (** the physical printout *)
+  spool_files_left : string list;  (** spool files still listed after the run *)
+}
+
+val run : Sep_snfe.Substrate.kind -> ?steps:int -> script -> result

@@ -1,0 +1,81 @@
+module Component = Sep_model.Component
+module Sclass = Sep_lattice.Sclass
+module Mls_model = Sep_policy.Mls_model
+module File_server = Sep_components.File_server
+module Guard = Sep_components.Guard
+
+let levels = [ Sclass.unclassified; Sclass.secret ]
+
+(* -- the file server --------------------------------------------------------- *)
+
+(* wires: 0/1 low session, 2/3 high session *)
+let fs_component () =
+  File_server.component ~name:"fs-sri"
+    ~sessions:
+      [
+        { File_server.wire_in = 0; wire_out = 1; clearance = Sclass.unclassified; privileged = false };
+        { File_server.wire_in = 2; wire_out = 3; clearance = Sclass.secret; privileged = false };
+      ]
+    ()
+
+let class_of_fs_wire w = if w <= 1 then Sclass.unclassified else Sclass.secret
+
+let requests ~own ~up =
+  List.concat_map
+    (fun f ->
+      [
+        Fmt.str "CREATE %s %s data-%s" f own f;
+        Fmt.str "CREATE %s %s drop-%s" f up f;
+        Fmt.str "READ %s" f;
+        Fmt.str "WRITE %s new-%s" f f;
+        Fmt.str "APPEND %s plus" f;
+        Fmt.str "DELETE %s" f;
+      ])
+    [ "f0"; "f1" ]
+  @ [ "LIST" ]
+
+let file_server_alphabet =
+  Array.of_list
+    (List.map (fun r -> (0, r)) (requests ~own:"0" ~up:"2")
+    @ List.map (fun r -> (2, r)) (requests ~own:"2" ~up:"3"))
+
+let tagged_machine ~name ~component ~class_of_wire =
+  {
+    Mls_model.name;
+    fresh = (fun () -> Component.instantiate (component ()));
+    step =
+      (fun inst (wire, msg) ->
+        Component.feed inst (Component.Recv (wire, msg))
+        |> List.filter_map (function
+             | Component.Send (w, m) -> Some (w, m)
+             | Component.Output _ -> None));
+    class_of_input = (fun (w, _) -> class_of_wire w);
+    class_of_output = (fun (w, _) -> class_of_wire w);
+    equal_output = ( = );
+    pp_input = (fun ppf (w, m) -> Fmt.pf ppf "[%d] %s" w m);
+    pp_output = (fun ppf (w, m) -> Fmt.pf ppf "[%d] %s" w m);
+  }
+
+let file_server_machine () =
+  tagged_machine ~name:"multilevel file server" ~component:fs_component
+    ~class_of_wire:class_of_fs_wire
+
+(* -- the guard ---------------------------------------------------------------- *)
+
+let guard_wires =
+  { Guard.low_in = 0; low_out = 1; high_in = 2; high_out = 3; officer_in = 4; officer_out = 5 }
+
+let guard_component () = Guard.component ~name:"guard-sri" ~wires:guard_wires
+
+(* LOW's wires are unclassified; HIGH's and the officer's are secret. *)
+let class_of_guard_wire w = if w <= 1 then Sclass.unclassified else Sclass.secret
+
+let guard_alphabet =
+  Array.of_list
+    ([ (0, "request weather"); (0, "request supplies") ]
+    @ [ (2, "convoy arrived"); (2, "positions: REDACTED") ]
+    @ [ (4, "RELEASE 0"); (4, "RELEASE 1"); (4, "DENY 0") ])
+
+let guard_machine () =
+  tagged_machine ~name:"ACCAT guard" ~component:guard_component
+    ~class_of_wire:class_of_guard_wire

@@ -1,0 +1,38 @@
+(** Components measured against the SRI multilevel model (experiment E12).
+
+    Section 2's argument, made executable: the requirements of each
+    trusted component are particular to its function. The multilevel
+    file server's function {e is} the SRI model, so it satisfies the
+    relational check; the ACCAT Guard's function is a human-sanctioned
+    downgrade, so it {e cannot} — and no general multilevel kernel policy
+    will describe it. *)
+
+val file_server_machine :
+  unit ->
+  ( Sep_model.Component.instance,
+    int * string,
+    int * string )
+  Sep_policy.Mls_model.machine
+(** The multilevel file server with one UNCLASSIFIED and one SECRET
+    session. Inputs and outputs are (wire, message) pairs tagged by the
+    session's clearance. *)
+
+val file_server_alphabet : (int * string) array
+(** A request alphabet exercising creates (own-level and blind-up), reads,
+    writes, appends, deletes and listings on a small shared pool of
+    names, from both sessions. *)
+
+val guard_machine :
+  unit ->
+  ( Sep_model.Component.instance,
+    int * string,
+    int * string )
+  Sep_policy.Mls_model.machine
+(** The ACCAT Guard: LOW traffic tagged UNCLASSIFIED; HIGH traffic and the
+    officer's verdicts tagged SECRET. Expected to fail the check — its
+    whole purpose is the reviewed downgrade. *)
+
+val guard_alphabet : (int * string) array
+
+val levels : Sep_lattice.Sclass.t list
+(** The observation levels used by E12: UNCLASSIFIED and SECRET. *)

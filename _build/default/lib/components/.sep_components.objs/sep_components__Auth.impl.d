@@ -1,0 +1,1 @@
+lib/components/auth.ml: Fmt List Protocol Sep_lattice Sep_model

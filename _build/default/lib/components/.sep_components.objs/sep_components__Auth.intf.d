@@ -1,0 +1,1 @@
+lib/components/auth.mli: Sep_lattice Sep_model

@@ -1,0 +1,1 @@
+lib/components/censor.ml: Fmt Protocol Sep_model

@@ -1,0 +1,1 @@
+lib/components/censor.mli: Format Sep_model

@@ -1,0 +1,1 @@
+lib/components/covert.ml: Bytes Char Fmt List Option Protocol Sep_model Sep_util String

@@ -1,0 +1,1 @@
+lib/components/covert.mli: Format Sep_model

@@ -1,0 +1,1 @@
+lib/components/crypto.ml: Bytes Char Fmt Fun List Sep_model String

@@ -1,0 +1,1 @@
+lib/components/crypto.mli: Sep_model

@@ -1,0 +1,1 @@
+lib/components/dump_restore.ml: Fmt List Protocol Sep_lattice Sep_model String

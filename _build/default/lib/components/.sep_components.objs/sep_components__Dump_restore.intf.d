@@ -1,0 +1,1 @@
+lib/components/dump_restore.mli: Sep_lattice Sep_model

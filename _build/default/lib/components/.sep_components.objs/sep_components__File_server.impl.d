@@ -1,0 +1,1 @@
+lib/components/file_server.ml: Fmt List Map Protocol Sep_lattice Sep_model Sep_policy String

@@ -1,0 +1,1 @@
+lib/components/file_server.mli: Sep_lattice Sep_model

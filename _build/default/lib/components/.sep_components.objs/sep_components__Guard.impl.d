@@ -1,0 +1,1 @@
+lib/components/guard.ml: Fmt List Protocol Sep_model

@@ -1,0 +1,1 @@
+lib/components/guard.mli: Sep_model

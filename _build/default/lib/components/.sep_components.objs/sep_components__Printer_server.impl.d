@@ -1,0 +1,1 @@
+lib/components/printer_server.ml: Fmt List Protocol Sep_model

@@ -1,0 +1,1 @@
+lib/components/printer_server.mli: Sep_model

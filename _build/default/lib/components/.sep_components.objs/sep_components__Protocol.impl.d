@@ -1,0 +1,1 @@
+lib/components/protocol.ml: Bytes Char Fmt List Sep_lattice String

@@ -1,0 +1,1 @@
+lib/components/protocol.mli: Sep_lattice

@@ -1,0 +1,49 @@
+module Component = Sep_model.Component
+
+type account = { user : string; password : string; clearance : Sep_lattice.Sclass.t }
+
+type terminal = { term_in : int; term_out : int; fs_session : int }
+
+type st = { failures : (int * int) list (* terminal wire -> consecutive failures *) }
+
+let failures_on st w =
+  match List.assoc_opt w st.failures with
+  | Some n -> n
+  | None -> 0
+
+let set_failures st w n = { failures = (w, n) :: List.remove_assoc w st.failures }
+
+let component ~name ~accounts ~terminals ~fs_control ?(max_attempts = 3) () =
+  let step st = function
+    | Component.Recv (w, msg) -> begin
+      match List.find_opt (fun t -> t.term_in = w) terminals with
+      | None -> (st, [])
+      | Some term ->
+        if failures_on st w >= max_attempts then
+          (st, [ Component.Send (term.term_out, "LOCKED") ])
+        else begin
+          match Protocol.words msg with
+          | [ "LOGIN"; user; password ] -> begin
+            let found =
+              List.find_opt (fun a -> a.user = user && a.password = password) accounts
+            in
+            match found with
+            | Some account ->
+              let cls = Protocol.class_to_wire account.clearance in
+              ( set_failures st w 0,
+                [
+                  Component.Send (fs_control, Fmt.str "SESSION %d %s" term.fs_session cls);
+                  Component.Send (term.term_out, Fmt.str "WELCOME %s %s" user cls);
+                ] )
+            | None ->
+              let n = failures_on st w + 1 in
+              ( set_failures st w n,
+                [ Component.Send (term.term_out, if n >= max_attempts then "LOCKED" else "BADAUTH") ]
+              )
+          end
+          | _ -> (st, [ Component.Send (term.term_out, "BADREQ") ])
+        end
+    end
+    | Component.External _ -> (st, [])
+  in
+  Component.make ~name ~init:{ failures = [] } ~step

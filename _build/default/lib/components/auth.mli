@@ -1,0 +1,26 @@
+(** The authentication service.
+
+    "There must be some additional mechanism to authenticate the
+    identities of users as they log in to the single-user machines and to
+    inform the file and printer-servers of the security classifications
+    associated with each user."
+
+    Users present [LOGIN <user> <password>] on their terminal wires; on
+    success the service replies [WELCOME <user> <class>] and notifies the
+    file server's control wire with [SESSION <fs-wire> <class>], binding
+    the user's file-server session to the authenticated clearance. A
+    failed attempt gets [BADAUTH] and, after [max_attempts] consecutive
+    failures on a wire, [LOCKED] thereafter. *)
+
+type account = { user : string; password : string; clearance : Sep_lattice.Sclass.t }
+
+type terminal = {
+  term_in : int;  (** wire carrying LOGIN requests *)
+  term_out : int;  (** wire carrying replies *)
+  fs_session : int;  (** the user's file-server [wire_in], named in SESSION *)
+}
+
+val component :
+  name:string -> accounts:account list -> terminals:terminal list -> fs_control:int ->
+  ?max_attempts:int -> unit -> Sep_model.Component.t
+(** [max_attempts] defaults to 3. *)

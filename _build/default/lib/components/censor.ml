@@ -1,0 +1,41 @@
+module Component = Sep_model.Component
+
+type mode =
+  | Off
+  | Basic
+  | Strict
+
+let pp_mode ppf m =
+  Fmt.string ppf (match m with Off -> "off" | Basic -> "basic" | Strict -> "strict")
+
+let quantize quantum n = if n mod quantum = 0 then n else ((n / quantum) + 1) * quantum
+
+let check ~mode ~max_len ~quantum ~expected_seq msg =
+  match mode with
+  | Off -> Ok (msg, expected_seq)
+  | Basic | Strict -> begin
+    match Protocol.words msg with
+    | "HDR" :: _ -> begin
+      match (Protocol.int_field "seq" msg, Protocol.int_field "len" msg) with
+      | Some seq, Some len ->
+        if seq <> expected_seq then Error (Fmt.str "seq %d, expected %d" seq expected_seq)
+        else if len < 0 || len > max_len then Error (Fmt.str "len %d out of range" len)
+        else begin
+          let len = if mode = Strict then quantize quantum len else len in
+          Ok (Fmt.str "HDR seq=%d len=%d" seq len, expected_seq + 1)
+        end
+      | _ -> Error "missing seq or len"
+    end
+    | _ -> Error "not a header"
+  end
+
+let component ~name ~mode ~in_wire ~out_wire ?(max_len = 32) ?(quantum = 8) () =
+  let step expected_seq = function
+    | Component.Recv (w, msg) when w = in_wire -> begin
+      match check ~mode ~max_len ~quantum ~expected_seq msg with
+      | Ok (canonical, next) -> (next, [ Component.Send (out_wire, canonical) ])
+      | Error reason -> (expected_seq, [ Component.Output ("DROP " ^ reason) ])
+    end
+    | Component.Recv _ | Component.External _ -> (expected_seq, [])
+  in
+  Component.make ~name ~init:0 ~step

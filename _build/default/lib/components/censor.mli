@@ -1,0 +1,46 @@
+(** The censor on the SNFE's cleartext bypass.
+
+    "A 'censor' is inserted into the bypass to perform rigid procedural
+    checks on the traffic passing through — to check that it has the
+    appearance of legitimate protocol exchanges, rather than raw
+    cleartext. A fairly simple censor can reduce the bandwidth available
+    for illicit communication over the bypass to an acceptable level."
+
+    The legitimate bypass traffic is packet headers of the form
+    ["HDR seq=<n> len=<m>"] describing the ciphertext packets travelling
+    through the crypto. The censor's modes trade function for covert
+    bandwidth (measured by experiment E6):
+
+    - [Off] — forward everything verbatim (no censor; the insecure
+      baseline).
+    - [Basic] — parse the header; drop anything malformed, any extra
+      fields (the classic hiding place), any [len] outside
+      [\[0, max_len\]], and any [seq] that is not exactly the successor of
+      the last forwarded one. Forward a {e canonical} re-rendering, never
+      the original bytes.
+    - [Strict] — [Basic], plus quantize [len] up to a multiple of
+      [quantum]: the residual length channel shrinks from
+      [log2 max_len] to [log2 (max_len / quantum)] bits per header.
+
+    Dropped messages are reported on the censor box's own indicator
+    ([Output "DROP <reason>"]) — visible to the security officer, not to
+    the regimes. *)
+
+type mode =
+  | Off
+  | Basic
+  | Strict
+
+val pp_mode : Format.formatter -> mode -> unit
+
+val component :
+  name:string -> mode:mode -> in_wire:int -> out_wire:int -> ?max_len:int -> ?quantum:int ->
+  unit -> Sep_model.Component.t
+(** [max_len] defaults to 32, [quantum] to 8. *)
+
+val check :
+  mode:mode -> max_len:int -> quantum:int -> expected_seq:int -> string ->
+  (string * int, string) result
+(** The pure filtering rule: [Ok (canonical, next_expected_seq)] or
+    [Error reason]. Exposed for direct testing and for the bandwidth
+    harness. *)

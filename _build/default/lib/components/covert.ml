@@ -1,0 +1,126 @@
+module Component = Sep_model.Component
+module Bits = Sep_util.Bits
+
+type vector =
+  | Pad_field
+  | Length_raw
+  | Length_bucket
+
+let pp_vector ppf v =
+  Fmt.string ppf
+    (match v with
+    | Pad_field -> "pad-field"
+    | Length_raw -> "length-raw"
+    | Length_bucket -> "length-bucket")
+
+let pad_chars = 8
+
+let floor_log2 n =
+  assert (n >= 1);
+  let rec loop n acc = if n <= 1 then acc else loop (n / 2) (acc + 1) in
+  loop n 0
+
+let bits_per_message vector ~max_len ~quantum =
+  match vector with
+  | Pad_field -> 8 * pad_chars
+  | Length_raw -> floor_log2 max_len
+  | Length_bucket -> floor_log2 (max_len / quantum)
+
+let take_pad bits = List.filteri (fun i _ -> i < 8 * pad_chars) bits
+
+let hex_of_bits bits =
+  let bytes = Bits.bytes_of_bits bits in
+  String.concat "" (List.map (fun c -> Fmt.str "%02x" (Char.code c)) (List.init (Bytes.length bytes) (Bytes.get bytes)))
+
+let bits_of_hex s =
+  let n = String.length s / 2 in
+  let byte i = int_of_string_opt ("0x" ^ String.sub s (2 * i) 2) in
+  let rec build i acc =
+    if i >= n then Some (List.rev acc)
+    else begin
+      match byte i with
+      | None -> None
+      | Some b -> build (i + 1) (List.rev_append (Bits.int_to_bits ~width:8 b) acc)
+    end
+  in
+  build 0 []
+
+let pad_to k bits =
+  let n = List.length bits in
+  if n >= k then List.filteri (fun i _ -> i < k) bits
+  else bits @ List.init (k - n) (fun _ -> false)
+
+let length_for vector ~max_len ~quantum bits =
+  match vector with
+  | Pad_field -> 1 (* any legitimate length; bits ride in the pad *)
+  | Length_raw ->
+    let k = floor_log2 max_len in
+    Bits.bits_to_int (pad_to k bits) + 1
+  | Length_bucket ->
+    let k = floor_log2 (max_len / quantum) in
+    (Bits.bits_to_int (pad_to k bits) + 1) * quantum
+
+let payload_length vector ~max_len ~quantum bits = length_for vector ~max_len ~quantum bits
+
+let encode_header vector ~max_len ~quantum ~seq bits =
+  let k = bits_per_message vector ~max_len ~quantum in
+  let bits = pad_to k bits in
+  let len = length_for vector ~max_len ~quantum bits in
+  match vector with
+  | Pad_field -> Fmt.str "HDR seq=%d len=%d pad=%s" seq len (hex_of_bits (take_pad bits))
+  | Length_raw | Length_bucket -> Fmt.str "HDR seq=%d len=%d" seq len
+
+let decode_header vector ~max_len ~quantum msg =
+  match vector with
+  | Pad_field ->
+    let field =
+      List.find_map
+        (fun w ->
+          if String.length w > 4 && String.sub w 0 4 = "pad=" then
+            Some (String.sub w 4 (String.length w - 4))
+          else None)
+        (Protocol.words msg)
+    in
+    Option.bind field bits_of_hex
+  | Length_raw -> begin
+    match Protocol.int_field "len" msg with
+    | Some len when len >= 1 ->
+      let k = floor_log2 max_len in
+      Some (Bits.int_to_bits ~width:k (len - 1))
+    | Some _ | None -> None
+  end
+  | Length_bucket -> begin
+    match Protocol.int_field "len" msg with
+    | Some len when len >= quantum ->
+      let k = floor_log2 (max_len / quantum) in
+      Some (Bits.int_to_bits ~width:k ((len / quantum) - 1))
+    | Some _ | None -> None
+  end
+
+type red_st = { remaining : bool list; seq : int }
+
+let leaky_red ~name ~vector ~secret ~bypass_wire ~crypto_wire ?(max_len = 32) ?(quantum = 8) () =
+  let k = bits_per_message vector ~max_len ~quantum in
+  let step st = function
+    | Component.External "TICK" when st.remaining <> [] ->
+      let chunk = pad_to k st.remaining in
+      let rest = if List.length st.remaining <= k then [] else List.filteri (fun i _ -> i >= k) st.remaining in
+      let header = encode_header vector ~max_len ~quantum ~seq:st.seq chunk in
+      let len = payload_length vector ~max_len ~quantum chunk in
+      ( { remaining = rest; seq = st.seq + 1 },
+        [
+          Component.Send (bypass_wire, header);
+          Component.Send (crypto_wire, String.make len 'x');
+        ] )
+    | Component.External _ | Component.Recv _ -> (st, [])
+  in
+  Component.make ~name ~init:{ remaining = secret; seq = 0 } ~step
+
+let sink ~name = Component.stateless ~name (fun _ -> [])
+
+let received_headers ~in_wire trace =
+  List.filter_map
+    (function
+      | Component.Saw (Component.Recv (w, msg)) when w = in_wire -> Some msg
+      | Component.Saw _ | Component.Did _ -> None)
+    trace

@@ -1,0 +1,60 @@
+(** Covert-channel encoders over the SNFE bypass.
+
+    The red component is "too large and complex to allow its
+    verification" — so we must assume it may be subverted and try to leak
+    user data through the cleartext bypass. These are the leak vectors
+    the censor is supposed to squeeze (experiment E6):
+
+    - [Pad_field]: smuggle bytes in an extra ["pad=<hex>"] header field.
+      A well-formed-looking field, but not part of the legitimate
+      grammar; the Basic censor strips it.
+    - [Length_raw]: encode [k = floor(log2 max_len)] bits per header as
+      the exact value of [len] (the packet length is attacker-chosen, so
+      this channel survives canonicalization).
+    - [Length_bucket]: encode [k = floor(log2 (max_len/quantum))] bits as
+      the {e quantization bucket} of [len] — the encoding an attacker
+      adapts to once the Strict censor rounds lengths.
+
+    All encoders emit headers that are {e individually} legitimate:
+    monotone [seq], in-range [len]. What varies is only where the
+    information hides. *)
+
+type vector =
+  | Pad_field
+  | Length_raw
+  | Length_bucket
+
+val pp_vector : Format.formatter -> vector -> unit
+
+val pad_chars : int
+(** Bytes carried by the pad field (8). *)
+
+val bits_per_message : vector -> max_len:int -> quantum:int -> int
+(** Capacity of one header under the given bypass parameters. *)
+
+val encode_header : vector -> max_len:int -> quantum:int -> seq:int -> bool list -> string
+(** Build the header carrying the given bits (must be exactly
+    [bits_per_message] long; short inputs are zero-padded). *)
+
+val decode_header : vector -> max_len:int -> quantum:int -> string -> bool list option
+(** What the receiving black component recovers from a (possibly
+    censored) header. [None] when the expected carrier is absent. *)
+
+val payload_length : vector -> max_len:int -> quantum:int -> bool list -> int
+(** Length of the ciphertext packet that must accompany the header for the
+    traffic to look legitimate. *)
+
+(** {1 Components} *)
+
+val leaky_red :
+  name:string -> vector:vector -> secret:bool list -> bypass_wire:int -> crypto_wire:int ->
+  ?max_len:int -> ?quantum:int -> unit -> Sep_model.Component.t
+(** On each [External "TICK"]: take the next [bits_per_message] secret
+    bits, send the encoding header on [bypass_wire] and a matching dummy
+    packet on [crypto_wire]; silent once the secret is exhausted. *)
+
+val sink : name:string -> Sep_model.Component.t
+(** A passive receiver; its trace is read by the measurement harness. *)
+
+val received_headers : in_wire:int -> Sep_model.Component.obs list -> string list
+(** The headers a sink saw on one wire, in order. *)

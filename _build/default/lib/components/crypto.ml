@@ -1,0 +1,84 @@
+module Component = Sep_model.Component
+
+type key = int
+
+let key_of_int k = k land 0xffffff
+
+(* A 6-round Feistel network over (left, right) byte pairs, with a weak
+   mixing function — a stand-in for the SNFE's crypto box, not a cipher.
+   One round maps (l, r) to (r, l XOR F(k_i, r)); decryption applies the
+   rounds in reverse key order to the swapped ciphertext and swaps back. *)
+let rounds = 6
+
+let round_key key r = (key lsr (4 * r)) land 0xff
+
+let mix k x = ((x * 167) + k) land 0xff
+
+let feistel key_order key (l0, r0) =
+  List.fold_left (fun (l, r) i -> (r, l lxor mix (round_key key i) r)) (l0, r0) key_order
+
+let forward = List.init rounds Fun.id
+let backward = List.init rounds (fun i -> rounds - 1 - i)
+
+let encrypt_pair key lr = feistel forward key lr
+
+let decrypt_pair key (l, r) =
+  let l', r' = feistel backward key (r, l) in
+  (r', l')
+
+let crypt pair_fn key s =
+  let n = String.length s in
+  let padded = if n mod 2 = 0 then s else s ^ "\000" in
+  let out = Bytes.of_string padded in
+  let i = ref 0 in
+  while !i < Bytes.length out do
+    let l = Char.code (Bytes.get out !i) and r = Char.code (Bytes.get out (!i + 1)) in
+    let l', r' = pair_fn key (l, r) in
+    Bytes.set out !i (Char.chr (l' land 0xff));
+    Bytes.set out (!i + 1) (Char.chr (r' land 0xff));
+    i := !i + 2
+  done;
+  Bytes.to_string out
+
+let to_hex s =
+  String.concat "" (List.init (String.length s) (fun i -> Fmt.str "%02x" (Char.code s.[i])))
+
+let of_hex s =
+  let n = String.length s / 2 in
+  let b = Bytes.create n in
+  let ok = ref (String.length s mod 2 = 0) in
+  for i = 0 to n - 1 do
+    match int_of_string_opt ("0x" ^ String.sub s (2 * i) 2) with
+    | Some v -> Bytes.set b i (Char.chr v)
+    | None -> ok := false
+  done;
+  if !ok then Some (Bytes.to_string b) else None
+
+(* Ciphertext travels hex-encoded with its true length in clear — the
+   header information the SNFE's bypass exists to carry. *)
+let encrypt key s = string_of_int (String.length s) ^ "|" ^ to_hex (crypt encrypt_pair key s)
+
+let decrypt key s =
+  match String.index_opt s '|' with
+  | None -> ""
+  | Some i -> begin
+    match int_of_string_opt (String.sub s 0 i) with
+    | None -> ""
+    | Some n -> begin
+      match of_hex (String.sub s (i + 1) (String.length s - i - 1)) with
+      | None -> ""
+      | Some body ->
+        let p = crypt decrypt_pair key body in
+        if n <= String.length p then String.sub p 0 n else p
+    end
+  end
+
+type direction =
+  | Encrypt
+  | Decrypt
+
+let component ~name ~key ~direction ~in_wire ~out_wire =
+  let transform = match direction with Encrypt -> encrypt key | Decrypt -> decrypt key in
+  Component.stateless ~name (function
+    | Component.Recv (w, payload) when w = in_wire -> [ Component.Send (out_wire, transform payload) ]
+    | Component.Recv _ | Component.External _ -> [])

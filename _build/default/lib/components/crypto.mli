@@ -1,0 +1,31 @@
+(** The cryptographic device of the SNFE.
+
+    The paper treats the crypto as "a trusted physical device"; we
+    simulate it with a small balanced Feistel network over byte pairs —
+    enough structure that ciphertext is key-dependent and invertible,
+    which is what the end-to-end SNFE experiments need (this is a
+    simulation artefact, {e not} a secure cipher).
+
+    {!component} wraps the cipher as a one-input one-output box: every
+    message received on its input wire is transformed and forwarded on
+    its output wire, and nothing else — the concrete, narrow
+    specification of a trusted component. *)
+
+type key
+
+val key_of_int : int -> key
+
+val encrypt : key -> string -> string
+val decrypt : key -> string -> string
+(** [decrypt k (encrypt k s) = s]. Odd-length inputs are padded internally
+    and restored on decryption. *)
+
+type direction =
+  | Encrypt
+  | Decrypt
+
+val component :
+  name:string -> key:key -> direction:direction -> in_wire:int -> out_wire:int ->
+  Sep_model.Component.t
+(** Forwards [transform (payload)] of every [Recv] on [in_wire] to
+    [out_wire]; ignores everything else. *)

@@ -1,0 +1,98 @@
+module Component = Sep_model.Component
+module Sclass = Sep_lattice.Sclass
+
+let encode_entry ~name ~cls ~data =
+  Fmt.str "%s:%s:%s" name (Protocol.class_to_wire cls) (Protocol.to_hex data)
+
+(* "name:class:hexdata"; the class may itself contain a colon
+   ("2:CRYPTO,NATO"), so split at the first and last colons. *)
+let decode_entry s =
+  match (String.index_opt s ':', String.rindex_opt s ':') with
+  | Some i, Some j when j > i -> begin
+    let name = String.sub s 0 i in
+    let cls_str = String.sub s (i + 1) (j - i - 1) in
+    let hex = String.sub s (j + 1) (String.length s - j - 1) in
+    match (Protocol.class_of_wire cls_str, Protocol.of_hex hex) with
+    | Some cls, Some data when name <> "" -> Some (name, cls, data)
+    | _ -> None
+  end
+  | _ -> None
+
+type st =
+  | Idle
+  | Listing
+  | Dumping of { todo : string list; collected : string list (* reversed *) }
+  | Restoring of { todo : (string * Sclass.t * string) list; restored : int; skipped : int }
+
+let component ~name ~fs_out ~fs_in ~operator_out =
+  let to_fs req = Component.Send (fs_out, req) in
+  let to_op msg = Component.Send (operator_out, msg) in
+  let finish_dump collected =
+    ( Idle,
+      [
+        Component.Output ("ARCHIVE " ^ String.concat ";" (List.rev collected));
+        to_op (Fmt.str "DUMPED %d" (List.length collected));
+      ] )
+  in
+  let restore_next todo restored skipped =
+    match todo with
+    | [] -> (Idle, [ to_op (Fmt.str "RESTORED %d %d" restored skipped) ])
+    | (file, cls, data) :: _ ->
+      ( Restoring { todo; restored; skipped },
+        [ to_fs (Fmt.str "CREATE-ANY %s %s %s" file (Protocol.class_to_wire cls) data) ] )
+  in
+  let step st ev =
+    match (st, ev) with
+    | Idle, Component.External "DUMP" -> (Listing, [ to_fs "LIST-ANY" ])
+    | Idle, Component.External msg when Protocol.verb msg = "RESTORE" ->
+      let entries =
+        String.split_on_char ';' (Protocol.tail 1 msg)
+        |> List.filter_map decode_entry
+      in
+      restore_next entries 0 0
+    | Listing, Component.Recv (w, msg) when w = fs_in && Protocol.verb msg = "AFILES" -> begin
+      let names =
+        List.filter_map
+          (fun entry ->
+            match String.index_opt entry ':' with
+            | Some i -> Some (String.sub entry 0 i)
+            | None -> None)
+          (List.tl (Protocol.words msg))
+      in
+      match names with
+      | [] -> finish_dump []
+      | file :: _ -> (Dumping { todo = names; collected = [] }, [ to_fs ("READ-ANY " ^ file) ])
+    end
+    | Dumping d, Component.Recv (w, msg) when w = fs_in && Protocol.verb msg = "ADATA" -> begin
+      match (Protocol.words msg, d.todo) with
+      | _ :: file :: cls_str :: _, current :: rest when file = current -> begin
+        let data = Protocol.tail 3 msg in
+        let entry =
+          match Protocol.class_of_wire cls_str with
+          | Some cls -> [ encode_entry ~name:file ~cls ~data ]
+          | None -> []
+        in
+        let collected = entry @ d.collected in
+        match rest with
+        | [] -> finish_dump collected
+        | next :: _ -> (Dumping { todo = rest; collected }, [ to_fs ("READ-ANY " ^ next) ])
+      end
+      | _ -> (st, [])
+    end
+    | Dumping d, Component.Recv (w, msg) when w = fs_in && Protocol.verb msg = "NOFILE" -> begin
+      (* deleted between LIST-ANY and READ-ANY: skip it *)
+      match d.todo with
+      | _ :: [] -> finish_dump d.collected
+      | _ :: (next :: _ as rest) ->
+        (Dumping { d with todo = rest }, [ to_fs ("READ-ANY " ^ next) ])
+      | [] -> (st, [])
+    end
+    | Restoring r, Component.Recv (w, msg) when w = fs_in -> begin
+      match (Protocol.verb msg, r.todo) with
+      | "OK", _ :: rest -> restore_next rest (r.restored + 1) r.skipped
+      | ("EXISTS" | "BADREQ"), _ :: rest -> restore_next rest r.restored (r.skipped + 1)
+      | _ -> (st, [])
+    end
+    | _, (Component.External _ | Component.Recv _) -> (st, [])
+  in
+  Component.make ~name ~init:Idle ~step

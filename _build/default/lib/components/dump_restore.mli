@@ -1,0 +1,28 @@
+(** The dump/restore service.
+
+    KSOS's trusted processes included "dump/restore programs" — backup
+    must read every file regardless of classification, and restore must
+    recreate files at their original classifications, both flatly
+    incompatible with a kernel-enforced multilevel policy. In the
+    distributed conception the service is one more component whose special
+    needs are concrete: a privileged file-server session ([READ-ANY],
+    [LIST-ANY], [CREATE-ANY]) and a line to the operator's console. The
+    archive it emits is classified data; physically, it is the tape drive
+    in the machine room.
+
+    {b Operator protocol} (external input / output):
+    - ["DUMP"] — walk the file system and emit
+      ["ARCHIVE <name>:<class>:<hexdata>;..."] on the console/tape
+      [Output], then reply ["DUMPED <n>"] on the operator wire.
+    - ["RESTORE <archive>"] — recreate every entry (existing files are
+      left untouched), reply ["RESTORED <n> <skipped>"]. *)
+
+val component :
+  name:string -> fs_out:int -> fs_in:int -> operator_out:int -> Sep_model.Component.t
+(** [fs_out]/[fs_in]: the privileged file-server session. Replies to the
+    operator go out on [operator_out]; the archive itself is emitted as an
+    [Output] (the tape). *)
+
+val encode_entry : name:string -> cls:Sep_lattice.Sclass.t -> data:string -> string
+val decode_entry : string -> (string * Sep_lattice.Sclass.t * string) option
+(** The archive entry codec, exposed for tests: ["name:class:hexdata"]. *)

@@ -1,0 +1,204 @@
+module Component = Sep_model.Component
+module Sclass = Sep_lattice.Sclass
+module Blp = Sep_policy.Blp
+
+type session = {
+  wire_in : int;
+  wire_out : int;
+  clearance : Sclass.t;
+  privileged : bool;
+}
+
+type seed = (string * Sclass.t * string) list
+
+module Files = Map.Make (String)
+
+(* A name maps to its instances — at most one per classification. *)
+type st = {
+  files : (Sclass.t * string) list Files.t;
+  sessions : session list;
+}
+
+let instances st file =
+  match Files.find_opt file st.files with
+  | Some l -> l
+  | None -> []
+
+let set_instances st file insts =
+  { st with files = (if insts = [] then Files.remove file st.files else Files.add file insts st.files) }
+
+let has_instance_at insts cls = List.exists (fun (c, _) -> Sclass.equal c cls) insts
+
+(* The most highly classified instance, by the lattice's total tie-break
+   order — deterministic even among incomparable classes. *)
+let most_classified insts =
+  match insts with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun best (c, d) -> if Sclass.compare c (fst best) > 0 then (c, d) else best) first rest)
+
+(* What this session may observe of a name: its dominated instances. *)
+let resolve session insts =
+  most_classified (List.filter (fun (c, _) -> Sclass.leq c session.clearance) insts)
+
+let find_session st w = List.find_opt (fun s -> s.wire_in = w) st.sessions
+
+let set_clearance st wire_in clearance =
+  {
+    st with
+    sessions =
+      List.map (fun s -> if s.wire_in = wire_in then { s with clearance } else s) st.sessions;
+  }
+
+let subject session = Blp.subject (Fmt.str "session-%d" session.wire_in) session.clearance
+
+let reply session msg = [ Component.Send (session.wire_out, msg) ]
+
+let update_instance st file target_class f =
+  let insts =
+    List.filter_map
+      (fun (c, d) -> if Sclass.equal c target_class then f (c, d) else Some (c, d))
+      (instances st file)
+  in
+  set_instances st file insts
+
+let handle_request st session msg =
+  let sub = subject session in
+  let permit access file_class = Blp.permitted sub access (Blp.obj "file" file_class) in
+  match Protocol.verb msg with
+  | "CREATE" -> begin
+    match Protocol.words msg with
+    | _ :: file :: cls :: _ -> begin
+      match Protocol.class_of_wire cls with
+      | None -> (st, reply session ("DENIED " ^ file))
+      | Some file_class ->
+        let data = Protocol.tail 3 msg in
+        let insts = instances st file in
+        if Sclass.equal file_class session.clearance then begin
+          if has_instance_at insts file_class then (st, reply session ("EXISTS " ^ file))
+          else
+            (set_instances st file ((file_class, data) :: insts), reply session ("OK " ^ file))
+        end
+        else if Sclass.leq session.clearance file_class then begin
+          (* blind write-up: stored if absent, acknowledged regardless *)
+          let st =
+            if has_instance_at insts file_class then st
+            else set_instances st file ((file_class, data) :: insts)
+          in
+          (st, reply session ("SENT " ^ file))
+        end
+        else (st, reply session ("DENIED " ^ file))
+    end
+    | _ -> (st, reply session "BADREQ")
+  end
+  | ("WRITE" | "APPEND" | "DELETE") as verb -> begin
+    match Protocol.words msg with
+    | _ :: file :: _ -> begin
+      match resolve session (instances st file) with
+      | None -> (st, reply session ("NOFILE " ^ file))
+      | Some (file_class, old_data) ->
+        let access = if verb = "APPEND" then Blp.Append else Blp.Write in
+        if not (permit access file_class) then (st, reply session ("DENIED " ^ file))
+        else begin
+          let st =
+            match verb with
+            | "WRITE" ->
+              update_instance st file file_class (fun (c, _) -> Some (c, Protocol.tail 2 msg))
+            | "APPEND" ->
+              update_instance st file file_class (fun (c, _) ->
+                  Some (c, old_data ^ Protocol.tail 2 msg))
+            | _ -> update_instance st file file_class (fun _ -> None)
+          in
+          (st, reply session ("OK " ^ file))
+        end
+    end
+    | _ -> (st, reply session "BADREQ")
+  end
+  | "READ" -> begin
+    match Protocol.words msg with
+    | _ :: file :: _ -> begin
+      match resolve session (instances st file) with
+      | None -> (st, reply session ("NOFILE " ^ file))
+      | Some (_, data) -> (st, reply session (Fmt.str "DATA %s %s" file data))
+    end
+    | _ -> (st, reply session "BADREQ")
+  end
+  | "LIST" ->
+    let visible =
+      Files.fold
+        (fun file insts acc -> if resolve session insts <> None then file :: acc else acc)
+        st.files []
+    in
+    (st, reply session ("FILES " ^ String.concat " " (List.rev visible)))
+  | "READ-ANY" when session.privileged -> begin
+    match Protocol.words msg with
+    | _ :: file :: _ -> begin
+      match most_classified (instances st file) with
+      | None -> (st, reply session ("NOFILE " ^ file))
+      | Some (file_class, data) ->
+        (st, reply session (Fmt.str "ADATA %s %s %s" file (Protocol.class_to_wire file_class) data))
+    end
+    | _ -> (st, reply session "BADREQ")
+  end
+  | "DELETE-ANY" when session.privileged -> begin
+    match Protocol.words msg with
+    | _ :: file :: cls :: _ -> begin
+      match Protocol.class_of_wire cls with
+      | Some file_class when has_instance_at (instances st file) file_class ->
+        (update_instance st file file_class (fun _ -> None), reply session ("OK " ^ file))
+      | Some _ | None -> (st, reply session ("NOFILE " ^ file))
+    end
+    | _ -> (st, reply session "BADREQ")
+  end
+  | "LIST-ANY" when session.privileged ->
+    let entries =
+      Files.fold
+        (fun file insts acc ->
+          let sorted = List.sort (fun (a, _) (b, _) -> Sclass.compare a b) insts in
+          List.fold_left
+            (fun acc (c, _) -> Fmt.str "%s:%s" file (Protocol.class_to_wire c) :: acc)
+            acc sorted)
+        st.files []
+    in
+    (st, reply session ("AFILES " ^ String.concat " " (List.rev entries)))
+  | "CREATE-ANY" when session.privileged -> begin
+    match Protocol.words msg with
+    | _ :: file :: cls :: _ -> begin
+      match Protocol.class_of_wire cls with
+      | None -> (st, reply session "BADREQ")
+      | Some file_class ->
+        let insts = instances st file in
+        if has_instance_at insts file_class then (st, reply session ("EXISTS " ^ file))
+        else
+          ( set_instances st file ((file_class, Protocol.tail 3 msg) :: insts),
+            reply session ("OK " ^ file) )
+    end
+    | _ -> (st, reply session "BADREQ")
+  end
+  | _ -> (st, reply session "BADREQ")
+
+let handle_control st msg =
+  match Protocol.words msg with
+  | [ "SESSION"; wire; cls ] -> begin
+    match (int_of_string_opt wire, Protocol.class_of_wire cls) with
+    | Some wire_in, Some clearance -> set_clearance st wire_in clearance
+    | _ -> st
+  end
+  | _ -> st
+
+let component ~name ~sessions ?control_wire ?(seed = []) () =
+  let add_seed files (f, c, d) =
+    let insts = match Files.find_opt f files with Some l -> l | None -> [] in
+    Files.add f ((c, d) :: insts) files
+  in
+  let init = { files = List.fold_left add_seed Files.empty seed; sessions } in
+  let step st = function
+    | Component.Recv (w, msg) when Some w = control_wire -> (handle_control st msg, [])
+    | Component.Recv (w, msg) -> begin
+      match find_session st w with
+      | Some session -> handle_request st session msg
+      | None -> (st, [])
+    end
+    | Component.External _ -> (st, [])
+  in
+  Component.make ~name ~init ~step

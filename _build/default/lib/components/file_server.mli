@@ -1,0 +1,65 @@
+(** The multilevel secure file server.
+
+    "We can imagine an idealized system in which each user is given his
+    own private, physically isolated, single-user machine and a dedicated
+    communication line to a common, shared file-server. The only component
+    of this system that needs to be trusted is the file-server."
+
+    The server runs one program and no operating system. It enforces
+    Bell-LaPadula on every request arriving over its per-user session
+    wires, using each session's recorded clearance, and its replies to a
+    session are a function of that session's requests and of the file
+    instances at or below the session's clearance only — the
+    Feiertag-style noninterference that justified verifying exactly this
+    component in the paper. Two consequences shape the interface:
+
+    - {b Polyinstantiation.} The namespace cannot be shared across levels
+      (a low CREATE colliding with a high file would leak its existence),
+      so a name may carry one {e instance per classification}. A session
+      operates on the most highly classified instance it dominates.
+    - {b Blind upgrades.} Writing strictly above your level is permitted
+      by the ★-property but must yield no feedback; [CREATE] above the
+      session level always answers ["SENT"], whether or not anything was
+      stored.
+
+    {b Session protocol} (request on [wire_in], reply on [wire_out]):
+    - [CREATE <file> <class> <data...>] — at the session's own level:
+      ["OK"] or ["EXISTS"]; strictly above it: ["SENT"] always (stored
+      only if that instance was absent); below it, or on a malformed
+      class: ["DENIED"].
+    - [WRITE <file> <data...>] — replace the dominated instance; needs
+      ss and ★ (so: an instance at exactly the session's level): ["OK"],
+      ["DENIED"], ["NOFILE"].
+    - [APPEND <file> <data...>] — ★ only, same resolution: ["OK"],
+      ["DENIED"], ["NOFILE"].
+    - [READ <file>] — ["DATA <file> <data>"] for the most classified
+      dominated instance, ["NOFILE"] otherwise (never reveals higher
+      instances).
+    - [DELETE <file>] — like [WRITE]: ["OK"], ["DENIED"], ["NOFILE"].
+    - [LIST] — ["FILES <names...>"] of names with a dominated instance.
+
+    {b Privileged protocol} (printer and dump/restore sessions only):
+    - [READ-ANY <file>] — ["ADATA <file> <class> <data>"] for the most
+      classified instance overall.
+    - [DELETE-ANY <file> <class>] — delete that exact instance.
+    - [LIST-ANY] — ["AFILES <name>:<class> ..."]: every instance.
+    - [CREATE-ANY <file> <class> <data...>] — create at any
+      classification (["OK"], ["EXISTS"], ["BADREQ"]).
+
+    {b Control protocol} (authentication service's wire):
+    - [SESSION <wire_in> <class>] — set the clearance recorded for the
+      session reading on [wire_in] (no reply). *)
+
+type session = {
+  wire_in : int;
+  wire_out : int;
+  clearance : Sep_lattice.Sclass.t;  (** initial; the control wire may update it *)
+  privileged : bool;
+}
+
+type seed = (string * Sep_lattice.Sclass.t * string) list
+(** Pre-existing instances: (name, classification, contents). *)
+
+val component :
+  name:string -> sessions:session list -> ?control_wire:int -> ?seed:seed -> unit ->
+  Sep_model.Component.t

@@ -1,0 +1,58 @@
+module Component = Sep_model.Component
+
+type wires = {
+  low_in : int;
+  low_out : int;
+  high_in : int;
+  high_out : int;
+  officer_in : int;
+  officer_out : int;
+}
+
+type st = { next_id : int; pending : (int * string) list }
+
+let component ~name ~wires =
+  let step st = function
+    | Component.Recv (w, msg) when w = wires.low_in ->
+      (* LOW to HIGH: without hindrance *)
+      (st, [ Component.Send (wires.high_out, msg) ])
+    | Component.Recv (w, msg) when w = wires.high_in ->
+      let id = st.next_id in
+      ( { next_id = id + 1; pending = st.pending @ [ (id, msg) ] },
+        [ Component.Send (wires.officer_out, Fmt.str "REVIEW %d %s" id msg) ] )
+    | Component.Recv (w, msg) when w = wires.officer_in -> begin
+      match Protocol.words msg with
+      | [ verdict; id_str ] when verdict = "RELEASE" || verdict = "DENY" -> begin
+        match int_of_string_opt id_str with
+        | None -> (st, [])
+        | Some id -> begin
+          match List.assoc_opt id st.pending with
+          | None -> (st, [])
+          | Some queued ->
+            let st = { st with pending = List.remove_assoc id st.pending } in
+            if verdict = "RELEASE" then (st, [ Component.Send (wires.low_out, queued) ])
+            else (st, []) (* denied: LOW learns nothing *)
+        end
+      end
+      | _ -> (st, [])
+    end
+    | Component.Recv _ | Component.External _ -> (st, [])
+  in
+  Component.make ~name ~init:{ next_id = 0; pending = [] } ~step
+
+type stats = { passed_up : int; reviewed : int; released : int; denied : int }
+
+let stats_of_trace wires trace =
+  let tally acc = function
+    | Component.Did (Component.Send (w, _)) when w = wires.high_out ->
+      { acc with passed_up = acc.passed_up + 1 }
+    | Component.Did (Component.Send (w, _)) when w = wires.officer_out ->
+      { acc with reviewed = acc.reviewed + 1 }
+    | Component.Did (Component.Send (w, _)) when w = wires.low_out ->
+      { acc with released = acc.released + 1 }
+    | Component.Saw _ | Component.Did _ -> acc
+  in
+  let acc =
+    List.fold_left tally { passed_up = 0; reviewed = 0; released = 0; denied = 0 } trace
+  in
+  { acc with denied = acc.reviewed - acc.released }

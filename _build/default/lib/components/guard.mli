@@ -1,0 +1,41 @@
+(** The ACCAT Guard: a message exchange between a LOW and a HIGH system.
+
+    "Messages from the LOW system to the HIGH one are allowed through the
+    Guard without hindrance, but messages from HIGH to LOW must be
+    displayed to a human 'Security Watch Officer' who has to decide
+    whether they may be declassified."
+
+    Note the paper's point: the Guard supports flow in {e both} directions
+    with {e different} requirements per direction — which is why building
+    it over a one-directional multilevel kernel (as the real ACCAT Guard
+    was, over KSOS) forced its essential function into trusted processes.
+    Here it is simply a component with four wires and a review queue.
+
+    Wires: [low_in]/[low_out] to the LOW system, [high_in]/[high_out] to
+    the HIGH system, [officer_in]/[officer_out] to the watch officer's
+    console.
+
+    - LOW → HIGH: a message on [low_in] is forwarded on [high_out]
+      immediately.
+    - HIGH → LOW: a message on [high_in] is queued under a fresh id and
+      shown to the officer as ["REVIEW <id> <msg>"] on [officer_out].
+    - Officer verdicts on [officer_in]: ["RELEASE <id>"] forwards the
+      queued message on [low_out]; ["DENY <id>"] discards it silently —
+      the LOW side must learn nothing, not even that a message existed. *)
+
+type wires = {
+  low_in : int;
+  low_out : int;
+  high_in : int;
+  high_out : int;
+  officer_in : int;
+  officer_out : int;
+}
+
+val component : name:string -> wires:wires -> Sep_model.Component.t
+
+type stats = { passed_up : int; reviewed : int; released : int; denied : int }
+(** Obtainable from a trace with {!stats_of_trace}. *)
+
+val stats_of_trace : wires -> Sep_model.Component.obs list -> stats
+(** Reconstruct guard statistics from its observable trace. *)

@@ -1,0 +1,68 @@
+module Component = Sep_model.Component
+
+type user_session = { wire_in : int; wire_out : int }
+
+type job = { file : string; reply_to : int }
+
+type st = {
+  queue : job list;  (* waiting, oldest first *)
+  fetching : job option;  (* job whose READ-ANY is outstanding *)
+  deleting : job option;  (* job whose DELETE-ANY is outstanding *)
+}
+
+let start_fetch st job = ({ st with fetching = Some job }, [ Fmt.str "READ-ANY %s" job.file ])
+
+(* Pull the next queued job if the server is idle. *)
+let advance st =
+  match (st.fetching, st.deleting, st.queue) with
+  | None, None, job :: rest -> start_fetch { st with queue = rest } job
+  | _ -> (st, [])
+
+let component ~name ~users ~fs_out ~fs_in =
+  let init = { queue = []; fetching = None; deleting = None } in
+  let to_fs reqs = List.map (fun r -> Component.Send (fs_out, r)) reqs in
+  let step st = function
+    | Component.Recv (w, msg) when w = fs_in -> begin
+      match (Protocol.verb msg, st.fetching, st.deleting) with
+      | "ADATA", Some job, None -> begin
+        match Protocol.words msg with
+        | _ :: file :: cls :: _ when file = job.file ->
+          let body = Protocol.tail 3 msg in
+          let printed =
+            [
+              Component.Output (Fmt.str "BANNER %s %s" cls file);
+              Component.Output body;
+              Component.Output (Fmt.str "TRAILER %s" file);
+            ]
+          in
+          ( { st with fetching = None; deleting = Some job },
+            printed @ to_fs [ Fmt.str "DELETE-ANY %s %s" job.file cls ] )
+        | _ -> (st, [])
+      end
+      | "NOFILE", Some job, None ->
+        let st = { st with fetching = None } in
+        let st, reqs = advance st in
+        (st, (Component.Send (job.reply_to, Fmt.str "FAILED %s" job.file) :: to_fs reqs))
+      | ("OK" | "NOFILE"), None, Some job ->
+        (* the delete finished (NOFILE: someone beat us to it) *)
+        let st = { st with deleting = None } in
+        let st, reqs = advance st in
+        (st, (Component.Send (job.reply_to, Fmt.str "PRINTED %s" job.file) :: to_fs reqs))
+      | _ -> (st, [])
+    end
+    | Component.Recv (w, msg) -> begin
+      match List.find_opt (fun u -> u.wire_in = w) users with
+      | None -> (st, [])
+      | Some user -> begin
+        match Protocol.words msg with
+        | [ "PRINT"; file ] ->
+          let job = { file; reply_to = user.wire_out } in
+          let st = { st with queue = st.queue @ [ job ] } in
+          let st, reqs = advance st in
+          (st, to_fs reqs)
+        | _ -> (st, [ Component.Send (user.wire_out, "BADREQ") ])
+      end
+    end
+    | Component.External _ -> (st, [])
+  in
+  Component.make ~name ~init ~step

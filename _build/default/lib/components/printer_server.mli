@@ -1,0 +1,28 @@
+(** The printer server (the paper's line-printer spooler, done right).
+
+    In a kernelized system the spooler must become a trusted process to
+    delete printed spool files across levels. Here it is a self-contained
+    component whose special needs are concrete: a privileged session with
+    the file server on which it may [READ-ANY] and [DELETE-ANY]. It needs
+    no exemption from any kernel-enforced property, because no kernel
+    property constrains it — its obligations are its own: print the
+    correct classification on the banner, never interleave jobs, delete
+    the spool file after printing.
+
+    {b User protocol}: [PRINT <file>] on a user session wire; the server
+    fetches the spool file over its file-server session, emits the job on
+    the printer device ([Output]: a banner line ["BANNER <class> <file>"],
+    the contents, and a trailer ["TRAILER <file>"]), deletes exactly the
+    instance it printed (["DELETE-ANY <file> <class>"]) and replies
+    ["PRINTED <file>"] (or ["FAILED <file>"] when the file does not
+    exist).
+
+    Jobs are strictly serialized: requests arriving while a fetch is
+    outstanding wait in a FIFO. *)
+
+type user_session = { wire_in : int; wire_out : int }
+
+val component :
+  name:string -> users:user_session list -> fs_out:int -> fs_in:int -> Sep_model.Component.t
+(** [fs_out]/[fs_in]: the privileged file-server session (requests go out
+    on [fs_out]; [ADATA]/[OK]/[NOFILE] replies arrive on [fs_in]). *)

@@ -1,0 +1,68 @@
+module Sclass = Sep_lattice.Sclass
+
+let words msg = List.filter (fun w -> w <> "") (String.split_on_char ' ' msg)
+
+let verb msg =
+  match words msg with
+  | [] -> ""
+  | w :: _ -> w
+
+let tail n msg =
+  let len = String.length msg in
+  let rec skip i remaining =
+    if remaining = 0 then Some i
+    else begin
+      match String.index_from_opt msg i ' ' with
+      | None -> None
+      | Some j -> skip (j + 1) (remaining - 1)
+    end
+  in
+  match skip 0 n with
+  | Some i when i <= len -> String.sub msg i (len - i)
+  | Some _ | None -> ""
+
+let int_field key msg =
+  let prefix = key ^ "=" in
+  let plen = String.length prefix in
+  let try_word w =
+    if String.length w > plen && String.sub w 0 plen = prefix then
+      int_of_string_opt (String.sub w plen (String.length w - plen))
+    else None
+  in
+  List.find_map try_word (words msg)
+
+let to_hex s =
+  String.concat "" (List.init (String.length s) (fun i -> Fmt.str "%02x" (Char.code s.[i])))
+
+let of_hex s =
+  if String.length s mod 2 <> 0 then None
+  else begin
+    let n = String.length s / 2 in
+    let b = Bytes.create n in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      match int_of_string_opt ("0x" ^ String.sub s (2 * i) 2) with
+      | Some v -> Bytes.set b i (Char.chr v)
+      | None -> ok := false
+    done;
+    if !ok then Some (Bytes.to_string b) else None
+  end
+
+let class_to_wire c =
+  let level = string_of_int (Sclass.level c) in
+  match Sclass.compartments c with
+  | [] -> level
+  | cs -> level ^ ":" ^ String.concat "," cs
+
+let class_of_wire s =
+  let level_str, comps =
+    match String.index_opt s ':' with
+    | None -> (s, [])
+    | Some i ->
+      ( String.sub s 0 i,
+        String.split_on_char ',' (String.sub s (i + 1) (String.length s - i - 1))
+        |> List.filter (fun c -> c <> "") )
+  in
+  match int_of_string_opt level_str with
+  | Some level when level >= 0 -> Some (Sclass.with_compartments (Sclass.make ~level ()) comps)
+  | Some _ | None -> None

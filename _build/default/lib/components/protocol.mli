@@ -1,0 +1,33 @@
+(** Wire message formats shared by the trusted components.
+
+    Messages are single-line, space-separated words; the first word is the
+    verb. Fields that may contain spaces (file data, print bodies) are the
+    final field and run to the end of the line. Keeping the grammar here
+    means every component parses requests the same way — and that the
+    censor's notion of "well-formed" is the same grammar the legitimate
+    components actually speak. *)
+
+val words : string -> string list
+(** Split on single spaces; no empty words. *)
+
+val verb : string -> string
+(** First word, or [""]. *)
+
+val tail : int -> string -> string
+(** [tail n msg] is everything after the [n]-th space-separated word —
+    the rest-of-line field. Empty when absent. *)
+
+val int_field : string -> string -> int option
+(** [int_field key msg] finds a ["key=value"] word and parses the value. *)
+
+val to_hex : string -> string
+(** Lowercase hex encoding, two digits per byte. *)
+
+val of_hex : string -> string option
+(** Inverse of {!to_hex}; [None] on odd length or non-hex digits. *)
+
+val class_to_wire : Sep_lattice.Sclass.t -> string
+(** Encode a security class as one word, e.g. ["2:CRYPTO,NATO"]. *)
+
+val class_of_wire : string -> Sep_lattice.Sclass.t option
+(** Inverse of {!class_to_wire}. *)

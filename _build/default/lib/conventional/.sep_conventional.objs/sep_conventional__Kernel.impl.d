@@ -1,0 +1,1 @@
+lib/conventional/kernel.ml: Array Fmt List Sep_lattice Sep_policy

@@ -1,0 +1,1 @@
+lib/conventional/kernel.mli: Format Sep_lattice

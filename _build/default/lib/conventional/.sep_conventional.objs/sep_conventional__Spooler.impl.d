@@ -1,0 +1,1 @@
+lib/conventional/spooler.ml: Fmt Fun Kernel List Sep_lattice

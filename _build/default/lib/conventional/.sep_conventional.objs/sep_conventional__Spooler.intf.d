@@ -1,0 +1,1 @@
+lib/conventional/spooler.mli: Format Kernel Sep_lattice

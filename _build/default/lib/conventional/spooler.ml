@@ -1,0 +1,81 @@
+module Sclass = Sep_lattice.Sclass
+
+type job = { owner : string; level : Sclass.t; text : string }
+
+type outcome = {
+  trusted_spooler : bool;
+  jobs_submitted : int;
+  jobs_printed : int;
+  spool_files_left : int;
+  deletions_denied : int;
+  trust_exercised : int;
+  kernel_stats : Kernel.stats;
+  printed : string list;
+}
+
+let run ~trusted ~jobs =
+  let k = Kernel.boot () in
+  (* One user process per distinct clearance among the jobs. *)
+  let levels =
+    List.fold_left
+      (fun acc j -> if List.exists (Sclass.equal j.level) acc then acc else j.level :: acc)
+      [] jobs
+    |> List.rev
+  in
+  let users =
+    List.map
+      (fun level ->
+        (level, Kernel.add_process k ~name:("user@" ^ Sclass.to_string level) ~clearance:level ~trusted:false))
+      levels
+  in
+  let spool_high = Sclass.lub_all (List.map (fun j -> j.level) jobs) in
+  let spooler = Kernel.add_process k ~name:"spooler" ~clearance:spool_high ~trusted in
+  (* Users spool their jobs at their own level. *)
+  let spooled =
+    List.mapi
+      (fun i job ->
+        let user = List.assoc job.level users in
+        let name = Fmt.str "spool/%d" i in
+        match Kernel.create_object k user ~name ~classification:job.level with
+        | Ok oid ->
+          (match Kernel.write k user oid job.text with
+          | Ok () -> Some (job, oid)
+          | Error _ -> None)
+        | Error _ -> None)
+      jobs
+    |> List.filter_map Fun.id
+  in
+  (* The spooler prints each job, then attempts cleanup. *)
+  let printed = ref [] in
+  let denied = ref 0 in
+  let printed_count = ref 0 in
+  List.iter
+    (fun (job, oid) ->
+      match Kernel.read k spooler oid with
+      | Error _ -> ()
+      | Ok text ->
+        printed := Fmt.str "BANNER %s %s" (Sclass.to_string job.level) job.owner :: !printed;
+        printed := text :: !printed;
+        incr printed_count;
+        (match Kernel.delete k spooler oid with
+        | Ok () -> ()
+        | Error _ -> incr denied))
+    spooled;
+  let stats = Kernel.stats k in
+  {
+    trusted_spooler = trusted;
+    jobs_submitted = List.length jobs;
+    jobs_printed = !printed_count;
+    spool_files_left = List.length (Kernel.object_names k);
+    deletions_denied = !denied;
+    trust_exercised = stats.Kernel.by_trust;
+    kernel_stats = stats;
+    printed = List.rev !printed;
+  }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "spooler(%s): %d jobs, %d printed, %d spool files left, %d deletions denied, %d trust \
+     exemptions"
+    (if o.trusted_spooler then "trusted" else "untrusted")
+    o.jobs_submitted o.jobs_printed o.spool_files_left o.deletions_denied o.trust_exercised

@@ -1,0 +1,30 @@
+(** The line-printer spooler on the conventional kernel: the paper's §1
+    example of why trusted processes exist.
+
+    Users spool print jobs as files at their own classification (so they
+    can watch their progress). The spooler runs system-high so it can read
+    everyone's spool files — and therefore {e cannot delete them} after
+    printing without violating the kernel-enforced ★-property. Run it
+    untrusted and spool files accumulate; run it trusted and cleanup works
+    but only by exempting the spooler from the very policy the kernel
+    exists to enforce (experiment E9). *)
+
+type job = { owner : string; level : Sep_lattice.Sclass.t; text : string }
+
+type outcome = {
+  trusted_spooler : bool;
+  jobs_submitted : int;
+  jobs_printed : int;  (** banner + body emitted *)
+  spool_files_left : int;  (** cleanup failures accumulated *)
+  deletions_denied : int;
+  trust_exercised : int;  (** ★-exemptions the kernel had to grant *)
+  kernel_stats : Kernel.stats;
+  printed : string list;  (** the simulated printer output, in order *)
+}
+
+val run : trusted:bool -> jobs:job list -> outcome
+(** Build a fresh kernelized system (one user process per distinct level,
+    one spooler at the least upper bound of all job levels), submit every
+    job, let the spooler print and attempt cleanup. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

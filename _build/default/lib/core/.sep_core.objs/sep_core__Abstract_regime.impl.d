@@ -1,0 +1,1 @@
+lib/core/abstract_regime.ml: Array Dump Fmt Hashtbl List Sep_hw

@@ -1,0 +1,1 @@
+lib/core/abstract_regime.mli: Format Sep_hw

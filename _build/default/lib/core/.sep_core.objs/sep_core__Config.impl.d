@@ -1,0 +1,1 @@
+lib/core/config.ml: List Sep_hw Sep_model

@@ -1,0 +1,1 @@
+lib/core/config.mli: Sep_hw Sep_model

@@ -1,0 +1,1 @@
+lib/core/ktrace.ml: Abstract_regime Array Buffer Config Fmt List Sep_hw Sep_model Sue

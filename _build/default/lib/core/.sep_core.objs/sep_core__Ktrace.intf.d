@@ -1,0 +1,1 @@
+lib/core/ktrace.mli: Format Sep_hw Sep_model Sue

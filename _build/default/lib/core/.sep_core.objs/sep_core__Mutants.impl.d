@@ -1,0 +1,1 @@
+lib/core/mutants.ml: List Scenarios Separability Sue

@@ -1,0 +1,1 @@
+lib/core/noninterference.ml: Array Fmt List Sep_model Sep_util Sue

@@ -1,0 +1,1 @@
+lib/core/noninterference.mli: Format Sep_model Sep_util Sue

@@ -1,0 +1,1 @@
+lib/core/randomized.ml: Array Config List Sep_util Separability Sue

@@ -1,0 +1,1 @@
+lib/core/randomized.mli: Config Sep_hw Separability Sue

@@ -1,0 +1,1 @@
+lib/core/regime_kernel.ml: Array Fmt Int List Sep_model Sep_util

@@ -1,0 +1,1 @@
+lib/core/regime_kernel.mli: Format Sep_model

@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Config Fmt List Sep_hw Sep_model Sue

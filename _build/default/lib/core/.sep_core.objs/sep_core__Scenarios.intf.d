@@ -1,0 +1,1 @@
+lib/core/scenarios.mli: Config Sep_hw Sep_model Sue

@@ -1,0 +1,1 @@
+lib/core/separability.ml: Array Fmt Hashtbl Int List Sep_model String

@@ -1,0 +1,1 @@
+lib/core/separability.mli: Format Sep_model

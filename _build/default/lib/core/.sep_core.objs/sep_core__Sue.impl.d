@@ -1,0 +1,1 @@
+lib/core/sue.ml: Abstract_regime Array Config Dump Fmt Fun List Sep_hw Sep_model Sep_util String

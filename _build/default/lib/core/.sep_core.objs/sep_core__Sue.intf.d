@@ -1,0 +1,1 @@
+lib/core/sue.mli: Abstract_regime Config Format Sep_hw Sep_model Sep_util

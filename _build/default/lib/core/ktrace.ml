@@ -1,0 +1,114 @@
+module Colour = Sep_model.Colour
+module Isa = Sep_hw.Isa
+
+type event =
+  | Executed of { colour : Colour.t; pc : int; instr : Isa.t }
+  | Trapped of { colour : Colour.t; number : int }
+  | Switched of { from_ : Colour.t; to_ : Colour.t }
+  | Blocked of Colour.t
+  | Parked of Colour.t
+  | Woken of Colour.t
+  | Arrived of { device : int; word : int }
+  | Emitted of { device : int; word : int }
+  | Stalled
+
+let pp_event ppf = function
+  | Executed e -> Fmt.pf ppf "%a@%04x  %a" Colour.pp e.colour e.pc Isa.pp e.instr
+  | Trapped t -> Fmt.pf ppf "%a trap %d" Colour.pp t.colour t.number
+  | Switched s -> Fmt.pf ppf "switch %a -> %a" Colour.pp s.from_ Colour.pp s.to_
+  | Blocked c -> Fmt.pf ppf "%a waits" Colour.pp c
+  | Parked c -> Fmt.pf ppf "%a PARKED" Colour.pp c
+  | Woken c -> Fmt.pf ppf "%a woken" Colour.pp c
+  | Arrived a -> Fmt.pf ppf "input dev%d <- %04x" a.device a.word
+  | Emitted e -> Fmt.pf ppf "output dev%d -> %04x" e.device e.word
+  | Stalled -> Fmt.string ppf "all regimes waiting"
+
+type entry = { step : int; events : event list }
+
+type snapshot = {
+  sn_current : Colour.t;
+  sn_status : (Colour.t * Abstract_regime.status) list;
+  sn_pc : int;
+  sn_instr : Isa.t option;
+}
+
+let observe t =
+  let colours = Config.colours (Sue.config t) in
+  let current = Sue.current_colour t in
+  let view = Sue.phi t current in
+  let pc = view.Abstract_regime.regs.(Isa.pc_reg) in
+  let instr =
+    if pc < Array.length view.Abstract_regime.mem then Isa.decode view.Abstract_regime.mem.(pc)
+    else None
+  in
+  {
+    sn_current = current;
+    sn_status = List.map (fun c -> (c, Sue.regime_status t c)) colours;
+    sn_pc = pc;
+    sn_instr = instr;
+  }
+
+(* The kernel's step has three phases (observe outputs, consume input,
+   execute); tracing replays them separately so events land in the right
+   phase — in particular an interrupt that wakes a regime and the
+   instruction that regime then executes are both visible. *)
+let step t input =
+  let events = ref [] in
+  let add e = events := e :: !events in
+  let before = observe t in
+  List.iter (fun (device, word) -> add (Emitted { device; word })) (Sue.outputs t);
+  List.iter (fun (device, word) -> add (Arrived { device; word })) input;
+  Sue.deliver_inputs t input;
+  let mid = observe t in
+  List.iter2
+    (fun (c, s0) (_, s1) ->
+      match (s0, s1) with
+      | Abstract_regime.Waiting, Abstract_regime.Running -> add (Woken c)
+      | _ -> ())
+    before.sn_status mid.sn_status;
+  if not (Colour.equal before.sn_current mid.sn_current) then
+    add (Switched { from_ = before.sn_current; to_ = mid.sn_current });
+  Sue.exec_op t;
+  let after = observe t in
+  let ran_status = List.assoc mid.sn_current mid.sn_status in
+  (match (ran_status, mid.sn_instr) with
+  | Abstract_regime.Running, Some instr ->
+    add (Executed { colour = mid.sn_current; pc = mid.sn_pc; instr });
+    (match instr with
+    | Isa.Trap n -> add (Trapped { colour = mid.sn_current; number = n })
+    | _ -> ())
+  | Abstract_regime.Running, None ->
+    (* illegal word or out-of-partition fetch; the park event below tells
+       the rest of the story *)
+    ()
+  | (Abstract_regime.Waiting | Abstract_regime.Parked), _ -> add Stalled);
+  List.iter2
+    (fun (c, s0) (_, s1) ->
+      match (s0, s1) with
+      | Abstract_regime.Running, Abstract_regime.Waiting -> add (Blocked c)
+      | (Abstract_regime.Running | Abstract_regime.Waiting), Abstract_regime.Parked ->
+        add (Parked c)
+      | _ -> ())
+    mid.sn_status after.sn_status;
+  if not (Colour.equal mid.sn_current after.sn_current) then
+    add (Switched { from_ = mid.sn_current; to_ = after.sn_current });
+  List.rev !events
+
+let record t ~steps ~inputs =
+  let out = ref [] in
+  for n = 0 to steps - 1 do
+    match step t (inputs n) with
+    | [] -> ()
+    | events -> out := { step = n; events } :: !out
+  done;
+  List.rev !out
+
+let render entries =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun ev -> Buffer.add_string buf (Fmt.str "%4d  %a\n" e.step pp_event ev))
+        e.events)
+    entries;
+  Buffer.contents buf

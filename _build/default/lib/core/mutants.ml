@@ -1,0 +1,73 @@
+type expectation = {
+  bug : Sue.bug;
+  scenario : Scenarios.instance;
+  primary : int;
+  rationale : string;
+}
+
+let catalogue =
+  [
+    {
+      bug = Sue.Forget_register_save;
+      scenario = Scenarios.pipeline;
+      primary = 1;
+      rationale = "SWAP loses R3, so the resumed regime diverges from its abstract machine";
+    };
+    {
+      bug = Sue.Partition_hole;
+      scenario = Scenarios.pipeline;
+      primary = 2;
+      rationale = "the switch spills the outgoing R0 into the incoming partition: an op on behalf \
+                   of one colour changes another's view";
+    };
+    {
+      bug = Sue.Misroute_interrupt;
+      scenario = Scenarios.interrupt;
+      primary = 4;
+      rationale = "an input carrying no BLACK component wakes BLACK: its view depends on foreign \
+                   input components";
+    };
+    {
+      bug = Sue.Misroute_device_input;
+      scenario = Scenarios.interrupt;
+      primary = 4;
+      rationale = "a word addressed to RED's device is latched into BLACK's: foreign input \
+                   components reach BLACK's view";
+    };
+    {
+      bug = Sue.Output_leak;
+      scenario = Scenarios.pipeline;
+      primary = 5;
+      rationale = "the Tx wire ORs in the next regime's saved R1, so states alike to RED emit \
+                   different RED-outputs depending on BLACK's register contents";
+    };
+    {
+      bug = Sue.Schedule_on_foreign_state;
+      scenario = Scenarios.pipeline;
+      primary = 6;
+      rationale = "operation selection for BLACK consults RED's saved R0: states alike to BLACK \
+                   select different operations";
+    };
+    {
+      bug = Sue.Uncut_channel;
+      scenario = Scenarios.pipeline;
+      primary = 1;
+      rationale = "RECV drains the supposedly-cut channel: the receiver observes words its \
+                   abstract machine cannot produce (and the send end changes under the sender)";
+    };
+    {
+      bug = Sue.Input_crosstalk;
+      scenario = Scenarios.pipeline;
+      primary = 3;
+      rationale = "the Rx latch XORs in the live R0 of whoever is running: the effect of an input \
+                   on a regime depends on state outside its view";
+    };
+  ]
+
+let run ?state_limit e =
+  let sys =
+    Sue.to_system ~bugs:[ e.bug ] ~inputs:e.scenario.Scenarios.alphabet e.scenario.Scenarios.cfg
+  in
+  Separability.check ?state_limit sys
+
+let detected e report = List.mem e.primary (Separability.failing_conditions report)

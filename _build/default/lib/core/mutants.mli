@@ -1,0 +1,24 @@
+(** Seeded-bug kernels and the conditions expected to catch them.
+
+    Each mutant switches on one {!Sue.bug} in a scenario where the broken
+    behaviour is reachable, and predicts which of the six Proof of
+    Separability conditions must flag it. Together the mutants demonstrate
+    that every condition has discriminating power — the paper's implicit
+    claim that the six conditions are "exactly the right conditions"
+    (experiment E4). *)
+
+type expectation = {
+  bug : Sue.bug;
+  scenario : Scenarios.instance;
+  primary : int;  (** the condition (1–6) predicted to fire *)
+  rationale : string;
+}
+
+val catalogue : expectation list
+(** One entry per {!Sue.bug}; primaries cover all six conditions. *)
+
+val run : ?state_limit:int -> expectation -> Separability.report
+(** Exhaustively check the mutant kernel. *)
+
+val detected : expectation -> Separability.report -> bool
+(** The predicted condition is among the failures. *)

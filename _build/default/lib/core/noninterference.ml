@@ -1,0 +1,72 @@
+module Colour = Sep_model.Colour
+module System = Sep_model.System
+module Prng = Sep_util.Prng
+
+type trial_failure = { colour : Colour.t; trial : int; step : int }
+
+type report = {
+  instance : string;
+  trials_per_colour : int;
+  word_length : int;
+  failures : trial_failure list;
+}
+
+let interference_free r = r.failures = []
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>noninterference on %s: %d trials x %d steps per colour: %s@," r.instance
+    r.trials_per_colour r.word_length
+    (if interference_free r then "no divergence observed" else "INTERFERENCE");
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "  %a: trial %d diverges at step %d@," Colour.pp f.colour f.trial f.step)
+    r.failures;
+  Fmt.pf ppf "@]"
+
+(* Run the system over two input words, comparing c's extracted outputs
+   before every step; [Some step] on first divergence. *)
+let diverges sys c s1 s2 word1 word2 =
+  let rec walk step s1 s2 w1 w2 =
+    let o1 = sys.System.extract_output c (sys.System.output s1) in
+    let o2 = sys.System.extract_output c (sys.System.output s2) in
+    if not (sys.System.equal_proj o1 o2) then Some step
+    else begin
+      match (w1, w2) with
+      | [], [] -> None
+      | i1 :: r1, i2 :: r2 -> walk (step + 1) (System.step sys s1 i1) (System.step sys s2 i2) r1 r2
+      | _ -> invalid_arg "Noninterference: word length mismatch"
+    end
+  in
+  walk 0 s1 s2 word1 word2
+
+let check ~prng ~trials ~word_len ~splice sys =
+  let alphabet = Array.of_list sys.System.inputs in
+  assert (Array.length alphabet > 0);
+  let initial =
+    match sys.System.initial with
+    | s :: _ -> s
+    | [] -> invalid_arg "Noninterference.check: no initial state"
+  in
+  let failures = ref [] in
+  let word rng = List.init word_len (fun _ -> Prng.choose rng alphabet) in
+  let per_colour c =
+    for trial = 1 to trials do
+      let w = word prng in
+      let v = word prng in
+      let w' = List.map2 (fun i i' -> splice c i i') w v in
+      match diverges sys c initial initial w w' with
+      | None -> ()
+      | Some step -> failures := { colour = c; trial; step } :: !failures
+    done
+  in
+  List.iter per_colour sys.System.colours;
+  {
+    instance = sys.System.name;
+    trials_per_colour = trials;
+    word_length = word_len;
+    failures = List.rev !failures;
+  }
+
+let sue_splice t c mine others =
+  let owned (d, _) = Colour.equal (Sue.device_owner t d) c in
+  List.filter owned mine @ List.filter (fun p -> not (owned p)) others

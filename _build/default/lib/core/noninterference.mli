@@ -1,0 +1,51 @@
+(** Black-box trace noninterference: the paper's definitional statement,
+    tested at the system's edge.
+
+    "For a shared system to be secure, the input/output behaviour
+    perceived by each user must be completely consistent with that which
+    could be provided by a non-shared system dedicated to his exclusive
+    use." The relational, executable form: two input words that agree on
+    colour [c]'s components must produce output sequences that agree on
+    [c]'s components.
+
+    This is {e weaker} than Proof of Separability in practice: it observes
+    only finite I/O traces, so kernel flaws that have not (yet) reached an
+    output wire are invisible to it, while the six conditions see them in
+    the state. Experiment E11 quantifies exactly that gap over the mutant
+    catalogue — the executable version of the paper's argument that one
+    must verify the kernel's state machine, not test its behaviour. *)
+
+type trial_failure = {
+  colour : Sep_model.Colour.t;
+  trial : int;
+  step : int;  (** first step at which the extracted outputs diverged *)
+}
+
+type report = {
+  instance : string;
+  trials_per_colour : int;
+  word_length : int;
+  failures : trial_failure list;
+}
+
+val interference_free : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+val check :
+  prng:Sep_util.Prng.t -> trials:int -> word_len:int ->
+  splice:(Sep_model.Colour.t -> 'i -> 'i -> 'i) ->
+  ('s, 'i, 'o, 'a, 'p) Sep_model.System.t -> report
+(** For each colour [c] and each trial: draw two independent random input
+    words from the alphabet, [w] and [v]; build
+    [w' = map2 (splice c) w v] — a word with [c]'s components taken from
+    [w] and everything else from [v]; run the system from its initial
+    state over [w] and [w'] and compare [EXTRACT(c, OUTPUT(s))] before
+    every step. [splice c i i'] must keep [c]'s components of [i] and the
+    other colours' components of [i'].
+
+    Deterministic given the generator state. *)
+
+val sue_splice : Sue.t -> Sep_model.Colour.t -> Sue.input -> Sue.input -> Sue.input
+(** The splice for kernel instances: keep the pairs on [c]'s devices from
+    the first input, the pairs on other devices from the second. *)

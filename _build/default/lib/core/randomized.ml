@@ -1,0 +1,40 @@
+module Prng = Sep_util.Prng
+
+type params = {
+  walks : int;
+  walk_len : int;
+  scrambles : int;
+}
+
+let default_params = { walks = 8; walk_len = 64; scrambles = 2 }
+
+let sample_states ?(bugs = []) ?(impl = Sue.Microcode) ~params ~seed ~inputs cfg =
+  let rng = Prng.create seed in
+  let alphabet = Array.of_list inputs in
+  let colours = Config.colours cfg in
+  let out = ref [] in
+  let add s =
+    out := s :: !out;
+    List.iter
+      (fun c ->
+        for _ = 1 to params.scrambles do
+          out := Sue.scramble_others rng s c :: !out
+        done)
+      colours
+  in
+  for _ = 1 to params.walks do
+    let t = Sue.build ~bugs ~impl cfg in
+    add (Sue.copy t);
+    for _ = 1 to params.walk_len do
+      let input = if Array.length alphabet = 0 then [] else Prng.choose rng alphabet in
+      ignore (Sue.step t input);
+      add (Sue.copy t)
+    done
+  done;
+  List.rev !out
+
+let check ?(bugs = []) ?(impl = Sue.Microcode) ?(params = default_params) ?max_failures ~seed
+    ~inputs cfg =
+  let states = sample_states ~bugs ~impl ~params ~seed ~inputs cfg in
+  let sys = Sue.to_system ~bugs ~impl ~inputs cfg in
+  Separability.check_states ?max_failures sys states

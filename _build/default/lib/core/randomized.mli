@@ -1,0 +1,35 @@
+(** Randomized Proof of Separability for instances beyond enumeration.
+
+    Exhaustive checking ({!Separability.check}) is the gold standard but
+    only feasible on micro-instances. For realistic kernels this module
+    samples the state space instead: random walks from the initial state
+    (random input words from the alphabet at every step) collect reachable
+    states, and each sampled state is paired, per colour, with
+    {!Sue.scramble_others} copies that agree with it exactly on that
+    colour's abstraction — populating the state buckets that conditions
+    3, 5 and 6 quantify over. All six conditions are then examined with
+    {!Separability.check_states}.
+
+    A clean report is evidence, not proof; a failure is a genuine
+    counterexample. The same mutants caught exhaustively are caught this
+    way on instances orders of magnitude larger (experiment E10). *)
+
+type params = {
+  walks : int;  (** independent random walks *)
+  walk_len : int;  (** steps per walk *)
+  scrambles : int;  (** Phi-preserving partners added per state per colour *)
+}
+
+val default_params : params
+
+val check :
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?params:params -> ?max_failures:int -> seed:int ->
+  inputs:Sue.input list -> Sep_hw.Isa.stmt list Config.t -> Separability.report
+(** Sample and check one Sue configuration (under either kernel
+    implementation; [Microcode] by default). *)
+
+val sample_states :
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> params:params -> seed:int -> inputs:Sue.input list ->
+  Sep_hw.Isa.stmt list Config.t -> Sue.t list
+(** Just the sampled state set (walk states plus scrambled partners), for
+    callers that want to time or inspect the sampling separately. *)

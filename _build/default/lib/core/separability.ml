@@ -1,0 +1,237 @@
+module Colour = Sep_model.Colour
+module System = Sep_model.System
+
+type failure = { condition : int; colour : Colour.t; detail : string }
+
+type report = { instance : string; states : int; checks : int; failures : failure list }
+
+let verified r = r.failures = []
+
+let failing_conditions r =
+  List.sort_uniq Int.compare (List.map (fun f -> f.condition) r.failures)
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>instance %s: %d states, %d checks: %s@," r.instance r.states r.checks
+    (if verified r then "VERIFIED (all six conditions hold)" else "FAILED");
+  List.iter
+    (fun f -> Fmt.pf ppf "  condition %d violated for %a: %s@," f.condition Colour.pp f.colour f.detail)
+    r.failures;
+  Fmt.pf ppf "@]"
+
+exception Enough
+
+(* Mutable accumulation shared by one checking run. *)
+type acc = {
+  mutable checks : int;
+  mutable failures : failure list;
+  mutable nfail : int;
+  max_failures : int;
+}
+
+let fresh max_failures = { checks = 0; failures = []; nfail = 0; max_failures }
+
+let record acc condition colour detail =
+  acc.failures <- { condition; colour; detail } :: acc.failures;
+  acc.nfail <- acc.nfail + 1;
+  if acc.nfail >= acc.max_failures then raise Enough
+
+let tick acc = acc.checks <- acc.checks + 1
+
+(* Conditions 1 and 2 examine each state's actually-selected operation. *)
+let check_ops sys acc states =
+  let examine s =
+    let op = sys.System.nextop s in
+    let c = sys.System.colour_of s in
+    let s' = op.System.op_apply s in
+    tick acc;
+    let concrete = sys.System.abstract c s' in
+    let abstract_op = sys.System.abop c op in
+    let spec = abstract_op.System.abop_apply (sys.System.abstract c s) in
+    if not (sys.System.equal_abstate concrete spec) then
+      record acc 1 c
+        (Fmt.str "op %s from state@ %a@ yields@ %a@ but the abstract machine specifies@ %a"
+           op.System.op_name sys.System.pp_state s sys.System.pp_abstate concrete
+           sys.System.pp_abstate spec);
+    let inactive c' =
+      if not (Colour.equal c' c) then begin
+        tick acc;
+        let before = sys.System.abstract c' s and after = sys.System.abstract c' s' in
+        if not (sys.System.equal_abstate before after) then
+          record acc 2 c'
+            (Fmt.str "op %s (on behalf of %a) changes %a's view from@ %a@ to@ %a"
+               op.System.op_name Colour.pp c Colour.pp c' sys.System.pp_abstate before
+               sys.System.pp_abstate after)
+      end
+    in
+    List.iter inactive sys.System.colours
+  in
+  List.iter examine states
+
+(* Group the given inputs by their c-projection; within a group the
+   post-INPUT abstractions must agree (condition 4). *)
+let check_cond4 sys acc c s images =
+  let groups = ref [] in
+  let place (i, img) =
+    let proj = sys.System.extract_input c i in
+    match List.find_opt (fun (p, _, _) -> sys.System.equal_proj p proj) !groups with
+    | None -> groups := (proj, img, i) :: !groups
+    | Some (_, rep_img, rep_i) ->
+      tick acc;
+      if not (sys.System.equal_abstate img rep_img) then
+        record acc 4 c
+          (Fmt.str "inputs %a and %a have equal %a-components but give %a different views in state@ %a"
+             sys.System.pp_input i sys.System.pp_input rep_i Colour.pp c Colour.pp c
+             sys.System.pp_state s)
+  in
+  List.iter place images
+
+(* Conditions 3, 5, 6 compare states with equal Phi^c; we bucket by the
+   abstraction and compare against a per-bucket representative. *)
+let check_views sys acc states =
+  let per_colour c =
+    (* bucket table keyed by abstraction hash *)
+    let tbl = Hashtbl.create 64 in
+    let images s = List.map (fun i -> (i, sys.System.abstract c (sys.System.input s i))) sys.System.inputs in
+    let examine s =
+      let a = sys.System.abstract c s in
+      let imgs = images s in
+      check_cond4 sys acc c s imgs;
+      let out = sys.System.extract_output c (sys.System.output s) in
+      let mine = Colour.equal (sys.System.colour_of s) c in
+      let h = sys.System.hash_abstate a in
+      let bucket_list = match Hashtbl.find_opt tbl h with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add tbl h l;
+          l
+      in
+      match List.find_opt (fun (a', _, _, _, _) -> sys.System.equal_abstate a a') !bucket_list with
+      | None ->
+        let op6 = ref (if mine then Some (sys.System.nextop s).System.op_name else None) in
+        bucket_list := (a, s, imgs, out, op6) :: !bucket_list
+      | Some (_, rep, rep_imgs, rep_out, rep_op) ->
+        (* condition 3: same input, same effect on c's view *)
+        List.iter2
+          (fun (i, img) (_, rep_img) ->
+            tick acc;
+            if not (sys.System.equal_abstate img rep_img) then
+              record acc 3 c
+                (Fmt.str
+                   "states@ %a@ and@ %a@ look alike to %a but input %a changes %a's view differently"
+                   sys.System.pp_state s sys.System.pp_state rep Colour.pp c sys.System.pp_input i
+                   Colour.pp c))
+          imgs rep_imgs;
+        (* condition 5: same output components for c *)
+        tick acc;
+        if not (sys.System.equal_proj out rep_out) then
+          record acc 5 c
+            (Fmt.str "states@ %a@ and@ %a@ look alike to %a but emit different %a-outputs"
+               sys.System.pp_state s sys.System.pp_state rep Colour.pp c Colour.pp c);
+        (* condition 6: same next operation when both are c-active *)
+        if mine then begin
+          let name = (sys.System.nextop s).System.op_name in
+          match !rep_op with
+          | None -> rep_op := Some name
+          | Some rep_name ->
+            tick acc;
+            if not (String.equal name rep_name) then
+              record acc 6 c
+                (Fmt.str
+                   "states@ %a@ and@ %a@ look alike to the active regime %a but select %s vs %s"
+                   sys.System.pp_state s sys.System.pp_state rep Colour.pp c name rep_name)
+        end
+    in
+    List.iter examine states
+  in
+  List.iter per_colour sys.System.colours
+
+(* The naive quantification: every pair of states, compared directly.
+   Post-INPUT images are precomputed per state so the quadratic part is
+   pure comparison. *)
+let check_views_pairwise sys acc states =
+  let arr = Array.of_list states in
+  let per_colour c =
+    let info =
+      Array.map
+        (fun s ->
+          let a = sys.System.abstract c s in
+          let imgs =
+            List.map (fun i -> sys.System.abstract c (sys.System.input s i)) sys.System.inputs
+          in
+          let out = sys.System.extract_output c (sys.System.output s) in
+          let mine = Colour.equal (sys.System.colour_of s) c in
+          let opname = if mine then Some (sys.System.nextop s).System.op_name else None in
+          (a, imgs, out, opname))
+        arr
+    in
+    Array.iteri
+      (fun x s ->
+        check_cond4 sys acc c s
+          (List.map2 (fun i img -> (i, img)) sys.System.inputs
+             (let _, imgs, _, _ = info.(x) in
+              imgs));
+        for y = x + 1 to Array.length arr - 1 do
+          let a1, imgs1, out1, op1 = info.(x) in
+          let a2, imgs2, out2, op2 = info.(y) in
+          if sys.System.equal_abstate a1 a2 then begin
+            List.iteri
+              (fun k img1 ->
+                tick acc;
+                if not (sys.System.equal_abstate img1 (List.nth imgs2 k)) then
+                  record acc 3 c
+                    (Fmt.str "states@ %a@ and@ %a@ look alike to %a but an input affects them \
+                              differently"
+                       sys.System.pp_state s sys.System.pp_state arr.(y) Colour.pp c))
+              imgs1;
+            tick acc;
+            if not (sys.System.equal_proj out1 out2) then
+              record acc 5 c
+                (Fmt.str "states@ %a@ and@ %a@ look alike to %a but emit different outputs"
+                   sys.System.pp_state s sys.System.pp_state arr.(y) Colour.pp c);
+            match (op1, op2) with
+            | Some n1, Some n2 ->
+              tick acc;
+              if not (String.equal n1 n2) then
+                record acc 6 c
+                  (Fmt.str "states@ %a@ and@ %a@ look alike to the active regime %a but select \
+                            %s vs %s"
+                     sys.System.pp_state s sys.System.pp_state arr.(y) Colour.pp c n1 n2)
+            | _ -> ()
+          end
+        done)
+      arr
+  in
+  List.iter per_colour sys.System.colours
+
+let check_states_pairwise ?(max_failures = 20) sys states =
+  let acc = fresh max_failures in
+  (try
+     check_ops sys acc states;
+     check_views_pairwise sys acc states
+   with Enough -> ());
+  {
+    instance = sys.System.name ^ " (pairwise)";
+    states = List.length states;
+    checks = acc.checks;
+    failures = List.rev acc.failures;
+  }
+
+let run_checks sys states max_failures =
+  let acc = fresh max_failures in
+  (try
+     check_ops sys acc states;
+     check_views sys acc states
+   with Enough -> ());
+  {
+    instance = sys.System.name;
+    states = List.length states;
+    checks = acc.checks;
+    failures = List.rev acc.failures;
+  }
+
+let check ?state_limit ?(max_failures = 20) sys =
+  let states = System.reachable ?limit:state_limit sys in
+  run_checks sys states max_failures
+
+let check_states ?(max_failures = 20) sys states = run_checks sys states max_failures

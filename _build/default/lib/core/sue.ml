@@ -1,0 +1,956 @@
+module Colour = Sep_model.Colour
+module System = Sep_model.System
+module Machine = Sep_hw.Machine
+module Isa = Sep_hw.Isa
+module Word = Sep_hw.Word
+
+type bug =
+  | Forget_register_save
+  | Partition_hole
+  | Misroute_interrupt
+  | Misroute_device_input
+  | Output_leak
+  | Schedule_on_foreign_state
+  | Uncut_channel
+  | Input_crosstalk
+
+let pp_bug ppf b =
+  Fmt.string ppf
+    (match b with
+    | Forget_register_save -> "forget-register-save"
+    | Partition_hole -> "partition-hole"
+    | Misroute_interrupt -> "misroute-interrupt"
+    | Misroute_device_input -> "misroute-device-input"
+    | Output_leak -> "output-leak"
+    | Schedule_on_foreign_state -> "schedule-on-foreign-state"
+    | Uncut_channel -> "uncut-channel"
+    | Input_crosstalk -> "input-crosstalk")
+
+let all_bugs =
+  [
+    Forget_register_save;
+    Partition_hole;
+    Misroute_interrupt;
+    Misroute_device_input;
+    Output_leak;
+    Schedule_on_foreign_state;
+    Uncut_channel;
+    Input_crosstalk;
+  ]
+
+type impl =
+  | Microcode
+  | Assembly
+
+let pp_impl ppf = function
+  | Microcode -> Fmt.string ppf "microcode"
+  | Assembly -> Fmt.string ppf "assembly"
+
+(* Kernel data layout, in words of kernel memory:
+     0                 index of the current regime
+     1                 quantum countdown (preemptive configurations only)
+     2 + 12r ..        regime r's record: R0..R7, flags, status, 2 spare
+     after regimes     channel records: two ring-buffer areas per channel
+                       (sender end then receiver end), each laid out as
+                       head, count, data[capacity].
+   Assembly configurations append, after the channel records:
+     RDT               regime descriptor table, 8 words per regime:
+                       part_base, part_size, slot count, 4 slot ids, spare
+     KCODE             the kernel's machine code (entry vector first). *)
+
+let regime_record = 12
+let off_flags = 8
+let off_status = 9
+
+let status_runnable = 0
+let status_waiting = 1
+let status_parked = 2
+
+type chan_info = {
+  ci_id : int;
+  ci_sender : int;
+  ci_receiver : int;
+  ci_capacity : int;
+  ci_cut : bool;
+  ci_area_a : int;  (* the end SEND fills *)
+  ci_area_b : int;  (* the end RECV drains when the channel is cut *)
+}
+
+type layout = {
+  nregs : int;
+  colours : Colour.t array;
+  part_base : int array;
+  part_size : int array;
+  save_base : int array;
+  chans : chan_info array;
+  kernel_size : int;
+  dev_owner : int array;
+  dev_slots : int array array;
+  dev_kinds : Machine.device_kind array;
+}
+
+type t = {
+  layout : layout;
+  cfg : Isa.stmt list Config.t;
+  bug_list : bug list;
+  m : Machine.t;
+  impl : impl;
+  rdt_base : int;  (* 0 for Microcode *)
+  code_base : int;
+  code_len : int;
+}
+
+type input = (int * int) list
+type output = (int * int) list
+
+let has_bug t b = List.mem b t.bug_list
+
+(* -- Layout and construction --------------------------------------------- *)
+
+let compute_layout ?(extra = 0) (cfg : Isa.stmt list Config.t) =
+  let regimes = Array.of_list cfg.Config.regimes in
+  let nregs = Array.length regimes in
+  let colours = Array.map (fun r -> r.Config.colour) regimes in
+  let save_base = Array.init nregs (fun r -> 2 + (regime_record * r)) in
+  let chan_base = 2 + (regime_record * nregs) in
+  let pos = ref chan_base in
+  let index_of c =
+    let rec find i = if Colour.equal colours.(i) c then i else find (i + 1) in
+    find 0
+  in
+  let chan ch =
+    let area = ch.Config.capacity + 2 in
+    let a = !pos in
+    pos := !pos + (2 * area);
+    {
+      ci_id = ch.Config.chan_id;
+      ci_sender = index_of ch.Config.sender;
+      ci_receiver = index_of ch.Config.receiver;
+      ci_capacity = ch.Config.capacity;
+      ci_cut = ch.Config.cut;
+      ci_area_a = a;
+      ci_area_b = a + area;
+    }
+  in
+  let chans = Array.of_list (List.map chan cfg.Config.channels) in
+  let kernel_size = !pos + extra in
+  let part_size = Array.map (fun r -> r.Config.part_size) regimes in
+  let part_base = Array.make nregs 0 in
+  let mem = ref kernel_size in
+  Array.iteri
+    (fun r size ->
+      part_base.(r) <- !mem;
+      mem := !mem + size)
+    part_size;
+  let dev_kinds =
+    Array.of_list (List.concat_map (fun r -> r.Config.devices) (Array.to_list regimes))
+  in
+  let dev_owner = Array.make (Array.length dev_kinds) 0 in
+  let dev_slots = Array.make nregs [||] in
+  let next_dev = ref 0 in
+  Array.iteri
+    (fun r regime ->
+      let slots = List.map (fun _ -> let d = !next_dev in incr next_dev; d) regime.Config.devices in
+      List.iter (fun d -> dev_owner.(d) <- r) slots;
+      dev_slots.(r) <- Array.of_list slots)
+    regimes;
+  ( { nregs; colours; part_base; part_size; save_base; chans; kernel_size; dev_owner; dev_slots; dev_kinds },
+    !mem )
+
+let read_kw t a = Machine.read_phys t.m a
+let write_kw t a w = Machine.write_phys t.m a w
+
+let current_index t = read_kw t 0
+let set_current_index t r = write_kw t 0 r
+
+let quantum_addr = 1
+
+let get_status t r = read_kw t (t.layout.save_base.(r) + off_status)
+let set_status t r v = write_kw t (t.layout.save_base.(r) + off_status) v
+
+
+(* -- The kernel as machine code ------------------------------------------- *)
+
+(* Generated, configuration-specialised kernel assembly (as the real SUE
+   was built for its deployment). Register conventions inside the kernel:
+   r6 = trap frame base (0x7f00), r5 = index of the regime that trapped,
+   r3 = its save-area base, r0-r2, r4 = scratch. Arguments and results of
+   kernel services live in the interrupted regime's SAVE AREA (the exit
+   path reloads the frame from there before Rti). *)
+let generate_kernel ~bugs ~nregs ~rdt ~chan_descs =
+  let i x = Isa.Instr x in
+  (* dst := 12 * idx + 2, clobbering r0 *)
+  let save_base_of ~dst ~idx =
+    [
+      i (Isa.Mov (dst, idx));
+      i (Isa.Shl (dst, 3));
+      i (Isa.Mov (0, idx));
+      i (Isa.Shl (0, 2));
+      i (Isa.Add (dst, 0));
+      i (Isa.Loadi (0, 2));
+      i (Isa.Add (dst, 0));
+    ]
+  in
+  (* copy registers + flags between the frame (r6) and a save area *)
+  let save_frame_to ~base =
+    List.concat_map
+      (fun k ->
+        if k = 3 && List.mem Forget_register_save bugs then []
+        else [ i (Isa.Load (0, 6, k)); i (Isa.Store (0, base, k)) ])
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    @ [ i (Isa.Load (0, 6, 8)); i (Isa.Store (0, base, 8)) ]
+  in
+  let load_frame_from ~base =
+    List.concat_map
+      (fun k -> [ i (Isa.Load (0, base, k)); i (Isa.Store (0, 6, k)) ])
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let case value label = [ i (Isa.Loadi (1, value)); i (Isa.Cmp (0, 1)); Isa.Branch_eq label ] in
+  let entry =
+    [ Isa.Label "entry"; i (Isa.Loadi (6, 0x7f)); i (Isa.Shl (6, 8)) ]
+    @ [ i (Isa.Loadi (4, 0)); i (Isa.Load (5, 4, 0)) ]
+    @ save_base_of ~dst:3 ~idx:5
+    @ save_frame_to ~base:3
+    @ [ i (Isa.Load (0, 6, 9)) ]
+    @ case Machine.cause_swap "resched"
+    @ case Machine.cause_send "send"
+    @ case Machine.cause_recv "recv"
+    @ case Machine.cause_wait "wait"
+    @ case Machine.cause_resched "resched"
+    (* bad trap or fault: park the regime *)
+    @ [ i (Isa.Loadi (0, status_parked)); i (Isa.Store (0, 3, off_status)); Isa.Branch "resched" ]
+    @ [
+        Isa.Label "wait";
+        i (Isa.Loadi (0, status_waiting));
+        i (Isa.Store (0, 3, off_status));
+        Isa.Branch "resched";
+      ]
+  in
+  let resched =
+    [ Isa.Label "resched"; i (Isa.Loadi (2, nregs)); i (Isa.Mov (1, 5)); Isa.Label "scan" ]
+    (* candidate := (candidate + 1) mod nregs *)
+    @ [
+        i (Isa.Loadi (0, 1));
+        i (Isa.Add (1, 0));
+        i (Isa.Loadi (0, nregs));
+        i (Isa.Cmp (1, 0));
+        Isa.Branch_ne "nowrap";
+        i (Isa.Loadi (1, 0));
+        Isa.Label "nowrap";
+      ]
+    @ save_base_of ~dst:3 ~idx:1
+    @ [ i (Isa.Load (0, 3, off_status)); i (Isa.Loadi (4, 0)); i (Isa.Cmp (0, 4)); Isa.Branch_eq "found" ]
+    @ [
+        i (Isa.Loadi (0, 1));
+        i (Isa.Sub (2, 0));
+        i (Isa.Loadi (0, 0));
+        i (Isa.Cmp (2, 0));
+        Isa.Branch_ne "scan";
+      ]
+    (* nobody is runnable: stall in kernel mode; the interrupt path
+       resumes us here and we rescan *)
+    @ [ i Isa.Halt; Isa.Branch "resched" ]
+  in
+  let found =
+    [ Isa.Label "found"; i (Isa.Loadi (4, 0)); i (Isa.Store (1, 4, 0)) ]
+    @ [ i (Isa.Loadi (2, rdt)); i (Isa.Mov (0, 1)); i (Isa.Shl (0, 3)); i (Isa.Add (2, 0)) ]
+    @ (if List.mem Partition_hole bugs then
+         (* spill the outgoing regime's R0 into the incoming partition *)
+         [ i (Isa.Load (3, 2, 0)); i (Isa.Load (0, 6, 0)); i (Isa.Store (0, 3, 0)) ]
+       else [])
+    @ [ i (Isa.Loadi (3, 0x7f)); i (Isa.Shl (3, 8)); i (Isa.Loadi (0, 0x10)); i (Isa.Add (3, 0)) ]
+    @ List.concat_map
+        (fun (rdt_off, mmu_off) ->
+          [ i (Isa.Load (0, 2, rdt_off)); i (Isa.Store (0, 3, mmu_off)) ])
+        [ (0, 0); (1, 1); (3, 3); (4, 4); (5, 5); (6, 6); (2, 2) (* slot count last *) ]
+    @ save_base_of ~dst:4 ~idx:1
+    @ load_frame_from ~base:4
+    @ [ i Isa.Rti ]
+  in
+  let restore =
+    [ Isa.Label "restore" ] @ save_base_of ~dst:4 ~idx:5 @ load_frame_from ~base:4 @ [ i Isa.Rti ]
+  in
+  let dispatch_chan prefix =
+    [ Isa.Label prefix; i (Isa.Load (0, 3, 0)) ]
+    @ List.concat
+        (List.mapi
+           (fun k _ -> [ i (Isa.Loadi (1, k)); i (Isa.Cmp (0, 1)); Isa.Branch_eq (Fmt.str "%s%d" prefix k) ])
+           chan_descs)
+    @ [ Isa.Branch "chanbad" ]
+  in
+  let send_handler k (sender, _receiver, send_area, _recv_area) =
+    [
+      Isa.Label (Fmt.str "send%d" k);
+      i (Isa.Loadi (1, sender));
+      i (Isa.Cmp (5, 1));
+      Isa.Branch_ne "chanbad";
+      i (Isa.Loadi (4, send_area));
+      i (Isa.Load (1, 4, 1));
+      i (Isa.Loadi (0, 1));
+      i (Isa.Cmp (1, 0));
+      Isa.Branch_eq "chanzero";  (* full: capacity is 1 *)
+      i (Isa.Load (0, 3, 1));  (* payload: saved R1 *)
+      i (Isa.Store (0, 4, 2));
+      i (Isa.Loadi (0, 1));
+      i (Isa.Store (0, 4, 1));
+      i (Isa.Store (0, 3, 2));  (* result: saved R2 := 1 *)
+      Isa.Branch "restore";
+    ]
+  in
+  let recv_handler k (_sender, receiver, _send_area, recv_area) =
+    [
+      Isa.Label (Fmt.str "recv%d" k);
+      i (Isa.Loadi (1, receiver));
+      i (Isa.Cmp (5, 1));
+      Isa.Branch_ne "chanbad";
+      i (Isa.Loadi (4, recv_area));
+      i (Isa.Load (1, 4, 1));
+      i (Isa.Loadi (0, 0));
+      i (Isa.Cmp (1, 0));
+      Isa.Branch_eq "chanzero";  (* empty *)
+      i (Isa.Load (0, 4, 2));
+      i (Isa.Store (0, 3, 1));  (* datum into saved R1 *)
+      i (Isa.Loadi (0, 0));
+      i (Isa.Store (0, 4, 1));
+      i (Isa.Loadi (0, 1));
+      i (Isa.Store (0, 3, 2));
+      Isa.Branch "restore";
+    ]
+  in
+  let tails =
+    [
+      Isa.Label "chanzero";
+      i (Isa.Loadi (0, 0));
+      i (Isa.Store (0, 3, 2));
+      Isa.Branch "restore";
+      Isa.Label "chanbad";
+      i (Isa.Loadi (0, 2));
+      i (Isa.Store (0, 3, 2));
+      Isa.Branch "restore";
+    ]
+  in
+  (* Section order keeps every branch within the ISA's +-128 range:
+     handlers branch forward to the shared tails and "restore". *)
+  entry @ resched @ found
+  @ dispatch_chan "send" @ dispatch_chan "recv"
+  @ List.concat (List.mapi send_handler chan_descs)
+  @ List.concat (List.mapi recv_handler chan_descs)
+  @ tails @ restore
+
+let rdt_stride = 8
+
+let validate_assembly cfg ~rdt ~nregs =
+  let fail msg = invalid_arg ("Sue.build (assembly): " ^ msg) in
+  if cfg.Config.quantum <> None then fail "preemption quantum not supported";
+  if nregs > 4 then fail "at most 4 regimes";
+  if List.length cfg.Config.channels > 4 then fail "at most 4 channels";
+  List.iter
+    (fun ch -> if ch.Config.capacity <> 1 then fail "channel capacities must be 1")
+    cfg.Config.channels;
+  List.iter
+    (fun r -> if List.length r.Config.devices > 4 then fail "at most 4 devices per regime")
+    cfg.Config.regimes;
+  if rdt + (rdt_stride * nregs) > 250 then fail "kernel data must stay below address 250"
+
+let build ?(bugs = []) ?(impl = Microcode) cfg =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Sue.build: " ^ msg));
+  let nregs = List.length cfg.Config.regimes in
+  (* The assembly kernel is generated before the final layout: its data
+     addresses (channel areas, RDT) depend only on the configuration. *)
+  let kcode, rdt =
+    match impl with
+    | Microcode -> ([||], 0)
+    | Assembly ->
+      let chan_base = 2 + (regime_record * nregs) in
+      let pos = ref chan_base in
+      let colour_index c =
+        let rec find i rs =
+          match rs with
+          | [] -> raise Not_found
+          | r :: rest -> if Colour.equal r.Config.colour c then i else find (i + 1) rest
+        in
+        find 0 cfg.Config.regimes
+      in
+      let chan_descs =
+        List.map
+          (fun ch ->
+            let area = ch.Config.capacity + 2 in
+            let a = !pos in
+            pos := !pos + (2 * area);
+            let recv_area =
+              if ch.Config.cut && not (List.mem Uncut_channel bugs) then a + area else a
+            in
+            (colour_index ch.Config.sender, colour_index ch.Config.receiver, a, recv_area))
+          cfg.Config.channels
+      in
+      let rdt = !pos in
+      validate_assembly cfg ~rdt ~nregs;
+      (Isa.assemble (generate_kernel ~bugs ~nregs ~rdt ~chan_descs), rdt)
+  in
+  let extra = if impl = Assembly then (rdt_stride * nregs) + Array.length kcode else 0 in
+  let layout, mem_words = compute_layout ~extra cfg in
+  if mem_words > Machine.device_space then invalid_arg "Sue.build: memory exceeds address space";
+  let m = Machine.create ~mem_words ~devices:(Array.to_list layout.dev_kinds) in
+  let code_base = rdt + (rdt_stride * nregs) in
+  let t =
+    {
+      layout;
+      cfg;
+      bug_list = bugs;
+      m;
+      impl;
+      rdt_base = rdt;
+      code_base;
+      code_len = Array.length kcode;
+    }
+  in
+  (* Load each regime's program at the bottom of its partition. *)
+  List.iteri
+    (fun r regime ->
+      let code = Isa.assemble regime.Config.program in
+      if Array.length code > layout.part_size.(r) then
+        invalid_arg
+          (Fmt.str "Sue.build: program of %a overflows its partition" Colour.pp regime.Config.colour);
+      Array.iteri (fun i w -> Machine.write_phys m (layout.part_base.(r) + i) w) code)
+    cfg.Config.regimes;
+  (* Assembly: install the regime descriptor table and the kernel code. *)
+  if impl = Assembly then begin
+    for r = 0 to nregs - 1 do
+      let e = rdt + (rdt_stride * r) in
+      Machine.write_phys m (e + 0) layout.part_base.(r);
+      Machine.write_phys m (e + 1) layout.part_size.(r);
+      Machine.write_phys m (e + 2) (Array.length layout.dev_slots.(r));
+      Array.iteri (fun k d -> Machine.write_phys m (e + 3 + k) d) layout.dev_slots.(r)
+    done;
+    Array.iteri (fun i w -> Machine.write_phys m (code_base + i) w) kcode
+  end;
+  (* Regime 0 runs first. *)
+  set_current_index t 0;
+  (match cfg.Config.quantum with
+  | Some q -> write_kw t quantum_addr q
+  | None -> ());
+  Machine.set_mmu m ~base:layout.part_base.(0) ~limit:layout.part_size.(0)
+    ~dev_slots:layout.dev_slots.(0);
+  t
+
+let kernel_code_words t = t.code_len
+
+let config t = t.cfg
+let machine t = t.m
+let bugs t = t.bug_list
+let kernel_words t = t.layout.kernel_size
+
+let current_colour t = t.layout.colours.(current_index t)
+
+let status_of_code s =
+  if s = status_waiting then Abstract_regime.Waiting
+  else if s = status_parked then Abstract_regime.Parked
+  else Abstract_regime.Running
+
+let regime_status t c =
+  let r = Config.regime_index t.cfg c in
+  status_of_code (get_status t r)
+
+let device_owner t d = t.layout.colours.(t.layout.dev_owner.(d))
+
+let device_slot t d =
+  let owner = t.layout.dev_owner.(d) in
+  let slots = t.layout.dev_slots.(owner) in
+  let rec find i = if slots.(i) = d then i else find (i + 1) in
+  (t.layout.colours.(owner), find 0)
+
+(* -- Context switching ---------------------------------------------------- *)
+
+let flags_word (z, n) = (if z then 1 else 0) lor (if n then 2 else 0)
+let flags_of_word w = (w land 1 <> 0, w land 2 <> 0)
+
+let save_context t r =
+  let base = t.layout.save_base.(r) in
+  for i = 0 to Isa.num_regs - 1 do
+    if not (i = 3 && has_bug t Forget_register_save) then
+      write_kw t (base + i) (Machine.get_reg t.m i)
+  done;
+  write_kw t (base + off_flags) (flags_word (Machine.get_flags t.m))
+
+let load_context t r =
+  let base = t.layout.save_base.(r) in
+  for i = 0 to Isa.num_regs - 1 do
+    Machine.set_reg t.m i (read_kw t (base + i))
+  done;
+  Machine.set_flags t.m (flags_of_word (read_kw t (base + off_flags)));
+  Machine.set_mmu t.m ~base:t.layout.part_base.(r) ~limit:t.layout.part_size.(r)
+    ~dev_slots:t.layout.dev_slots.(r)
+
+let switch_to t r =
+  let cur = current_index t in
+  if r <> cur then begin
+    save_context t cur;
+    if has_bug t Partition_hole then
+      Machine.write_phys t.m t.layout.part_base.(r) (Machine.get_reg t.m 0);
+    set_current_index t r;
+    load_context t r;
+    match t.cfg.Config.quantum with
+    | Some q -> write_kw t quantum_addr q
+    | None -> ()
+  end
+
+let next_runnable t from =
+  let n = t.layout.nregs in
+  let rec scan k =
+    if k > n then None
+    else begin
+      let r = (from + k) mod n in
+      if get_status t r = status_runnable then Some r else scan (k + 1)
+    end
+  in
+  scan 1
+
+let swap_away t =
+  let cur = current_index t in
+  match next_runnable t cur with
+  | Some r when r <> cur -> switch_to t r
+  | Some _ | None -> ()
+
+(* -- Channels ------------------------------------------------------------- *)
+
+let find_chan t id =
+  if id >= 0 && id < Array.length t.layout.chans then Some t.layout.chans.(id) else None
+
+let ring_push t area cap w =
+  let head = read_kw t area and count = read_kw t (area + 1) in
+  if count >= cap then false
+  else begin
+    write_kw t (area + 2 + ((head + count) mod cap)) w;
+    write_kw t (area + 1) (count + 1);
+    true
+  end
+
+let ring_pop t area cap =
+  let head = read_kw t area and count = read_kw t (area + 1) in
+  if count = 0 then None
+  else begin
+    let w = read_kw t (area + 2 + head) in
+    write_kw t area ((head + 1) mod cap);
+    write_kw t (area + 1) (count - 1);
+    Some w
+  end
+
+let ring_contents t area cap =
+  let head = read_kw t area and count = read_kw t (area + 1) in
+  List.init count (fun i -> read_kw t (area + 2 + ((head + i) mod cap)))
+
+let recv_area t ci = if ci.ci_cut && not (has_bug t Uncut_channel) then ci.ci_area_b else ci.ci_area_a
+
+(* The receive end induced by the intended design (bugs do not change the
+   specification): the second buffer when the channel is cut. *)
+let intended_recv_area ci = if ci.ci_cut then ci.ci_area_b else ci.ci_area_a
+
+let do_send t cur =
+  let set_result v = Machine.set_reg t.m 2 v in
+  match find_chan t (Machine.get_reg t.m 0) with
+  | Some ci when ci.ci_sender = cur ->
+    if ring_push t ci.ci_area_a ci.ci_capacity (Machine.get_reg t.m 1) then set_result 1
+    else set_result 0
+  | Some _ | None -> set_result 2
+
+let do_recv t cur =
+  let set_result v = Machine.set_reg t.m 2 v in
+  match find_chan t (Machine.get_reg t.m 0) with
+  | Some ci when ci.ci_receiver = cur -> begin
+    match ring_pop t (recv_area t ci) ci.ci_capacity with
+    | Some w ->
+      Machine.set_reg t.m 1 w;
+      set_result 1
+    | None -> set_result 0
+  end
+  | Some _ | None -> set_result 2
+
+(* -- Driving the assembly kernel ------------------------------------------- *)
+
+(* Run kernel machine code until it returns to user mode ([Rti]) or stalls
+   ([Halt] with nobody runnable). Fuel guards against a runaway kernel —
+   exhausting it is a kernel bug, not a regime behaviour, so it fails
+   loudly. *)
+let run_kernel t =
+  let fuel = ref 20_000 in
+  let rec loop () =
+    decr fuel;
+    if !fuel <= 0 then failwith "Sue: kernel code did not terminate";
+    match Machine.step_user t.m with
+    | Machine.Stepped -> loop ()
+    | Machine.Returned -> ()
+    | Machine.Waiting -> ()
+    | Machine.Trapped _ -> failwith "Sue: trap inside the kernel"
+    | Machine.Faulted _ -> failwith "Sue: fault inside the kernel"
+  in
+  loop ()
+
+let enter_and_run t cause =
+  Machine.enter_kernel t.m ~cause ~vector:t.code_base;
+  run_kernel t
+
+(* -- The INPUT stage ------------------------------------------------------ *)
+
+let deliver_inputs t arrivals =
+  (* Busy Tx wires complete their transmission. *)
+  ignore (Machine.device_outputs t.m);
+  let ndevs = Array.length t.layout.dev_kinds in
+  let latch (d, w) =
+    let d = if has_bug t Misroute_device_input then (d + 1) mod ndevs else d in
+    match t.layout.dev_kinds.(d) with
+    | Machine.Rx ->
+      let w = if has_bug t Input_crosstalk then Word.logxor w (Machine.get_reg t.m 0) else w in
+      Machine.device_input t.m d w
+    | Machine.Tx | Machine.Xform _ -> ()
+  in
+  List.iter latch arrivals;
+  (* Field the raised interrupts: wake waiting owners. *)
+  let field d =
+    Machine.field_irq t.m d;
+    let owner = t.layout.dev_owner.(d) in
+    let owner = if has_bug t Misroute_interrupt then (owner + 1) mod t.layout.nregs else owner in
+    if get_status t owner = status_waiting then set_status t owner status_runnable
+  in
+  List.iter field (Machine.pending_irqs t.m);
+  (* If the processor was stalled, hand it to a woken regime. For the
+     assembly kernel, the stall is machine code halted inside its scan
+     loop: the interrupt resumes the kernel, which rescans and returns
+     into the woken regime. *)
+  match t.impl with
+  | Microcode -> begin
+    let cur = current_index t in
+    if get_status t cur <> status_runnable then begin
+      match next_runnable t cur with
+      | Some r -> switch_to t r
+      | None -> ()
+    end
+  end
+  | Assembly ->
+    if Machine.mode t.m = Machine.Kernel then begin
+      let any_runnable =
+        let rec scan r = r < t.layout.nregs && (get_status t r = status_runnable || scan (r + 1)) in
+        scan 0
+      in
+      if any_runnable then run_kernel t
+    end
+
+(* -- The operation stage -------------------------------------------------- *)
+
+let bug_stalls t cur =
+  has_bug t Schedule_on_foreign_state && cur <> 0 && read_kw t t.layout.save_base.(0) land 1 = 1
+
+(* A level-triggered interrupt request: an Rx device holding an unread
+   word keeps its line asserted. *)
+let rx_pending t r =
+  Array.exists
+    (fun d ->
+      t.layout.dev_owner.(d) = r
+      &&
+      match t.layout.dev_kinds.(d) with
+      | Machine.Rx -> snd (Machine.device_regs t.m d) = 1
+      | Machine.Tx | Machine.Xform _ -> false)
+    (Array.init (Array.length t.layout.dev_kinds) Fun.id)
+
+let exec_op_microcode t =
+  let cur = current_index t in
+  if get_status t cur <> status_runnable || bug_stalls t cur then ()
+  else begin
+    match Machine.step_user t.m with
+    | Machine.Stepped -> begin
+      (* preemptive configurations: charge the quantum and, when it is
+         spent, take the processor back *)
+      match t.cfg.Config.quantum with
+      | None -> ()
+      | Some q ->
+        let left = read_kw t quantum_addr - 1 in
+        if left <= 0 then begin
+          write_kw t quantum_addr q;
+          swap_away t
+        end
+        else write_kw t quantum_addr left
+    end
+    | Machine.Waiting ->
+      (* WAIT falls through when an interrupt is already asserted,
+         avoiding the classic poll-then-sleep race. *)
+      if rx_pending t cur then ()
+      else begin
+        set_status t cur status_waiting;
+        swap_away t
+      end
+    | Machine.Trapped 0 -> swap_away t
+    | Machine.Trapped 1 -> do_send t cur
+    | Machine.Trapped 2 -> do_recv t cur
+    | Machine.Trapped _ | Machine.Returned | Machine.Faulted _ ->
+      (* Returned cannot occur in user mode (Rti faults there); treat it
+         like any other illegal action *)
+      set_status t cur status_parked;
+      swap_away t
+  end
+
+let exec_op_assembly t =
+  if Machine.mode t.m = Machine.Kernel then () (* total stall: kernel halted in its scan loop *)
+  else begin
+    let cur = current_index t in
+    if get_status t cur <> status_runnable || bug_stalls t cur then ()
+    else begin
+      match Machine.step_user t.m with
+      | Machine.Stepped -> ()
+      | Machine.Trapped n when n <= 2 -> enter_and_run t n
+      | Machine.Trapped _ -> enter_and_run t Machine.cause_bad_trap
+      | Machine.Waiting ->
+        (* WAIT falls through on an asserted Rx line, as in microcode *)
+        if rx_pending t cur then () else enter_and_run t Machine.cause_wait
+      | Machine.Returned | Machine.Faulted _ -> enter_and_run t Machine.cause_fault
+    end
+  end
+
+let exec_op t =
+  match t.impl with
+  | Microcode -> exec_op_microcode t
+  | Assembly -> exec_op_assembly t
+
+(* -- Output observation --------------------------------------------------- *)
+
+let outputs t =
+  let leak =
+    if has_bug t Output_leak then begin
+      (* Crosstalk from the next regime's saved R1 onto every busy wire. *)
+      let next = (current_index t + 1) mod t.layout.nregs in
+      read_kw t (t.layout.save_base.(next) + 1)
+    end
+    else 0
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun d kind ->
+      match kind with
+      | Machine.Tx ->
+        let data, status = Machine.device_regs t.m d in
+        if status = 1 then out := (d, Word.logor data leak) :: !out
+      | Machine.Rx | Machine.Xform _ -> ())
+    t.layout.dev_kinds;
+  List.rev !out
+
+let step t arrivals =
+  let observed = outputs t in
+  deliver_inputs t arrivals;
+  exec_op t;
+  observed
+
+let run t ~steps ~inputs =
+  let rec loop n acc =
+    if n >= steps then List.rev acc
+    else begin
+      let out = step t (inputs n) in
+      loop (n + 1) (if out = [] then acc else out :: acc)
+    end
+  in
+  loop 0 []
+
+(* -- Abstraction ----------------------------------------------------------- *)
+
+let phi t c =
+  let r = Config.regime_index t.cfg c in
+  let base = t.layout.part_base.(r) and size = t.layout.part_size.(r) in
+  let mem = Array.init size (fun i -> Machine.read_phys t.m (base + i)) in
+  let live = current_index t = r && Machine.mode t.m = Machine.User in
+  let regs, flag_z, flag_n =
+    if live then
+      (Array.init Isa.num_regs (Machine.get_reg t.m), fst (Machine.get_flags t.m), snd (Machine.get_flags t.m))
+    else begin
+      let sb = t.layout.save_base.(r) in
+      let regs = Array.init Isa.num_regs (fun i -> read_kw t (sb + i)) in
+      let z, n = flags_of_word (read_kw t (sb + off_flags)) in
+      (regs, z, n)
+    end
+  in
+  let raised = Machine.pending_irqs t.m in
+  let view d =
+    let data, status = Machine.device_regs t.m d in
+    {
+      Abstract_regime.dv_kind = t.layout.dev_kinds.(d);
+      dv_data = data;
+      dv_status = status;
+      dv_irq = List.mem d raised;
+    }
+  in
+  let devices = Array.map view t.layout.dev_slots.(r) in
+  let chan_end area ci =
+    {
+      Abstract_regime.ce_chan = ci.ci_id;
+      ce_capacity = ci.ci_capacity;
+      ce_contents = ring_contents t area ci.ci_capacity;
+    }
+  in
+  let sends =
+    Array.of_list
+      (List.filter_map
+         (fun ci -> if ci.ci_sender = r then Some (chan_end ci.ci_area_a ci) else None)
+         (Array.to_list t.layout.chans))
+  in
+  let recvs =
+    Array.of_list
+      (List.filter_map
+         (fun ci -> if ci.ci_receiver = r then Some (chan_end (intended_recv_area ci) ci) else None)
+         (Array.to_list t.layout.chans))
+  in
+  {
+    Abstract_regime.mem;
+    regs;
+    flag_z;
+    flag_n;
+    status = status_of_code (get_status t r);
+    devices;
+    sends;
+    recvs;
+  }
+
+(* -- Operation naming ------------------------------------------------------ *)
+
+(* Peek at the word the fetch would return, without the side effects of a
+   real device read. *)
+let peek_fetch t r pc =
+  if pc < t.layout.part_size.(r) then Some (Machine.read_phys t.m (t.layout.part_base.(r) + pc))
+  else if pc >= Machine.device_space then begin
+    let off = pc - Machine.device_space in
+    let slot = off lsr 1 and is_status = off land 1 = 1 in
+    let slots = t.layout.dev_slots.(r) in
+    if slot < Array.length slots then begin
+      let data, status = Machine.device_regs t.m slots.(slot) in
+      Some (if is_status then status else data)
+    end
+    else None
+  end
+  else None
+
+let nextop_name t =
+  let cur = current_index t in
+  let c = Colour.name t.layout.colours.(cur) in
+  if Machine.mode t.m = Machine.Kernel || get_status t cur <> status_runnable || bug_stalls t cur
+  then c ^ ":stall"
+  else begin
+    match peek_fetch t cur (Machine.get_reg t.m Isa.pc_reg) with
+    | None -> c ^ ":pcfault"
+    | Some w -> Fmt.str "%s:%04x" c w
+  end
+
+(* -- Snapshot interface ---------------------------------------------------- *)
+
+let copy t = { t with m = Machine.copy t.m }
+let equal a b = Machine.equal a.m b.m
+let hash t = Machine.hash t.m
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>sue(%a): current=%a op=%s@ %a@]" pp_impl t.impl Colour.pp (current_colour t)
+    (nextop_name t) Machine.pp t.m
+
+(* -- Scrambling, for randomized checking ----------------------------------- *)
+
+let scramble_others rng t c =
+  let t = copy t in
+  let rng = Sep_util.Prng.copy rng in
+  let word () = Sep_util.Prng.int rng 0x10000 in
+  let c_idx = Config.regime_index t.cfg c in
+  let cur = current_index t in
+  Array.iteri
+    (fun r base ->
+      if r <> c_idx then begin
+        (* partition contents *)
+        for i = 0 to t.layout.part_size.(r) - 1 do
+          Machine.write_phys t.m (base + i) (word ())
+        done;
+        (* save area, flags, status *)
+        let sb = t.layout.save_base.(r) in
+        for i = 0 to Isa.num_regs - 1 do
+          write_kw t (sb + i) (word ())
+        done;
+        write_kw t (sb + off_flags) (Sep_util.Prng.int rng 4);
+        write_kw t (sb + off_status) (Sep_util.Prng.int rng 3)
+      end)
+    t.layout.part_base;
+  (* Live registers and flags belong to whoever is current — unless the
+     machine is stalled in kernel mode, in which case they are the
+     kernel's own working registers (outside every Phi, and resumed by
+     the kernel itself, so they must not be disturbed). *)
+  if cur <> c_idx && Machine.mode t.m = Machine.User then begin
+    for i = 0 to Isa.num_regs - 1 do
+      Machine.set_reg t.m i (word ())
+    done;
+    Machine.set_flags t.m (Sep_util.Prng.bool rng, Sep_util.Prng.bool rng)
+  end;
+  (* devices of other regimes *)
+  Array.iteri
+    (fun d owner ->
+      if owner <> c_idx then
+        Machine.set_device_regs t.m d ~data:(word ()) ~status:(Sep_util.Prng.int rng 2))
+    t.layout.dev_owner;
+  (* channel ends not visible to c: the send end belongs to the sender;
+     the receive end (second area when cut) belongs to the receiver; an
+     uncut channel's single area is visible to both endpoints. *)
+  let scramble_area area cap =
+    write_kw t area (Sep_util.Prng.int rng cap);
+    write_kw t (area + 1) (Sep_util.Prng.int rng (cap + 1));
+    for i = 0 to cap - 1 do
+      write_kw t (area + 2 + i) (word ())
+    done
+  in
+  Array.iter
+    (fun ci ->
+      let sender_is_c = ci.ci_sender = c_idx and receiver_is_c = ci.ci_receiver = c_idx in
+      if ci.ci_cut then begin
+        if not sender_is_c then scramble_area ci.ci_area_a ci.ci_capacity;
+        if not receiver_is_c then scramble_area ci.ci_area_b ci.ci_capacity
+      end
+      else begin
+        if not (sender_is_c || receiver_is_c) then scramble_area ci.ci_area_a ci.ci_capacity;
+        scramble_area ci.ci_area_b ci.ci_capacity
+      end)
+    t.layout.chans;
+  t
+
+(* -- Appendix-model packaging ---------------------------------------------- *)
+
+let to_system ?(bugs = []) ?(impl = Microcode) ~inputs cfg =
+  let t0 = build ~bugs ~impl cfg in
+  let owner_name t d = Colour.name (device_owner t d) in
+  let extract c pairs = List.filter (fun (d, _) -> owner_name t0 d = Colour.name c) pairs in
+  let nextop s =
+    let name = nextop_name s in
+    { System.op_name = name; op_apply = (fun s -> let s' = copy s in exec_op s'; s') }
+  in
+  let abop c op =
+    let prefix = Colour.name c ^ ":" in
+    let is_mine = String.length op.System.op_name >= String.length prefix
+                  && String.sub op.System.op_name 0 (String.length prefix) = prefix in
+    if not is_mine then { System.abop_name = "id"; abop_apply = Fun.id }
+    else if op.System.op_name = prefix ^ "stall" then { System.abop_name = "stall"; abop_apply = Fun.id }
+    else { System.abop_name = op.System.op_name; abop_apply = Abstract_regime.step }
+  in
+  let pp_pairs ppf pairs =
+    Fmt.pf ppf "%a" Fmt.(Dump.list (Dump.pair int int)) pairs
+  in
+  {
+    System.name = "sue";
+    colours = Config.colours cfg;
+    initial = [ t0 ];
+    inputs;
+    ops = [];
+    colour_of = current_colour;
+    input = (fun s i -> let s' = copy s in deliver_inputs s' i; s');
+    nextop;
+    output = outputs;
+    extract_input = extract;
+    extract_output = extract;
+    abstract = (fun c s -> phi s c);
+    abop;
+    equal_state = equal;
+    hash_state = hash;
+    equal_abstate = Abstract_regime.equal;
+    hash_abstate = Abstract_regime.hash;
+    equal_proj = ( = );
+    pp_state = pp;
+    pp_input = pp_pairs;
+    pp_abstate = Abstract_regime.pp;
+  }

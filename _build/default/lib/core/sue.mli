@@ -1,0 +1,162 @@
+(** The machine-level separation kernel, after RSRE's "Secure User
+    Environment".
+
+    The kernel recreates, within one {!Sep_hw.Machine}, the environment of
+    a physically distributed system: each regime of the {!Config} gets a
+    fixed partition of real memory, permanent and exclusive ownership of
+    its devices, a round-robin share of the processor relinquished
+    voluntarily via the SWAP trap, and kernel-buffered one-way channels.
+    Like the SUE it performs no paging, no scheduling policy beyond
+    round-robin, and no I/O beyond fielding interrupts — DMA does not
+    exist in the simulated machine at all.
+
+    {b All kernel state lives inside the machine's own memory}, in a
+    kernel partition below the regime partitions (save areas, regime
+    status words, channel buffers), so a machine state is the complete
+    concrete state of the Appendix model and the abstraction functions
+    {!phi} have everything in view.
+
+    Trap numbers: [Trap 0] = SWAP (yield), [Trap 1] = SEND
+    ([R0] = channel id, [R1] = word; [R2] result: 1 sent, 0 full,
+    2 not yours), [Trap 2] = RECV ([R0] = channel id; [R1] = word,
+    [R2]: 1 received, 0 empty, 2 not yours). Other traps park the
+    regime, as do faults.
+
+    {b Seeded bugs.} The {!bug} variants switch on deliberately broken
+    behaviours, one per class of kernel flaw that Proof of Separability
+    must catch; {!Mutants} pairs each with the condition expected to fail. *)
+
+module Colour = Sep_model.Colour
+module Machine = Sep_hw.Machine
+module Isa = Sep_hw.Isa
+
+type bug =
+  | Forget_register_save  (** SWAP omits saving [R3] *)
+  | Partition_hole  (** the switch spills the outgoing [R0] into the incoming partition *)
+  | Misroute_interrupt  (** a device IRQ wakes the regime after the owner *)
+  | Misroute_device_input  (** external input latched into the next device *)
+  | Output_leak  (** every busy Tx wire is OR-ed with the next regime's saved [R1] *)
+  | Schedule_on_foreign_state  (** stall the current regime when regime 0's saved [R0] is odd *)
+  | Uncut_channel  (** ignore [cut] flags: RECV drains the sender's end anyway *)
+  | Input_crosstalk  (** Rx latch XORs in the live [R0] *)
+
+val pp_bug : Format.formatter -> bug -> unit
+val all_bugs : bug list
+
+type impl =
+  | Microcode
+      (** kernel services performed by the simulator host between
+          instructions — the kernel as a hardware extension *)
+  | Assembly
+      (** kernel services performed by {e machine code}: traps dump the
+          context into the hardware frame, enter kernel mode at the
+          kernel's entry vector, and generated assembly (living in the
+          kernel partition, specialised to the configuration like the
+          real SUE's build) saves contexts, walks the regime descriptor
+          table, programs the MMU control registers and returns with
+          [Rti]. Restrictions: no preemption quantum, channel capacities
+          of 1, at most 4 regimes / 4 channels / 4 devices per regime,
+          and kernel data below address 256. The kernel-memory layout is
+          identical to [Microcode] (descriptor tables and code are
+          appended after the channel areas), so the abstraction functions
+          and every verification technique apply unchanged. *)
+
+val pp_impl : Format.formatter -> impl -> unit
+
+type t
+(** A built kernel instance: configuration plus the shared machine. *)
+
+type input = (int * int) list
+(** External arrivals for one step: (global device id, word), at most one
+    per device, Rx devices only. *)
+
+type output = (int * int) list
+(** Tx wire levels: (global device id, word) for each busy Tx device. *)
+
+val build : ?bugs:bug list -> ?impl:impl -> Isa.stmt list Config.t -> t
+(** Assemble each regime's program into its partition, lay out kernel data,
+    and start with regime 0 current. Raises [Invalid_argument] on an
+    invalid configuration, a program that overflows its partition, a
+    channel capacity that does not fit kernel memory, or a configuration
+    outside the [Assembly] restrictions. [impl] defaults to
+    [Microcode]. All eight seeded bugs exist in both implementations
+    (two are generated into the assembly; the I/O-side ones are shared
+    hardware behaviour). *)
+
+val kernel_code_words : t -> int
+(** Words of kernel machine code ([Assembly] only; 0 for [Microcode]) —
+    the direct analogue of the SUE's "about 5K words". *)
+
+val config : t -> Isa.stmt list Config.t
+val machine : t -> Machine.t
+val bugs : t -> bug list
+
+val kernel_words : t -> int
+(** Size of the kernel partition in words — the analogue of the paper's
+    "about 5K words, including all stack and data space". *)
+
+val current_colour : t -> Colour.t
+val regime_status : t -> Colour.t -> Abstract_regime.status
+val device_owner : t -> int -> Colour.t
+
+val device_slot : t -> int -> Colour.t * int
+(** Owner and slot index of a global device: global device ids are
+    machine-wide, slots are regime-relative. *)
+
+(** {1 Execution} *)
+
+val deliver_inputs : t -> input -> unit
+(** The INPUT stage of the Appendix model: drain busy Tx wires, latch
+    arrivals into Rx devices, field the raised IRQs (waking waiting
+    owners; if nothing was runnable, switch to the first woken regime). *)
+
+val outputs : t -> output
+(** The OUTPUT observation: a pure function of the state. *)
+
+val exec_op : t -> unit
+(** The operation stage: execute one instruction of the current regime and
+    handle its consequences (traps, waits, faults, context switches). A
+    stalled kernel (current regime not runnable) does nothing. *)
+
+val step : t -> input -> output
+(** [outputs], then [deliver_inputs], then [exec_op] — one full time step
+    of the model; returns the output observed at the start of the step. *)
+
+val run : t -> steps:int -> inputs:(int -> input) -> output list
+(** Iterate {!step}; [inputs n] supplies the arrivals of step [n]. Collects
+    the nonempty outputs in order. *)
+
+(** {1 Verification interface} *)
+
+val phi : t -> Colour.t -> Abstract_regime.t
+(** The abstraction function [Phi^c]: regime [c]'s private machine as
+    induced by the {e intended} kernel design — partition contents,
+    registers (live if current, else the save area), flags, status, owned
+    devices, and this regime's ends of its channels (a cut channel's
+    receive end is the never-fed second buffer). *)
+
+val nextop_name : t -> string
+(** The name of the operation {!exec_op} would perform: ["<colour>:<hex
+    instruction word>"], ["<colour>:pcfault"] or ["<colour>:stall"]. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val scramble_others : Sep_util.Prng.t -> t -> Colour.t -> t
+(** A copy of the state in which everything {e outside} [Phi^c] is
+    randomized within representable ranges: other regimes' partitions,
+    register save areas (or live registers, when another regime is
+    current), flags, statuses, their devices, and the channel ends not
+    visible to [c]. By construction [phi t c = phi (scramble_others rng t
+    c) c], giving the randomized checker state pairs for conditions 3, 5
+    and 6 on instances too large to enumerate. *)
+
+val to_system :
+  ?bugs:bug list -> ?impl:impl -> inputs:input list -> Isa.stmt list Config.t ->
+  (t, input, output, Abstract_regime.t, (int * int) list) Sep_model.System.t
+(** Package a configuration as an Appendix-model system over the given
+    finite input alphabet, for {!Separability}. States are immutable
+    snapshots (every transition copies). The per-colour projection of
+    inputs and outputs keeps the pairs on devices owned by that colour. *)

@@ -1,0 +1,1 @@
+lib/distributed/net.ml: Array Int List Sep_model Sep_util

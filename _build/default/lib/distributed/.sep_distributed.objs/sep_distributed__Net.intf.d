@@ -1,0 +1,1 @@
+lib/distributed/net.mli: Sep_model

@@ -1,0 +1,96 @@
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Fifo = Sep_util.Fifo
+
+type node = {
+  colour : Colour.t;
+  inst : Component.instance;
+  incoming : Topology.wire list;  (* in wire-id order *)
+  mutable obs : Component.obs list;  (* reversed *)
+  mutable outs : Component.message list;  (* reversed *)
+}
+
+type t = {
+  topo : Topology.t;
+  nodes : node list;  (* in topology order *)
+  lines : Component.message Fifo.t array;  (* indexed by wire id *)
+  mutable dropped : int;
+}
+
+let build topo =
+  (match Topology.validate topo with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Net.build: " ^ msg));
+  let node (colour, comp) =
+    let incoming =
+      List.sort (fun a b -> Int.compare a.Topology.wire_id b.Topology.wire_id) (Topology.wires_into topo colour)
+    in
+    { colour; inst = Component.instantiate comp; incoming; obs = []; outs = [] }
+  in
+  {
+    topo;
+    nodes = List.map node topo.Topology.parts;
+    lines =
+      Array.of_list (List.map (fun w -> Fifo.create ~capacity:w.Topology.capacity) topo.Topology.wires);
+    dropped = 0;
+  }
+
+let wire t id = List.nth t.topo.Topology.wires id
+
+let transmit t node actions =
+  let handle = function
+    | Component.Send (w, msg) as act ->
+      node.obs <- Component.Did act :: node.obs;
+      if w < 0 || w >= Array.length t.lines then t.dropped <- t.dropped + 1
+      else if not (Colour.equal (wire t w).Topology.src node.colour) then
+        (* no physical line from this box: the send goes nowhere *)
+        t.dropped <- t.dropped + 1
+      else if (wire t w).Topology.cut then () (* the line goes nowhere *)
+      else if not (Fifo.push t.lines.(w) msg) then t.dropped <- t.dropped + 1
+    | Component.Output msg as act ->
+      node.obs <- Component.Did act :: node.obs;
+      node.outs <- msg :: node.outs
+  in
+  List.iter handle actions
+
+let feed t node ev =
+  node.obs <- Component.Saw ev :: node.obs;
+  transmit t node (Component.feed node.inst ev)
+
+let step t ~externals =
+  (* Only messages already in flight are deliverable this step. *)
+  let deliverable = Array.map (fun line -> min 1 (Fifo.length line)) t.lines in
+  let visit node =
+    List.iter
+      (fun (c, msg) ->
+        if Colour.equal c node.colour then feed t node (Component.External msg))
+      externals;
+    let from_wire w =
+      let id = w.Topology.wire_id in
+      if deliverable.(id) > 0 then begin
+        deliverable.(id) <- 0;
+        match Fifo.pop t.lines.(id) with
+        | Some msg -> feed t node (Component.Recv (id, msg))
+        | None -> ()
+      end
+    in
+    List.iter from_wire node.incoming
+  in
+  List.iter visit t.nodes
+
+let run t ~steps ~externals =
+  for n = 0 to steps - 1 do
+    step t ~externals:(externals n)
+  done
+
+let find_node t c =
+  match List.find_opt (fun n -> Colour.equal n.colour c) t.nodes with
+  | Some n -> n
+  | None -> raise Not_found
+
+let trace t c = List.rev (find_node t c).obs
+let outputs t c = List.rev (find_node t c).outs
+
+let in_flight t = Array.fold_left (fun acc line -> acc + Fifo.length line) 0 t.lines
+let drops t = t.dropped

@@ -1,0 +1,40 @@
+(** The physically distributed substrate: the paper's ideal.
+
+    Each component runs on its own machine; wires are physical FIFO lines
+    between boxes. There is no shared anything — isolation holds by
+    construction, which is exactly why this substrate is the reference
+    against which the separation kernel ({!Sep_core.Regime_kernel}) is
+    compared (experiment E7).
+
+    {b Delivery discipline} (shared with the kernel substrate so that
+    per-colour observable traces are comparable): in each global step,
+    components are visited in topology order; a visited component first
+    receives its external inputs for the step (in the order given), then
+    at most one message from each incoming wire in wire-id order — but
+    only messages already in flight when the step began. A send onto a
+    full wire is dropped (and counted); a send onto a cut wire is
+    silently discarded. *)
+
+type t
+
+val build : Sep_model.Topology.t -> t
+
+val step : t -> externals:(Sep_model.Colour.t * Sep_model.Component.message) list -> unit
+
+val run :
+  t -> steps:int -> externals:(int -> (Sep_model.Colour.t * Sep_model.Component.message) list) ->
+  unit
+(** [steps] iterations of {!step}; [externals n] supplies step [n]'s
+    inputs. *)
+
+val trace : t -> Sep_model.Colour.t -> Sep_model.Component.obs list
+(** Everything the component saw and did, in order. *)
+
+val outputs : t -> Sep_model.Colour.t -> Sep_model.Component.message list
+(** Just the [Output] actions. *)
+
+val in_flight : t -> int
+(** Messages currently buffered in wires. *)
+
+val drops : t -> int
+(** Messages dropped against full wires so far. *)

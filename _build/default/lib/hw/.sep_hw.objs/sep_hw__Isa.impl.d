@@ -1,0 +1,1 @@
+lib/hw/isa.ml: Array Fmt Hashtbl List Word

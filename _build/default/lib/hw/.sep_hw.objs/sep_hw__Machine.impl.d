@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Dump Fmt Hashtbl Isa List Word

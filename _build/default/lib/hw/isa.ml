@@ -1,0 +1,209 @@
+type reg = int
+
+let pc_reg = 7
+let num_regs = 8
+
+type t =
+  | Nop
+  | Halt
+  | Trap of int
+  | Rti
+  | Loadi of reg * int
+  | Load of reg * reg * int
+  | Store of reg * reg * int
+  | Mov of reg * reg
+  | Add of reg * reg
+  | Sub of reg * reg
+  | And_ of reg * reg
+  | Or_ of reg * reg
+  | Xor of reg * reg
+  | Cmp of reg * reg
+  | Shl of reg * int
+  | Shr of reg * int
+  | Beq of int
+  | Bne of int
+  | Br of int
+
+let check name lo hi v = if v < lo || v > hi then invalid_arg ("Isa.encode: " ^ name)
+
+let check_reg r = check "register" 0 (num_regs - 1) r
+
+(* Layouts (bit 15 is the MSB):
+   group 0 (system):   0000 ssss nnnnnnnn      s: 0=NOP 1=HALT 2=TRAP(n)
+   group 1 (LOADI):    0001 rrr0 iiiiiiii
+   group 2/3 (LD/ST):  op(4) rrr bbb oooooo
+   group 4 (ALU):      0100 sss ddd sss' 000   sub in bits 9-11, rd 6-8, rs 3-5
+   group 5 (shift):    0101 s rrr 0000 aaaa    s in bit 11, r 8-10, amount 0-3
+   group 6 (branch):   0110 ss 00 oooooooo     ss: 0=BR 1=BEQ 2=BNE *)
+
+let encode = function
+  | Nop -> 0x0000
+  | Halt -> 0x0100
+  | Rti -> 0x0300
+  | Trap n ->
+    check "trap" 0 255 n;
+    0x0200 lor n
+  | Loadi (r, imm) ->
+    check_reg r;
+    check "immediate" 0 255 imm;
+    0x1000 lor (r lsl 9) lor imm
+  | Load (r, b, off) ->
+    check_reg r;
+    check_reg b;
+    check "offset" 0 63 off;
+    0x2000 lor (r lsl 9) lor (b lsl 6) lor off
+  | Store (r, b, off) ->
+    check_reg r;
+    check_reg b;
+    check "offset" 0 63 off;
+    0x3000 lor (r lsl 9) lor (b lsl 6) lor off
+  | Mov (d, s) | Add (d, s) | Sub (d, s) | And_ (d, s) | Or_ (d, s) | Xor (d, s) | Cmp (d, s) as i ->
+    check_reg d;
+    check_reg s;
+    let sub =
+      match i with
+      | Mov _ -> 0
+      | Add _ -> 1
+      | Sub _ -> 2
+      | And_ _ -> 3
+      | Or_ _ -> 4
+      | Xor _ -> 5
+      | Cmp _ -> 6
+      | Nop | Halt | Rti | Trap _ | Loadi _ | Load _ | Store _ | Shl _ | Shr _ | Beq _ | Bne _ | Br _ ->
+        assert false
+    in
+    0x4000 lor (sub lsl 9) lor (d lsl 6) lor (s lsl 3)
+  | Shl (r, a) ->
+    check_reg r;
+    check "shift" 0 15 a;
+    0x5000 lor (r lsl 8) lor a
+  | Shr (r, a) ->
+    check_reg r;
+    check "shift" 0 15 a;
+    0x5800 lor (r lsl 8) lor a
+  | Br off | Beq off | Bne off as i ->
+    check "branch offset" (-128) 127 off;
+    let sub =
+      match i with
+      | Br _ -> 0
+      | Beq _ -> 1
+      | Bne _ -> 2
+      | Nop | Halt | Rti | Trap _ | Loadi _ | Load _ | Store _ | Mov _ | Add _ | Sub _ | And_ _
+      | Or_ _ | Xor _ | Cmp _ | Shl _ | Shr _ ->
+        assert false
+    in
+    0x6000 lor (sub lsl 10) lor (off land 0xff)
+
+let decode w =
+  let group = (w lsr 12) land 0xf in
+  match group with
+  | 0 -> begin
+    match (w lsr 8) land 0xf with
+    | 0 when w land 0xff = 0 -> Some Nop
+    | 1 when w land 0xff = 0 -> Some Halt
+    | 2 -> Some (Trap (w land 0xff))
+    | 3 when w land 0xff = 0 -> Some Rti
+    | _ -> None
+  end
+  | 1 -> if w land 0x100 <> 0 then None else Some (Loadi ((w lsr 9) land 7, w land 0xff))
+  | 2 -> Some (Load ((w lsr 9) land 7, (w lsr 6) land 7, w land 0x3f))
+  | 3 -> Some (Store ((w lsr 9) land 7, (w lsr 6) land 7, w land 0x3f))
+  | 4 ->
+    if w land 7 <> 0 then None
+    else begin
+      let d = (w lsr 6) land 7 and s = (w lsr 3) land 7 in
+      match (w lsr 9) land 7 with
+      | 0 -> Some (Mov (d, s))
+      | 1 -> Some (Add (d, s))
+      | 2 -> Some (Sub (d, s))
+      | 3 -> Some (And_ (d, s))
+      | 4 -> Some (Or_ (d, s))
+      | 5 -> Some (Xor (d, s))
+      | 6 -> Some (Cmp (d, s))
+      | _ -> None
+    end
+  | 5 ->
+    if w land 0xf0 <> 0 then None
+    else begin
+      let r = (w lsr 8) land 7 and a = w land 0xf in
+      if w land 0x800 <> 0 then Some (Shr (r, a)) else Some (Shl (r, a))
+    end
+  | 6 ->
+    if w land 0x300 <> 0 then None
+    else begin
+      let off = w land 0xff in
+      let off = if off land 0x80 <> 0 then off - 0x100 else off in
+      match (w lsr 10) land 3 with
+      | 0 -> Some (Br off)
+      | 1 -> Some (Beq off)
+      | 2 -> Some (Bne off)
+      | _ -> None
+    end
+  | _ -> None
+
+let pp ppf = function
+  | Nop -> Fmt.string ppf "nop"
+  | Halt -> Fmt.string ppf "halt"
+  | Rti -> Fmt.string ppf "rti"
+  | Trap n -> Fmt.pf ppf "trap %d" n
+  | Loadi (r, i) -> Fmt.pf ppf "loadi r%d, %d" r i
+  | Load (r, b, o) -> Fmt.pf ppf "load r%d, [r%d+%d]" r b o
+  | Store (r, b, o) -> Fmt.pf ppf "store r%d, [r%d+%d]" r b o
+  | Mov (d, s) -> Fmt.pf ppf "mov r%d, r%d" d s
+  | Add (d, s) -> Fmt.pf ppf "add r%d, r%d" d s
+  | Sub (d, s) -> Fmt.pf ppf "sub r%d, r%d" d s
+  | And_ (d, s) -> Fmt.pf ppf "and r%d, r%d" d s
+  | Or_ (d, s) -> Fmt.pf ppf "or r%d, r%d" d s
+  | Xor (d, s) -> Fmt.pf ppf "xor r%d, r%d" d s
+  | Cmp (d, s) -> Fmt.pf ppf "cmp r%d, r%d" d s
+  | Shl (r, a) -> Fmt.pf ppf "shl r%d, %d" r a
+  | Shr (r, a) -> Fmt.pf ppf "shr r%d, %d" r a
+  | Beq o -> Fmt.pf ppf "beq %d" o
+  | Bne o -> Fmt.pf ppf "bne %d" o
+  | Br o -> Fmt.pf ppf "br %d" o
+
+type stmt =
+  | Instr of t
+  | Label of string
+  | Branch_eq of string
+  | Branch_ne of string
+  | Branch of string
+  | Word of int
+
+let assemble stmts =
+  (* Pass 1: assign addresses to labels. *)
+  let labels = Hashtbl.create 16 in
+  let addr = ref 0 in
+  let place = function
+    | Label l ->
+      if Hashtbl.mem labels l then failwith ("Isa.assemble: duplicate label " ^ l);
+      Hashtbl.add labels l !addr
+    | Instr _ | Branch_eq _ | Branch_ne _ | Branch _ | Word _ -> incr addr
+  in
+  List.iter place stmts;
+  let lookup here l =
+    match Hashtbl.find_opt labels l with
+    | None -> failwith ("Isa.assemble: undefined label " ^ l)
+    | Some target ->
+      (* Branch offsets are relative to the instruction after the branch. *)
+      let off = target - (here + 1) in
+      if off < -128 || off > 127 then failwith ("Isa.assemble: branch out of range to " ^ l);
+      off
+  in
+  (* Pass 2: encode. *)
+  let out = ref [] in
+  let here = ref 0 in
+  let emit w =
+    out := w :: !out;
+    incr here
+  in
+  let encode_stmt = function
+    | Label _ -> ()
+    | Instr i -> emit (encode i)
+    | Branch_eq l -> emit (encode (Beq (lookup !here l)))
+    | Branch_ne l -> emit (encode (Bne (lookup !here l)))
+    | Branch l -> emit (encode (Br (lookup !here l)))
+    | Word n -> emit (Word.of_int n)
+  in
+  List.iter encode_stmt stmts;
+  Array.of_list (List.rev !out)

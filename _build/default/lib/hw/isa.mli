@@ -1,0 +1,61 @@
+(** The simulated machine's instruction set.
+
+    A compact 16-bit fixed-width ISA, rich enough to write the regime
+    programs of the examples (polling device registers, moving buffers,
+    trapping to the kernel) while keeping decode trivial. Registers are
+    [R0]–[R7]; [R7] is the program counter.
+
+    Kernel services are requested with [Trap]: trap numbers are defined by
+    {!Sep_core.Sue} (0 = SWAP, 1 = SEND, 2 = RECV, ...). *)
+
+type reg = int
+(** Register index in [\[0, 7\]]. [pc_reg] = 7. *)
+
+val pc_reg : reg
+val num_regs : int
+
+type t =
+  | Nop
+  | Halt  (** stop executing; the regime idles until rescheduled *)
+  | Trap of int  (** kernel service call, number in [\[0, 255\]] *)
+  | Rti  (** return from trap: kernel mode only; illegal in user mode *)
+  | Loadi of reg * int  (** [r := imm], immediate in [\[0, 255\]] *)
+  | Load of reg * reg * int  (** [r := mem\[rb + off\]], offset in [\[0, 63\]] *)
+  | Store of reg * reg * int  (** [mem\[rb + off\] := r] *)
+  | Mov of reg * reg
+  | Add of reg * reg
+  | Sub of reg * reg
+  | And_ of reg * reg
+  | Or_ of reg * reg
+  | Xor of reg * reg
+  | Cmp of reg * reg  (** set condition codes from [rd - rs] *)
+  | Shl of reg * int  (** shift left, amount in [\[0, 15\]] *)
+  | Shr of reg * int
+  | Beq of int  (** branch if Z, signed word offset in [\[-128, 127\]] *)
+  | Bne of int
+  | Br of int
+
+val encode : t -> Word.t
+(** Encode to one machine word. Raises [Invalid_argument] on out-of-range
+    fields. *)
+
+val decode : Word.t -> t option
+(** [None] on an illegal encoding. [decode (encode i) = Some i]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Assembler}
+
+    Tiny two-pass assembler with labels, used by example regime programs. *)
+
+type stmt =
+  | Instr of t
+  | Label of string
+  | Branch_eq of string  (** [Beq] to a label *)
+  | Branch_ne of string
+  | Branch of string
+  | Word of int  (** literal data word *)
+
+val assemble : stmt list -> Word.t array
+(** Resolve labels to relative offsets and encode. Raises [Failure] on an
+    undefined or duplicate label or an out-of-range branch. *)

@@ -1,0 +1,23 @@
+type t = int
+
+let width = 16
+let max_value = 0xffff
+
+let of_int n = n land max_value
+let to_int w = w
+
+let to_signed w = if w land 0x8000 <> 0 then w - 0x10000 else w
+
+let add a b = (a + b) land max_value
+let sub a b = (a - b) land max_value
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let lognot a = lnot a land max_value
+let shift_left a n = (a lsl n) land max_value
+let shift_right a n = a lsr n
+
+let is_zero w = w = 0
+let is_negative w = w land 0x8000 <> 0
+
+let pp ppf w = Fmt.pf ppf "%04x" w

@@ -1,0 +1,38 @@
+(** 16-bit machine words.
+
+    The simulated machine is 16-bit and word-addressed, after the PDP-11/34
+    that hosted the SUE kernel. Words are represented as OCaml ints kept in
+    [\[0, 0xFFFF\]]; every arithmetic result is wrapped. *)
+
+type t = int
+(** Invariant: [0 <= w <= 0xffff]. *)
+
+val width : int
+(** 16. *)
+
+val max_value : t
+(** 0xffff. *)
+
+val of_int : int -> t
+(** Truncate to 16 bits (two's complement wrap). *)
+
+val to_int : t -> int
+
+val to_signed : t -> int
+(** Interpret as a signed 16-bit value in [\[-32768, 32767\]]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val is_zero : t -> bool
+val is_negative : t -> bool
+(** Top bit set. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal, zero-padded to four digits. *)

@@ -1,0 +1,1 @@
+lib/ifa/ast.ml: Fmt List

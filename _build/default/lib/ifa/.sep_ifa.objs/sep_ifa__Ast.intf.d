@@ -1,0 +1,1 @@
+lib/ifa/ast.mli: Format

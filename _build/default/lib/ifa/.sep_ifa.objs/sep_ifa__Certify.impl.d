@@ -1,0 +1,1 @@
+lib/ifa/certify.ml: Ast Fmt List Sep_lattice

@@ -1,0 +1,1 @@
+lib/ifa/certify.mli: Ast Format Sep_lattice

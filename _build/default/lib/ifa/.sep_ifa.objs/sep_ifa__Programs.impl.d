@@ -1,0 +1,1 @@
+lib/ifa/programs.ml: Ast Certify List Sep_lattice Taint

@@ -1,0 +1,1 @@
+lib/ifa/programs.mli: Ast Certify Sep_lattice Taint

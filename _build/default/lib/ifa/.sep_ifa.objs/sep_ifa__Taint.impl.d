@@ -1,0 +1,1 @@
+lib/ifa/taint.ml: Ast Hashtbl List Sep_lattice String

@@ -1,0 +1,1 @@
+lib/ifa/taint.mli: Ast Certify Sep_lattice

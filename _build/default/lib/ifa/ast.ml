@@ -1,0 +1,60 @@
+type var = string
+
+type binop =
+  | Add
+  | Sub
+  | Xor
+  | And
+  | Or
+
+type expr =
+  | Const of int
+  | Var of var
+  | Binop of binop * expr * expr
+
+type stmt =
+  | Skip
+  | Assign of var * expr
+  | Seq of stmt list
+  | If of expr * stmt * stmt
+  | While of expr * stmt
+
+let dedup xs =
+  let rec loop seen = function
+    | [] -> List.rev seen
+    | x :: rest -> if List.mem x seen then loop seen rest else loop (x :: seen) rest
+  in
+  loop [] xs
+
+let rec vars_of_expr = function
+  | Const _ -> []
+  | Var v -> [ v ]
+  | Binop (_, a, b) -> dedup (vars_of_expr a @ vars_of_expr b)
+
+let rec assigned_raw = function
+  | Skip -> []
+  | Assign (v, _) -> [ v ]
+  | Seq ss -> List.concat_map assigned_raw ss
+  | If (_, a, b) -> assigned_raw a @ assigned_raw b
+  | While (_, s) -> assigned_raw s
+
+let assigned s = dedup (assigned_raw s)
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Xor -> "^"
+  | And -> "&"
+  | Or -> "|"
+
+let rec pp_expr ppf = function
+  | Const n -> Fmt.int ppf n
+  | Var v -> Fmt.string ppf v
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+
+let rec pp_stmt ppf = function
+  | Skip -> Fmt.string ppf "skip"
+  | Assign (v, e) -> Fmt.pf ppf "%s := %a" v pp_expr e
+  | Seq ss -> Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:(Fmt.any ";@,") pp_stmt) ss
+  | If (e, a, b) -> Fmt.pf ppf "@[<v2>if %a then@,%a@;<1 -2>else@,%a@;<1 -2>fi@]" pp_expr e pp_stmt a pp_stmt b
+  | While (e, s) -> Fmt.pf ppf "@[<v2>while %a do@,%a@;<1 -2>od@]" pp_expr e pp_stmt s

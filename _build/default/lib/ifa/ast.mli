@@ -1,0 +1,36 @@
+(** A small imperative language for kernel specifications.
+
+    Information Flow Analysis in the MITRE/KSOS tradition certifies
+    programs written against variables carrying security classes. This
+    language is just large enough to write the paper's SWAP example and
+    the classic explicit/implicit flow cases. *)
+
+type var = string
+
+type binop =
+  | Add
+  | Sub
+  | Xor
+  | And
+  | Or
+
+type expr =
+  | Const of int
+  | Var of var
+  | Binop of binop * expr * expr
+
+type stmt =
+  | Skip
+  | Assign of var * expr
+  | Seq of stmt list
+  | If of expr * stmt * stmt  (** nonzero is true *)
+  | While of expr * stmt
+
+val vars_of_expr : expr -> var list
+(** Free variables, duplicate-free, in first-occurrence order. *)
+
+val assigned : stmt -> var list
+(** Variables assigned anywhere in the statement, duplicate-free. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit

@@ -1,0 +1,51 @@
+(** The programs of the paper's IFA discussion, and classic flow examples.
+
+    Each value pairs a program with the class environment it is analysed
+    under. RED and BLACK are modelled as incomparable classes (same level,
+    different compartments), as befits regimes that must not communicate. *)
+
+type case = {
+  name : string;
+  env : Certify.env;
+  program : Ast.stmt;
+  store : Taint.store;  (** representative initial values for dynamic runs *)
+  expect_secure : bool;  (** verdict IFA {e should} give, per the paper *)
+  note : string;
+}
+
+val red : Sep_lattice.Sclass.t
+val black : Sep_lattice.Sclass.t
+
+val swap_impl : case
+(** SWAP at the implementation level: one shared register file, per-regime
+    save areas. Semantically secure; IFA must reject it ("the SWAP
+    operation must access both RED and BLACK values"). [expect_secure]
+    is [true] — the gap between this and IFA's verdict is the paper's
+    point. *)
+
+val swap_spec : case
+(** SWAP against the high-level specification in which "each regime is
+    provided with its own set of general registers": certification
+    succeeds, but only because the statement is now a near-tautology. *)
+
+val explicit_leak : case
+(** [low := high]: correctly rejected. *)
+
+val implicit_leak : case
+(** [if high then low := 1]: correctly rejected (implicit flow). *)
+
+val dead_leak : case
+(** [if 0 then low := high]: rejected by syntactic IFA though the branch
+    never executes — dynamic taint tracking accepts it. Illustrates
+    certification's conservatism. *)
+
+val laundered_constant : case
+(** [high := low; high := high & 0; low := high]: the value flowing back
+    to [low] is provably the constant 0, but IFA tracks classes, not
+    values, and rejects. A value-free analysis cannot see that nothing
+    flows. *)
+
+val secure_updates : case
+(** Independent per-class updates: certified secure. *)
+
+val all : case list

@@ -1,0 +1,93 @@
+module Sclass = Sep_lattice.Sclass
+
+type store = (Ast.var * int) list
+
+type flow = {
+  variable : Ast.var;
+  taint : Sclass.t;
+  allowed : Sclass.t;
+  step : int;
+}
+
+type result = {
+  final : store;
+  violations : flow list;
+  steps : int;
+  fuel_exhausted : bool;
+}
+
+exception Out_of_fuel
+
+type state = {
+  values : (Ast.var, int * Sclass.t) Hashtbl.t;
+  mutable steps : int;
+  mutable fuel : int;
+  mutable flows : flow list;
+}
+
+let lookup st v =
+  match Hashtbl.find_opt st.values v with
+  | Some cell -> cell
+  | None -> (0, Sclass.unclassified)
+
+let eval_binop op a b =
+  match op with
+  | Ast.Add -> a + b
+  | Ast.Sub -> a - b
+  | Ast.Xor -> a lxor b
+  | Ast.And -> a land b
+  | Ast.Or -> a lor b
+
+let rec eval st = function
+  | Ast.Const n -> (n, Sclass.unclassified)
+  | Ast.Var v -> lookup st v
+  | Ast.Binop (op, a, b) ->
+    let va, ta = eval st a and vb, tb = eval st b in
+    (eval_binop op va vb, Sclass.lub ta tb)
+
+let rec exec env st pc = function
+  | Ast.Skip -> ()
+  | Ast.Assign (v, e) ->
+    burn st;
+    let value, taint = eval st e in
+    let taint = Sclass.lub taint pc in
+    let allowed = env v in
+    if not (Sclass.leq taint allowed) then
+      st.flows <- { variable = v; taint; allowed; step = st.steps } :: st.flows;
+    Hashtbl.replace st.values v (value, taint)
+  | Ast.Seq ss -> List.iter (exec env st pc) ss
+  | Ast.If (e, a, b) ->
+    burn st;
+    let value, taint = eval st e in
+    let pc = Sclass.lub pc taint in
+    if value <> 0 then exec env st pc a else exec env st pc b
+  | Ast.While (e, body) ->
+    let rec loop () =
+      burn st;
+      let value, taint = eval st e in
+      if value <> 0 then begin
+        exec env st (Sclass.lub pc taint) body;
+        loop ()
+      end
+    in
+    loop ()
+
+and burn st =
+  st.steps <- st.steps + 1;
+  st.fuel <- st.fuel - 1;
+  if st.fuel < 0 then raise Out_of_fuel
+
+let run ~env ?(fuel = 10_000) store stmt =
+  let st = { values = Hashtbl.create 16; steps = 0; fuel; flows = [] } in
+  List.iter (fun (v, n) -> Hashtbl.replace st.values v (n, env v)) store;
+  let exhausted =
+    try
+      exec env st Sclass.unclassified stmt;
+      false
+    with Out_of_fuel -> true
+  in
+  let final =
+    Hashtbl.fold (fun v (n, _) acc -> (v, n) :: acc) st.values []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { final; violations = List.rev st.flows; steps = st.steps; fuel_exhausted = exhausted }

@@ -1,0 +1,34 @@
+(** Dynamic taint tracking: the runtime counterpart of {!Certify}.
+
+    Executes a program while propagating security classes with values —
+    explicit flows through assignment, implicit flows through the class of
+    the guards that dominate the current control point. A flow violation
+    is recorded when a value whose taint is not dominated by the target
+    variable's class is stored.
+
+    Comparing this with {!Certify} separates two sources of IFA
+    imprecision: certification flags flows on {e unexecuted} paths
+    (dynamic tracking does not), yet both flag SWAP — only Proof of
+    Separability, reasoning about values, verifies it. *)
+
+type store = (Ast.var * int) list
+(** Variable values; missing variables read 0. *)
+
+type flow = {
+  variable : Ast.var;
+  taint : Sep_lattice.Sclass.t;  (** taint of the stored value joined with the context *)
+  allowed : Sep_lattice.Sclass.t;
+  step : int;  (** execution step at which the store happened *)
+}
+
+type result = {
+  final : store;
+  violations : flow list;  (** in execution order *)
+  steps : int;
+  fuel_exhausted : bool;
+}
+
+val run : env:Certify.env -> ?fuel:int -> store -> Ast.stmt -> result
+(** Execute with initial [store]; every variable starts tainted with its
+    own class from [env]. [fuel] (default 10_000) bounds loop iterations;
+    exhaustion stops execution and sets [fuel_exhausted]. *)

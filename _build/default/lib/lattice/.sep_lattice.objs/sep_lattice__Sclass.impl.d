@@ -1,0 +1,1 @@
+lib/lattice/sclass.ml: Fmt Hashtbl Int List Set String

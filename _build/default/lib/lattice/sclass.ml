@@ -1,0 +1,55 @@
+module Compartments = Set.Make (String)
+
+type t = { level : int; compartments : Compartments.t }
+
+let make ~level ?(compartments = []) () =
+  assert (level >= 0);
+  { level; compartments = Compartments.of_list compartments }
+
+let level t = t.level
+
+let compartments t = Compartments.elements t.compartments
+
+let unclassified = make ~level:0 ()
+let confidential = make ~level:1 ()
+let secret = make ~level:2 ()
+let top_secret = make ~level:3 ()
+
+let with_compartments t cs = { t with compartments = Compartments.of_list cs }
+
+let leq a b = a.level <= b.level && Compartments.subset a.compartments b.compartments
+
+let dominates a b = leq b a
+
+let lub a b =
+  { level = max a.level b.level; compartments = Compartments.union a.compartments b.compartments }
+
+let glb a b =
+  { level = min a.level b.level; compartments = Compartments.inter a.compartments b.compartments }
+
+let lub_all = List.fold_left lub unclassified
+
+let comparable a b = leq a b || leq b a
+
+let equal a b = a.level = b.level && Compartments.equal a.compartments b.compartments
+
+let compare a b =
+  match Int.compare a.level b.level with
+  | 0 -> Compartments.compare a.compartments b.compartments
+  | c -> c
+
+let hash t = Hashtbl.hash (t.level, Compartments.elements t.compartments)
+
+let level_name = function
+  | 0 -> "UNCLASSIFIED"
+  | 1 -> "CONFIDENTIAL"
+  | 2 -> "SECRET"
+  | 3 -> "TOP_SECRET"
+  | n -> "LEVEL-" ^ string_of_int n
+
+let pp ppf t =
+  match Compartments.elements t.compartments with
+  | [] -> Fmt.string ppf (level_name t.level)
+  | cs -> Fmt.pf ppf "%s{%s}" (level_name t.level) (String.concat "," cs)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,55 @@
+(** Security classes.
+
+    A class is a hierarchical level together with a set of compartments
+    (need-to-know categories). Classes form a lattice under
+    [(l1, c1) <= (l2, c2)  iff  l1 <= l2 and c1 subset c2]; this is the
+    lattice that Bell-LaPadula policies, the Denning flow certification in
+    {!Sep_ifa} and the multilevel file server all share. *)
+
+type t
+
+val make : level:int -> ?compartments:string list -> unit -> t
+(** [make ~level ~compartments ()] builds a class. [level] must be
+    nonnegative; duplicate compartments are merged. *)
+
+val level : t -> int
+
+val compartments : t -> string list
+(** Sorted, duplicate-free. *)
+
+(** {1 Standard hierarchy} *)
+
+val unclassified : t
+val confidential : t
+val secret : t
+val top_secret : t
+
+val with_compartments : t -> string list -> t
+(** Replace the compartment set, keeping the level. *)
+
+(** {1 Lattice structure} *)
+
+val leq : t -> t -> bool
+(** [leq a b] — information may flow from [a] to [b] ("[b] dominates [a]"). *)
+
+val dominates : t -> t -> bool
+(** [dominates a b = leq b a]. *)
+
+val lub : t -> t -> t
+(** Least upper bound: max level, union of compartments. *)
+
+val glb : t -> t -> t
+(** Greatest lower bound: min level, intersection of compartments. *)
+
+val lub_all : t list -> t
+(** Fold of {!lub}; {!unclassified} (the lattice bottom for level 0, no
+    compartments) for the empty list. *)
+
+val comparable : t -> t -> bool
+(** [leq a b || leq b a]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

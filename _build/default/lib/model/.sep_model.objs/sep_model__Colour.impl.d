@@ -1,0 +1,1 @@
+lib/model/colour.ml: Fmt Hashtbl Map Set String

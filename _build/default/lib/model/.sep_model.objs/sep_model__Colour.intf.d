@@ -1,0 +1,1 @@
+lib/model/colour.mli: Format Map Set

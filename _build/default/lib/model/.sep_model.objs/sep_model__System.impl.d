@@ -1,0 +1,1 @@
+lib/model/system.ml: Colour Format Hashtbl List Queue

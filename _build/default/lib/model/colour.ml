@@ -1,0 +1,19 @@
+type t = string
+
+let make name = name
+
+let name t = t
+
+let red = "RED"
+let black = "BLACK"
+let green = "GREEN"
+
+let of_index i = "C" ^ string_of_int i
+
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp = Fmt.string
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)

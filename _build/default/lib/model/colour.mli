@@ -1,0 +1,29 @@
+(** Regime identities.
+
+    The paper identifies the users of a shared system with a set [C] of
+    "colours" (RED, BLACK, ...). A colour names one regime: one virtual
+    machine of the separation kernel, or one physically separate machine of
+    the distributed conception. *)
+
+type t
+
+val make : string -> t
+(** [make name] — colours with equal names are equal. *)
+
+val name : t -> string
+
+val red : t
+val black : t
+val green : t
+(** Conventional colours used throughout examples and tests. *)
+
+val of_index : int -> t
+(** [of_index i] is a generated colour ["C<i>"], for parametric instances. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

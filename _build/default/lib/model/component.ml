@@ -1,0 +1,58 @@
+type message = string
+
+type event =
+  | Recv of int * message
+  | External of message
+
+type action =
+  | Send of int * message
+  | Output of message
+
+type t =
+  | Component : {
+      name : string;
+      init : 'st;
+      step : 'st -> event -> 'st * action list;
+    }
+      -> t
+
+let make ~name ~init ~step = Component { name; init; step }
+
+let name (Component c) = c.name
+
+let stateless ~name f = Component { name; init = (); step = (fun () ev -> ((), f ev)) }
+
+type instance =
+  | Instance : {
+      name : string;
+      mutable st : 'st;
+      step : 'st -> event -> 'st * action list;
+    }
+      -> instance
+
+let instantiate (Component c) = Instance { name = c.name; st = c.init; step = c.step }
+
+let instance_name (Instance i) = i.name
+
+let feed (Instance i) ev =
+  let st, actions = i.step i.st ev in
+  i.st <- st;
+  actions
+
+type obs =
+  | Saw of event
+  | Did of action
+
+let equal_obs (a : obs) (b : obs) = a = b
+
+let pp_event ppf = function
+  | Recv (w, m) -> Fmt.pf ppf "recv[%d] %S" w m
+  | External m -> Fmt.pf ppf "external %S" m
+
+let pp_action ppf = function
+  | Send (w, m) -> Fmt.pf ppf "send[%d] %S" w m
+  | Output m -> Fmt.pf ppf "output %S" m
+
+let pp_obs ppf = function
+  | Saw e -> Fmt.pf ppf "<- %a" pp_event e
+  | Did a -> Fmt.pf ppf "-> %a" pp_action a

@@ -1,0 +1,61 @@
+(** Event-driven components: the units of the distributed conception.
+
+    Section 2 of the paper designs secure systems as collections of
+    specialised, physically separated components with limited channels. A
+    {!t} is one such component: a named, state-carrying reactor that
+    consumes events (messages from wires, inputs from the outside world)
+    and produces actions (messages onto wires, outputs to the outside
+    world).
+
+    The same component value runs unchanged on the physically distributed
+    substrate ({!Sep_distributed.Net}) and on the separation kernel
+    ({!Sep_core.Regime_kernel}); comparing its observable traces across
+    the two substrates is the executable form of the kernel's purpose —
+    an environment the component cannot distinguish from a machine of its
+    own. *)
+
+type message = string
+
+type event =
+  | Recv of int * message  (** a message arrived on the wire with this id *)
+  | External of message  (** input from the outside world *)
+
+type action =
+  | Send of int * message  (** transmit on the wire with this id *)
+  | Output of message  (** emit to the outside world *)
+
+type t =
+  | Component : {
+      name : string;
+      init : 'st;
+      step : 'st -> event -> 'st * action list;
+    }
+      -> t  (** the state type is the component's own business *)
+
+val make : name:string -> init:'st -> step:('st -> event -> 'st * action list) -> t
+
+val name : t -> string
+
+val stateless : name:string -> (event -> action list) -> t
+
+(** {1 Running instances} *)
+
+type instance
+(** A component plus its current state; mutable. *)
+
+val instantiate : t -> instance
+val instance_name : instance -> string
+
+val feed : instance -> event -> action list
+(** Deliver one event, advancing the instance's state. *)
+
+(** {1 Observable traces} *)
+
+type obs =
+  | Saw of event
+  | Did of action
+
+val equal_obs : obs -> obs -> bool
+val pp_event : Format.formatter -> event -> unit
+val pp_action : Format.formatter -> action -> unit
+val pp_obs : Format.formatter -> obs -> unit

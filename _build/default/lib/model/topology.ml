@@ -1,0 +1,56 @@
+type wire = {
+  wire_id : int;
+  src : Colour.t;
+  dst : Colour.t;
+  capacity : int;
+  cut : bool;
+}
+
+type t = { parts : (Colour.t * Component.t) list; wires : wire list }
+
+let validate t =
+  let rec distinct = function
+    | [] -> Ok ()
+    | (c, _) :: rest ->
+      if List.exists (fun (c', _) -> Colour.equal c c') rest then
+        Error ("duplicate component colour " ^ Colour.name c)
+      else distinct rest
+  in
+  let declared c = List.exists (fun (c', _) -> Colour.equal c c') t.parts in
+  let check i w =
+    if w.wire_id <> i then Error "wire ids must be positions"
+    else if w.capacity < 1 then Error "wire capacity must be >= 1"
+    else if Colour.equal w.src w.dst then Error "self-wires are not allowed"
+    else if not (declared w.src) then Error ("unknown wire source " ^ Colour.name w.src)
+    else if not (declared w.dst) then Error ("unknown wire destination " ^ Colour.name w.dst)
+    else Ok ()
+  in
+  match distinct t.parts with
+  | Error _ as e -> e
+  | Ok () ->
+    List.fold_left
+      (fun acc r -> match acc with Error _ -> acc | Ok () -> r)
+      (Ok ())
+      (List.mapi check t.wires)
+
+let make ~parts ~wires =
+  let wire i (src, dst, capacity) = { wire_id = i; src; dst; capacity; cut = false } in
+  let t = { parts; wires = List.mapi wire wires } in
+  match validate t with
+  | Ok () -> t
+  | Error msg -> invalid_arg ("Topology.make: " ^ msg)
+
+let colours t = List.map fst t.parts
+
+let component t c =
+  match List.find_opt (fun (c', _) -> Colour.equal c c') t.parts with
+  | Some (_, comp) -> comp
+  | None -> raise Not_found
+
+let wires_from t c = List.filter (fun w -> Colour.equal w.src c) t.wires
+let wires_into t c = List.filter (fun w -> Colour.equal w.dst c) t.wires
+
+let cut_wire t id =
+  { t with wires = List.map (fun w -> if w.wire_id = id then { w with cut = true } else w) t.wires }
+
+let cut_all t = { t with wires = List.map (fun w -> { w with cut = true }) t.wires }

@@ -1,0 +1,36 @@
+(** Topologies: components plus the explicit wires between them.
+
+    "The four components of the system are housed in separate, isolated
+    boxes and connected by just the communications lines shown in the
+    diagram." A topology is that diagram as data — the input to both the
+    physically distributed substrate and the separation kernel, and the
+    object the channel-matrix policy of {!Sep_policy} speaks about. *)
+
+type wire = {
+  wire_id : int;  (** position in the wire list *)
+  src : Colour.t;
+  dst : Colour.t;
+  capacity : int;  (** messages buffered in flight, [>= 1] *)
+  cut : bool;  (** a cut wire accepts sends and delivers nothing *)
+}
+
+type t = { parts : (Colour.t * Component.t) list; wires : wire list }
+
+val make :
+  parts:(Colour.t * Component.t) list -> wires:(Colour.t * Colour.t * int) list -> t
+(** Wires given as (src, dst, capacity), uncut. Raises [Invalid_argument]
+    when {!validate} would fail. *)
+
+val validate : t -> (unit, string) result
+(** Distinct part colours; wire endpoints declared; no self-wires;
+    positive capacities; ids are positions. *)
+
+val colours : t -> Colour.t list
+val component : t -> Colour.t -> Component.t
+val wires_from : t -> Colour.t -> wire list
+val wires_into : t -> Colour.t -> wire list
+
+val cut_wire : t -> int -> t
+(** Cut one wire by id. *)
+
+val cut_all : t -> t

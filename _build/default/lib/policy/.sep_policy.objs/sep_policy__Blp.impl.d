@@ -1,0 +1,1 @@
+lib/policy/blp.ml: Fmt Sep_lattice

@@ -1,0 +1,1 @@
+lib/policy/blp.mli: Format Sep_lattice

@@ -1,0 +1,1 @@
+lib/policy/channel_matrix.ml: Buffer Fmt List Sep_model

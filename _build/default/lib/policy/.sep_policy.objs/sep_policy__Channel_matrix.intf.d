@@ -1,0 +1,1 @@
+lib/policy/channel_matrix.mli: Sep_model

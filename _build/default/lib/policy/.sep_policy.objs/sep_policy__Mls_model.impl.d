@@ -1,0 +1,1 @@
+lib/policy/mls_model.ml: Array Fmt Format List Sep_lattice Sep_util

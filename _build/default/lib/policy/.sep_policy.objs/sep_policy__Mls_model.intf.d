@@ -1,0 +1,1 @@
+lib/policy/mls_model.mli: Format Sep_lattice Sep_util

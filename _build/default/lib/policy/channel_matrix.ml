@@ -1,0 +1,78 @@
+module Colour = Sep_model.Colour
+module Topology = Sep_model.Topology
+
+type t = { cols : Colour.t list; edges : (Colour.t * Colour.t) list }
+
+let of_pairs ~colours edges = { cols = colours; edges }
+
+let of_topology topo =
+  let edges =
+    List.filter_map
+      (fun w -> if w.Topology.cut then None else Some (w.Topology.src, w.Topology.dst))
+      topo.Topology.wires
+  in
+  { cols = Topology.colours topo; edges }
+
+let colours t = t.cols
+
+let direct t a b =
+  List.exists (fun (x, y) -> Colour.equal x a && Colour.equal y b) t.edges
+
+(* Depth-first search from [a] to [b] whose intermediate nodes satisfy
+   [ok]; endpoints are always admissible. *)
+let search t ~ok a b =
+  let rec dfs visited node =
+    if Colour.equal node b then true
+    else if List.exists (Colour.equal node) visited then false
+    else if (not (Colour.equal node a)) && not (ok node) then false
+    else begin
+      let next =
+        List.filter_map (fun (x, y) -> if Colour.equal x node then Some y else None) t.edges
+      in
+      List.exists (dfs (node :: visited)) next
+    end
+  in
+  (* a path must use at least one edge even when a = b *)
+  let next =
+    List.filter_map (fun (x, y) -> if Colour.equal x a then Some y else None) t.edges
+  in
+  List.exists (fun n -> if Colour.equal n b then true else dfs [ a ] n) next
+
+let reachable t a b = search t ~ok:(fun _ -> true) a b
+
+let reachable_avoiding t ~avoid a b =
+  search t ~ok:(fun c -> not (List.exists (Colour.equal c) avoid)) a b
+
+let mediators t a b =
+  if not (reachable t a b) then []
+  else
+    List.filter
+      (fun c ->
+        (not (Colour.equal c a)) && (not (Colour.equal c b))
+        && not (reachable_avoiding t ~avoid:[ c ] a b))
+      t.cols
+
+let to_dot ?(highlight = []) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph channels {\n  rankdir=LR;\n  node [shape=box];\n";
+  List.iter
+    (fun c ->
+      let peripheries =
+        if List.exists (Colour.equal c) highlight then " [peripheries=2]" else ""
+      in
+      Buffer.add_string buf (Fmt.str "  %S%s;\n" (Colour.name c) peripheries))
+    t.cols;
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Fmt.str "  %S -> %S;\n" (Colour.name a) (Colour.name b)))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let isolated_pairs t =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if (not (Colour.equal a b)) && not (reachable t a b) then Some (a, b) else None)
+        t.cols)
+    t.cols

@@ -1,0 +1,44 @@
+(** Who may talk to whom: the channel matrix of a distributed design.
+
+    "The crucial issue here is not {e whether} red and black can
+    communicate, but {e what channels} are available for that
+    communication." This module answers such questions about a
+    {!Sep_model.Topology}: direct connectivity, transitive reachability,
+    and reachability {e avoiding} a set of mediating components — the form
+    in which the SNFE requirement ("no red-to-black path except through
+    the censor or the crypto") is actually stated. *)
+
+type t
+
+val of_topology : Sep_model.Topology.t -> t
+(** Cut wires carry no information and are excluded. *)
+
+val of_pairs : colours:Sep_model.Colour.t list -> (Sep_model.Colour.t * Sep_model.Colour.t) list -> t
+
+val colours : t -> Sep_model.Colour.t list
+
+val direct : t -> Sep_model.Colour.t -> Sep_model.Colour.t -> bool
+(** An uncut wire runs from the first to the second. *)
+
+val reachable : t -> Sep_model.Colour.t -> Sep_model.Colour.t -> bool
+(** Information can flow via any sequence of wires (irreflexive unless a
+    cycle returns). *)
+
+val reachable_avoiding :
+  t -> avoid:Sep_model.Colour.t list -> Sep_model.Colour.t -> Sep_model.Colour.t -> bool
+(** Reachability through paths whose {e intermediate} components all lie
+    outside [avoid]. [reachable_avoiding ~avoid:[censor; crypto] red black
+    = false] is the SNFE security statement. *)
+
+val mediators : t -> Sep_model.Colour.t -> Sep_model.Colour.t -> Sep_model.Colour.t list
+(** Components that appear on {e every} path from the first colour to the
+    second — the trusted components for that flow. Empty when no path
+    exists, or when some path has no intermediary. *)
+
+val isolated_pairs : t -> (Sep_model.Colour.t * Sep_model.Colour.t) list
+(** Ordered pairs with no information-flow path at all. *)
+
+val to_dot : ?highlight:Sep_model.Colour.t list -> t -> string
+(** Graphviz rendering of the channel matrix — the paper's box-and-line
+    diagram as data. [highlight] components (the trusted ones, typically)
+    are drawn with a double border. *)

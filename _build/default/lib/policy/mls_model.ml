@@ -1,0 +1,74 @@
+module Sclass = Sep_lattice.Sclass
+module Prng = Sep_util.Prng
+
+type ('st, 'i, 'o) machine = {
+  name : string;
+  fresh : unit -> 'st;
+  step : 'st -> 'i -> 'o list;
+  class_of_input : 'i -> Sclass.t;
+  class_of_output : 'o -> Sclass.t;
+  equal_output : 'o -> 'o -> bool;
+  pp_input : Format.formatter -> 'i -> unit;
+  pp_output : Format.formatter -> 'o -> unit;
+}
+
+type failure = { level : Sclass.t; trial : int }
+
+type report = {
+  instance : string;
+  trials_per_level : int;
+  word_length : int;
+  failures : failure list;
+}
+
+let secure r = r.failures = []
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>SRI-model check on %s: %d trials x %d inputs per level: %s@," r.instance
+    r.trials_per_level r.word_length
+    (if secure r then "multilevel secure (no divergence observed)" else "NOT MULTILEVEL SECURE");
+  List.iter
+    (fun f -> Fmt.pf ppf "  observer %a: trial %d diverged@," Sclass.pp f.level f.trial)
+    r.failures;
+  Fmt.pf ppf "@]"
+
+let visible_outputs m level st word =
+  List.concat_map
+    (fun i ->
+      List.filter (fun o -> Sclass.leq (m.class_of_output o) level) (m.step st i))
+    word
+
+let check ~prng ~trials ~word_len ~alphabet ~levels m =
+  assert (Array.length alphabet > 0);
+  let failures = ref [] in
+  let word () = List.init word_len (fun _ -> Prng.choose prng alphabet) in
+  let high_pool level =
+    Array.of_list
+      (List.filter
+         (fun i -> not (Sclass.leq (m.class_of_input i) level))
+         (Array.to_list alphabet))
+  in
+  let per_level level =
+    let pool = high_pool level in
+    for trial = 1 to trials do
+      let w = word () in
+      let w' =
+        List.map
+          (fun i ->
+            if Sclass.leq (m.class_of_input i) level || Array.length pool = 0 then i
+            else Prng.choose prng pool)
+          w
+      in
+      let o1 = visible_outputs m level (m.fresh ()) w in
+      let o2 = visible_outputs m level (m.fresh ()) w' in
+      let equal = List.length o1 = List.length o2 && List.for_all2 m.equal_output o1 o2 in
+      if not equal then failures := { level; trial } :: !failures
+    done
+  in
+  List.iter per_level levels;
+  {
+    instance = m.name;
+    trials_per_level = trials;
+    word_length = word_len;
+    failures = List.rev !failures;
+  }

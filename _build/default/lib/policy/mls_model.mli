@@ -1,0 +1,58 @@
+(** The SRI multilevel security model (Feiertag, Levitt & Robinson), as a
+    relational checker.
+
+    "The model formulates a specification of multilevel security for a
+    system which consumes inputs that are tagged with their security
+    classifications and produces similarly tagged outputs. 'Ordinary'
+    programs, such as the SOM or a file-server, are sound interpretations
+    of this model. But a kernel is different."
+
+    Security, relationally: for every class [l], the subsequence of
+    outputs whose class is dominated by [l] must be unchanged when inputs
+    {e not} dominated by [l] are replaced by arbitrary other such inputs.
+    The checker tests this over random input words.
+
+    The paper's two uses are both reproduced here (experiment E12):
+    - the multilevel file server {e satisfies} the model (it is the right
+      specification for that component, justifying its verification);
+    - the ACCAT Guard {e cannot} satisfy it — releasing a reviewed message
+      to LOW is a sanctioned downgrade, which is exactly why building the
+      Guard on a kernel that enforces this model forced its function into
+      trusted processes. *)
+
+type ('st, 'i, 'o) machine = {
+  name : string;
+  fresh : unit -> 'st;  (** a new, independent system state per run *)
+  step : 'st -> 'i -> 'o list;  (** consume one tagged input (state may mutate) *)
+  class_of_input : 'i -> Sep_lattice.Sclass.t;
+  class_of_output : 'o -> Sep_lattice.Sclass.t;
+  equal_output : 'o -> 'o -> bool;
+  pp_input : Format.formatter -> 'i -> unit;
+  pp_output : Format.formatter -> 'o -> unit;
+}
+
+type failure = {
+  level : Sep_lattice.Sclass.t;  (** the observer whose view diverged *)
+  trial : int;
+}
+
+type report = {
+  instance : string;
+  trials_per_level : int;
+  word_length : int;
+  failures : failure list;
+}
+
+val secure : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+val check :
+  prng:Sep_util.Prng.t -> trials:int -> word_len:int -> alphabet:'i array ->
+  levels:Sep_lattice.Sclass.t list -> ('st, 'i, 'o) machine -> report
+(** For each observation [level] and trial: draw a random word from the
+    alphabet; build a partner word in which every input {e not} dominated
+    by [level] is replaced by another random non-dominated input (when the
+    alphabet offers one; otherwise the position is kept). Run both words
+    on fresh states and compare the [level]-dominated output
+    subsequences. *)

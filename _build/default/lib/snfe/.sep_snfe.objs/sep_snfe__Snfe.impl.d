@@ -1,0 +1,1 @@
+lib/snfe/snfe.ml: Fmt List Sep_components Sep_model Sep_util String Substrate

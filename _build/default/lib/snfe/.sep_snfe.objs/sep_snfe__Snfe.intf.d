@@ -1,0 +1,1 @@
+lib/snfe/snfe.mli: Format Sep_components Sep_model Substrate

@@ -1,0 +1,1 @@
+lib/snfe/substrate.ml: Fmt Sep_core Sep_distributed Sep_model

@@ -1,0 +1,1 @@
+lib/snfe/substrate.mli: Format Sep_model

@@ -1,0 +1,244 @@
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Crypto = Sep_components.Crypto
+module Censor = Sep_components.Censor
+module Covert = Sep_components.Covert
+module Protocol = Sep_components.Protocol
+module Prng = Sep_util.Prng
+
+let red = Colour.red
+let black = Colour.black
+let crypto_tx = Colour.make "CRYPTO-TX"
+let crypto_rx = Colour.make "CRYPTO-RX"
+let censor_tx = Colour.make "CENSOR-TX"
+let censor_rx = Colour.make "CENSOR-RX"
+
+let w_red_crypto = 0
+let w_crypto_black = 1
+let w_red_censor = 2
+let w_censor_black = 3
+let w_black_censor = 4
+let w_censor_red = 5
+let w_black_crypto = 6
+let w_crypto_red = 7
+
+type config = {
+  key : Crypto.key;
+  censor_mode : Censor.mode;
+  max_len : int;
+  quantum : int;
+}
+
+let default_config =
+  { key = Crypto.key_of_int 0xC0FFEE; censor_mode = Censor.Basic; max_len = 32; quantum = 8 }
+
+let truncate max_len s = if String.length s <= max_len then s else String.sub s 0 max_len
+
+(* The honest RED component: encrypt outbound host traffic, describe it on
+   the bypass, deliver decrypted inbound traffic to the host. *)
+let red_component cfg =
+  let step seq = function
+    | Component.External packet ->
+      let payload = truncate cfg.max_len packet in
+      ( seq + 1,
+        [
+          Component.Send (w_red_crypto, payload);
+          Component.Send (w_red_censor, Fmt.str "HDR seq=%d len=%d" seq (String.length payload));
+        ] )
+    | Component.Recv (w, msg) when w = w_crypto_red -> (seq, [ Component.Output ("HOST " ^ msg) ])
+    | Component.Recv _ -> (seq, [])
+  in
+  Component.make ~name:"red" ~init:0 ~step
+
+(* The honest BLACK component: pair ciphertext with its header for
+   transmission; split inbound packets back into header and ciphertext. *)
+type black_st = { hdrs : string list; ciphers : string list }
+
+let black_component () =
+  let pair st =
+    match (st.hdrs, st.ciphers) with
+    | h :: hs, c :: cs ->
+      ({ hdrs = hs; ciphers = cs }, [ Component.Output (Fmt.str "PKT %s|%s" h c) ])
+    | _ -> (st, [])
+  in
+  let step st = function
+    | Component.Recv (w, cipher) when w = w_crypto_black -> pair { st with ciphers = st.ciphers @ [ cipher ] }
+    | Component.Recv (w, hdr) when w = w_censor_black -> pair { st with hdrs = st.hdrs @ [ hdr ] }
+    | Component.External packet -> begin
+      (* "PKT <header>|<cipher>" from the network *)
+      match Protocol.verb packet with
+      | "PKT" -> begin
+        let body = Protocol.tail 1 packet in
+        match String.index_opt body '|' with
+        | None -> (st, [])
+        | Some i ->
+          let hdr = String.sub body 0 i in
+          let cipher = String.sub body (i + 1) (String.length body - i - 1) in
+          (st, [ Component.Send (w_black_crypto, cipher); Component.Send (w_black_censor, hdr) ])
+      end
+      | _ -> (st, [])
+    end
+    | Component.Recv _ -> (st, [])
+  in
+  Component.make ~name:"black" ~init:{ hdrs = []; ciphers = [] } ~step
+
+let wires =
+  [
+    (* id 0 *) (Colour.red, Colour.make "CRYPTO-TX", 64);
+    (* id 1 *) (Colour.make "CRYPTO-TX", Colour.black, 64);
+    (* id 2 *) (Colour.red, Colour.make "CENSOR-TX", 64);
+    (* id 3 *) (Colour.make "CENSOR-TX", Colour.black, 64);
+    (* id 4 *) (Colour.black, Colour.make "CENSOR-RX", 64);
+    (* id 5 *) (Colour.make "CENSOR-RX", Colour.red, 64);
+    (* id 6 *) (Colour.black, Colour.make "CRYPTO-RX", 64);
+    (* id 7 *) (Colour.make "CRYPTO-RX", Colour.red, 64);
+  ]
+
+let topology cfg =
+  Topology.make
+    ~parts:
+      [
+        (red, red_component cfg);
+        (crypto_tx,
+         Crypto.component ~name:"crypto-tx" ~key:cfg.key ~direction:Crypto.Encrypt
+           ~in_wire:w_red_crypto ~out_wire:w_crypto_black);
+        (censor_tx,
+         Censor.component ~name:"censor-tx" ~mode:cfg.censor_mode ~in_wire:w_red_censor
+           ~out_wire:w_censor_black ~max_len:cfg.max_len ~quantum:cfg.quantum ());
+        (black, black_component ());
+        (censor_rx,
+         Censor.component ~name:"censor-rx" ~mode:cfg.censor_mode ~in_wire:w_black_censor
+           ~out_wire:w_censor_red ~max_len:cfg.max_len ~quantum:cfg.quantum ());
+        (crypto_rx,
+         Crypto.component ~name:"crypto-rx" ~key:cfg.key ~direction:Crypto.Decrypt
+           ~in_wire:w_black_crypto ~out_wire:w_crypto_red);
+      ]
+    ~wires
+
+type run_result = {
+  net_packets : string list;
+  host_packets : string list;
+  cleartext_on_net : string list;
+}
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  if n = 0 then true
+  else begin
+    let rec at i = if i + n > h then false else String.sub hay i n = needle || at (i + 1) in
+    at 0
+  end
+
+let run_duplex kind cfg ~outbound ~inbound ~steps =
+  let module Sub = (val Substrate.get kind) in
+  let sys = Sub.build (topology cfg) in
+  let inbound_packets =
+    List.mapi
+      (fun i p ->
+        let payload = truncate cfg.max_len p in
+        Fmt.str "PKT HDR seq=%d len=%d|%s" i (String.length payload)
+          (Crypto.encrypt cfg.key payload))
+      inbound
+  in
+  let externals n =
+    let out = List.filteri (fun i _ -> i = n) outbound in
+    let inb = List.filteri (fun i _ -> i = n) inbound_packets in
+    List.map (fun p -> (red, p)) out @ List.map (fun p -> (black, p)) inb
+  in
+  Sub.run sys ~steps ~externals;
+  let net_packets = Sub.outputs sys black in
+  let host_packets = Sub.outputs sys red in
+  let cleartext_on_net =
+    List.filter
+      (fun payload ->
+        payload <> ""
+        && List.exists (fun pkt -> contains ~needle:(truncate cfg.max_len payload) pkt) net_packets)
+      outbound
+  in
+  { net_packets; host_packets; cleartext_on_net }
+
+(* -- Covert bandwidth ------------------------------------------------------ *)
+
+type bandwidth = {
+  vector : Covert.vector;
+  mode : Censor.mode;
+  messages_sent : int;
+  headers_delivered : int;
+  bits_attempted : int;
+  bits_recovered : int;
+  bits_per_message : float;
+}
+
+let chunks k bits =
+  let rec loop acc rest =
+    match rest with
+    | [] -> List.rev acc
+    | _ ->
+      let chunk = List.filteri (fun i _ -> i < k) rest in
+      let rest = List.filteri (fun i _ -> i >= k) rest in
+      loop (chunk :: acc) rest
+  in
+  loop [] bits
+
+let measure_covert ?(config = default_config) ~vector ~mode ~messages ~seed () =
+  let cfg = { config with censor_mode = mode } in
+  let k = Covert.bits_per_message vector ~max_len:cfg.max_len ~quantum:cfg.quantum in
+  let rng = Prng.create seed in
+  let secret = List.init (messages * k) (fun _ -> Prng.bool rng) in
+  let leaky =
+    Covert.leaky_red ~name:"red-leaky" ~vector ~secret ~bypass_wire:w_red_censor
+      ~crypto_wire:w_red_crypto ~max_len:cfg.max_len ~quantum:cfg.quantum ()
+  in
+  let topo =
+    Topology.make
+      ~parts:
+        [
+          (red, leaky);
+          (crypto_tx,
+           Crypto.component ~name:"crypto-tx" ~key:cfg.key ~direction:Crypto.Encrypt
+             ~in_wire:w_red_crypto ~out_wire:w_crypto_black);
+          (censor_tx,
+           Censor.component ~name:"censor-tx" ~mode ~in_wire:w_red_censor
+             ~out_wire:w_censor_black ~max_len:cfg.max_len ~quantum:cfg.quantum ());
+          (black, Covert.sink ~name:"black-sink");
+        ]
+      ~wires:
+        [
+          (red, crypto_tx, 64);
+          (crypto_tx, black, 64);
+          (red, censor_tx, 64);
+          (censor_tx, black, 64);
+        ]
+  in
+  (* In this reduced topology the wire ids follow declaration order, which
+     matches the full SNFE's first four ids. *)
+  let module Sub = (val Substrate.get Substrate.Distributed) in
+  let sys = Sub.build topo in
+  Sub.run sys ~steps:(messages + 8) ~externals:(fun n -> if n < messages then [ (red, "TICK") ] else []);
+  let delivered = Covert.received_headers ~in_wire:3 (Sub.trace sys black) in
+  let expected = chunks k secret in
+  let decoded =
+    List.map (fun h -> Covert.decode_header vector ~max_len:cfg.max_len ~quantum:cfg.quantum h) delivered
+  in
+  let rec score exp dec acc =
+    match (exp, dec) with
+    | e :: es, Some d :: ds -> score es ds (if e = d then acc + k else acc)
+    | _ :: es, None :: ds -> score es ds acc
+    | _, [] | [], _ -> acc
+  in
+  let bits_recovered = score expected decoded 0 in
+  {
+    vector;
+    mode;
+    messages_sent = messages;
+    headers_delivered = List.length delivered;
+    bits_attempted = messages * k;
+    bits_recovered;
+    bits_per_message = float_of_int bits_recovered /. float_of_int (max 1 messages);
+  }
+
+let pp_bandwidth ppf b =
+  Fmt.pf ppf "%a under %a censor: %d/%d bits over %d msgs (%.2f bits/msg)" Covert.pp_vector
+    b.vector Censor.pp_mode b.mode b.bits_recovered b.bits_attempted b.messages_sent
+    b.bits_per_message

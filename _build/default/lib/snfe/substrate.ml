@@ -1,0 +1,33 @@
+module type S = sig
+  type t
+
+  val build : Sep_model.Topology.t -> t
+  val step : t -> externals:(Sep_model.Colour.t * Sep_model.Component.message) list -> unit
+
+  val run :
+    t -> steps:int ->
+    externals:(int -> (Sep_model.Colour.t * Sep_model.Component.message) list) -> unit
+
+  val trace : t -> Sep_model.Colour.t -> Sep_model.Component.obs list
+  val outputs : t -> Sep_model.Colour.t -> Sep_model.Component.message list
+end
+
+type kind =
+  | Distributed
+  | Kernelized
+
+module Kernelized_substrate = struct
+  include Sep_core.Regime_kernel
+
+  (* the substrate facade always runs the correct kernel *)
+  let build topo = Sep_core.Regime_kernel.build topo
+end
+
+let get = function
+  | Distributed -> (module Sep_distributed.Net : S)
+  | Kernelized -> (module Kernelized_substrate : S)
+
+let pp_kind ppf k =
+  Fmt.string ppf (match k with Distributed -> "distributed" | Kernelized -> "kernelized")
+
+let both = [ Distributed; Kernelized ]

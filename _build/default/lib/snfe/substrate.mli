@@ -1,0 +1,28 @@
+(** A common face over the two execution substrates.
+
+    Scenario code (SNFE, Guard, MLS system) runs unchanged on the
+    physically distributed network of boxes and on the separation kernel;
+    this module packs both behind one signature so harnesses can be
+    parametric in the substrate — and experiment E7 can diff them. *)
+
+module type S = sig
+  type t
+
+  val build : Sep_model.Topology.t -> t
+  val step : t -> externals:(Sep_model.Colour.t * Sep_model.Component.message) list -> unit
+
+  val run :
+    t -> steps:int ->
+    externals:(int -> (Sep_model.Colour.t * Sep_model.Component.message) list) -> unit
+
+  val trace : t -> Sep_model.Colour.t -> Sep_model.Component.obs list
+  val outputs : t -> Sep_model.Colour.t -> Sep_model.Component.message list
+end
+
+type kind =
+  | Distributed  (** {!Sep_distributed.Net}: separate boxes, physical wires *)
+  | Kernelized  (** {!Sep_core.Regime_kernel}: one processor, one kernel *)
+
+val get : kind -> (module S)
+val pp_kind : Format.formatter -> kind -> unit
+val both : kind list

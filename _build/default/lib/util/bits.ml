@@ -1,0 +1,40 @@
+let bits_of_bytes b =
+  let out = ref [] in
+  for i = Bytes.length b - 1 downto 0 do
+    let c = Char.code (Bytes.get b i) in
+    (* Prepending bit 0 first leaves bit 7 (the MSB) at the head. *)
+    for j = 0 to 7 do
+      out := (c land (1 lsl j) <> 0) :: !out
+    done
+  done;
+  !out
+
+let bytes_of_bits bits =
+  let n = List.length bits in
+  let nbytes = (n + 7) / 8 in
+  let out = Bytes.make nbytes '\000' in
+  List.iteri
+    (fun i bit ->
+      if bit then begin
+        let byte = i / 8 and off = i mod 8 in
+        let c = Char.code (Bytes.get out byte) in
+        Bytes.set out byte (Char.chr (c lor (1 lsl (7 - off))))
+      end)
+    bits;
+  out
+
+let int_to_bits ~width n =
+  assert (width >= 0 && width <= 62);
+  let rec loop i acc = if i >= width then acc else loop (i + 1) ((n land (1 lsl i) <> 0) :: acc) in
+  loop 0 []
+
+let bits_to_int bits =
+  assert (List.length bits <= 62);
+  List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 bits
+
+let popcount n =
+  assert (n >= 0);
+  let rec loop n acc = if n = 0 then acc else loop (n lsr 1) (acc + (n land 1)) in
+  loop n 0
+
+let parity bits = List.fold_left (fun acc b -> acc <> b) false bits

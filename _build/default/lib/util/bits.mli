@@ -1,0 +1,25 @@
+(** Bit-level codecs.
+
+    Covert-channel encoders and the crypto unit manipulate data one bit at a
+    time; this module keeps the bit ordering conventions in one place.
+    Bits are ordered most-significant first within a byte. *)
+
+val bits_of_bytes : bytes -> bool list
+(** Expand to bits, MSB first per byte, bytes in order. *)
+
+val bytes_of_bits : bool list -> bytes
+(** Inverse of {!bits_of_bytes}; the list is padded with [false] up to a
+    whole number of bytes. *)
+
+val int_to_bits : width:int -> int -> bool list
+(** [int_to_bits ~width n] is the low [width] bits of [n], MSB first.
+    Requires [0 <= width <= 62]. *)
+
+val bits_to_int : bool list -> int
+(** Interpret MSB first. Requires length <= 62. *)
+
+val popcount : int -> int
+(** Number of set bits in a nonnegative int. *)
+
+val parity : bool list -> bool
+(** XOR of all bits. *)

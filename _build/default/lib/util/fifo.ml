@@ -1,0 +1,30 @@
+type 'a t = { capacity : int; q : 'a Queue.t }
+
+let create ~capacity =
+  assert (capacity >= 1);
+  { capacity; q = Queue.create () }
+
+let capacity t = t.capacity
+
+let length t = Queue.length t.q
+
+let is_empty t = Queue.is_empty t.q
+
+let is_full t = Queue.length t.q >= t.capacity
+
+let push t x =
+  if is_full t then false
+  else begin
+    Queue.push x t.q;
+    true
+  end
+
+let pop t = Queue.take_opt t.q
+
+let peek t = Queue.peek_opt t.q
+
+let clear t = Queue.clear t.q
+
+let to_list t = List.of_seq (Queue.to_seq t.q)
+
+let copy t = { capacity = t.capacity; q = Queue.copy t.q }

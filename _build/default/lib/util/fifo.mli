@@ -1,0 +1,36 @@
+(** Bounded first-in first-out queues.
+
+    Used for communication wires, interrupt queues and spool queues. A
+    bounded capacity models the finite buffering of real channels; [push]
+    reports whether the element was accepted so callers must handle
+    back-pressure explicitly. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] is an empty queue holding at most [capacity]
+    elements. Requires [capacity >= 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push q x] appends [x]; returns [false] (and leaves [q] unchanged) when
+    the queue is full. *)
+
+val pop : 'a t -> 'a option
+(** [pop q] removes and returns the oldest element. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Oldest first. Does not modify the queue. *)
+
+val copy : 'a t -> 'a t

@@ -1,0 +1,20 @@
+(** Small descriptive statistics over float samples, for the benchmark and
+    experiment harnesses. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists of length < 2. *)
+
+val minimum : float list -> float
+(** Requires a non-empty list. *)
+
+val maximum : float list -> float
+(** Requires a non-empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method.
+    Requires a non-empty list. *)
+
+val total : float list -> float

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest List Sep_apps Sep_components Sep_snfe

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Fmt List QCheck QCheck_alcotest Sep_components Sep_distributed Sep_lattice Sep_model Sep_util String

@@ -1,0 +1,1 @@
+test/test_conventional.ml: Alcotest List Sep_conventional Sep_lattice

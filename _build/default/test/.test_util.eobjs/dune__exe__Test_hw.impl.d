@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Fmt QCheck QCheck_alcotest Sep_hw

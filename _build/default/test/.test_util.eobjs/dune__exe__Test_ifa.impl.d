@@ -1,0 +1,1 @@
+test/test_ifa.ml: Alcotest List Sep_ifa Sep_lattice

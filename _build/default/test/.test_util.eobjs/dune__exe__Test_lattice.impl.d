@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest QCheck QCheck_alcotest Sep_lattice

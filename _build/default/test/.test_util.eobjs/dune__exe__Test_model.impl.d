@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Fmt Fun Hashtbl List Sep_model

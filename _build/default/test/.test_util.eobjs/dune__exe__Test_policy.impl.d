@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Fmt List Sep_apps Sep_lattice Sep_model Sep_policy Sep_snfe Sep_util String

@@ -1,0 +1,1 @@
+test/test_snfe.ml: Alcotest Fmt List Sep_components Sep_snfe String

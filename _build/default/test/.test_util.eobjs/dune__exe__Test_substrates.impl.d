@@ -1,0 +1,1 @@
+test/test_substrates.ml: Alcotest Array Fmt List QCheck QCheck_alcotest Sep_apps Sep_core Sep_distributed Sep_model Sep_snfe Sep_util String

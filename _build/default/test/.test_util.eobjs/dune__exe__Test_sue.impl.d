@@ -1,0 +1,1 @@
+test/test_sue.ml: Alcotest Array Fmt List QCheck QCheck_alcotest Sep_core Sep_hw Sep_model Sep_util String

@@ -1,0 +1,119 @@
+(* Tests for the assembled applications: the MLS multi-user system and the
+   ACCAT Guard (E8), on both substrates. *)
+
+module Mls = Sep_apps.Mls
+module Guard_app = Sep_apps.Guard_app
+module Guard = Sep_components.Guard
+module Substrate = Sep_snfe.Substrate
+
+let screen result colour =
+  match List.assoc_opt colour result.Mls.screens with
+  | Some lines -> lines
+  | None -> Alcotest.fail "missing screen"
+
+let saw result colour line = List.mem line (screen result colour)
+
+let run_mls kind = Mls.run kind Mls.demo_script
+
+let test_mls_login kind () =
+  let r = run_mls kind in
+  Alcotest.(check bool) "alice welcomed" true (saw r Mls.alice "WELCOME alice 0");
+  Alcotest.(check bool) "bob welcomed at secret" true (saw r Mls.bob "WELCOME bob 2")
+
+let test_mls_blp kind () =
+  let r = run_mls kind in
+  Alcotest.(check bool) "alice reads her own file" true
+    (saw r Mls.alice "DATA spool/a1 hello from alice");
+  Alcotest.(check bool) "bob reads down" true (saw r Mls.bob "DATA spool/a1 hello from alice");
+  Alcotest.(check bool) "alice cannot even see bob's file" true (saw r Mls.alice "NOFILE spool/b1");
+  Alcotest.(check bool) "alice can create up, blindly" true (saw r Mls.alice "SENT memo/high");
+  Alcotest.(check bool) "and cannot read it back" true (saw r Mls.alice "NOFILE memo/high")
+
+let test_mls_printing kind () =
+  let r = run_mls kind in
+  Alcotest.(check bool) "alice's job done" true (saw r Mls.alice "PRINTED spool/a1");
+  Alcotest.(check bool) "bob's job done" true (saw r Mls.bob "PRINTED spool/b1");
+  Alcotest.(check bool) "banner carries alice's level" true
+    (List.mem "BANNER 0 spool/a1" r.Mls.printer_output);
+  Alcotest.(check bool) "banner carries bob's level" true
+    (List.mem "BANNER 2 spool/b1" r.Mls.printer_output);
+  Alcotest.(check bool) "secret body printed" true
+    (List.mem "move the fleet at dawn -- addendum" r.Mls.printer_output)
+
+let test_mls_cleanup_without_trust kind () =
+  let r = run_mls kind in
+  Alcotest.(check (list string)) "no spool files left over" [] r.Mls.spool_files_left
+
+let test_mls_job_order () =
+  (* jobs must not interleave on the printer *)
+  let r = run_mls Substrate.Kernelized in
+  let trailers_after_banners =
+    let rec scan depth = function
+      | [] -> depth = 0
+      | line :: rest ->
+        let v = Sep_components.Protocol.verb line in
+        if v = "BANNER" then depth = 0 && scan 1 rest
+        else if v = "TRAILER" then depth = 1 && scan 0 rest
+        else scan depth rest
+    in
+    scan 0 r.Mls.printer_output
+  in
+  Alcotest.(check bool) "banner/trailer bracketing" true trailers_after_banners
+
+(* -- guard (E8) -------------------------------------------------------------------- *)
+
+let run_guard kind = Guard_app.run kind Guard_app.demo_script
+
+let test_guard_low_to_high_unhindered kind () =
+  let r = run_guard kind in
+  Alcotest.(check (list string)) "all LOW traffic arrives"
+    [ "weather report: clear skies"; "supply request: more tea" ]
+    r.Guard_app.high_screen
+
+let test_guard_review_flow kind () =
+  let r = run_guard kind in
+  Alcotest.(check (list string)) "officer sees both"
+    [
+      "REVIEW 0 declassify: convoy arrived safely";
+      "REVIEW 1 secret: submarine positions";
+    ]
+    r.Guard_app.officer_screen;
+  Alcotest.(check (list string)) "LOW sees only the release"
+    [ "declassify: convoy arrived safely" ]
+    r.Guard_app.low_screen
+
+let test_guard_stats kind () =
+  let r = run_guard kind in
+  let s = r.Guard_app.stats in
+  Alcotest.(check int) "passed up" 2 s.Guard.passed_up;
+  Alcotest.(check int) "reviewed" 2 s.Guard.reviewed;
+  Alcotest.(check int) "released" 1 s.Guard.released;
+  Alcotest.(check int) "denied" 1 s.Guard.denied
+
+let test_guard_denied_leaves_no_trace () =
+  let r = run_guard Substrate.Kernelized in
+  Alcotest.(check bool) "denied text absent from LOW" true
+    (not (List.exists (fun l -> l = "secret: submarine positions") r.Guard_app.low_screen))
+
+let per_substrate name f =
+  [
+    Alcotest.test_case (name ^ " (distributed)") `Quick (f Substrate.Distributed);
+    Alcotest.test_case (name ^ " (kernelized)") `Quick (f Substrate.Kernelized);
+  ]
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "mls system",
+        per_substrate "login" test_mls_login
+        @ per_substrate "bell-lapadula" test_mls_blp
+        @ per_substrate "printing" test_mls_printing
+        @ per_substrate "cleanup without trust" test_mls_cleanup_without_trust
+        @ [ Alcotest.test_case "job bracketing" `Quick test_mls_job_order ] );
+      ( "guard (E8)",
+        per_substrate "low to high" test_guard_low_to_high_unhindered
+        @ per_substrate "review flow" test_guard_review_flow
+        @ per_substrate "stats" test_guard_stats
+        @ [ Alcotest.test_case "denied leaves no trace" `Quick test_guard_denied_leaves_no_trace ]
+      );
+    ]

@@ -1,0 +1,664 @@
+(* Tests for the trusted components: protocol codecs, crypto, file server
+   (BLP per session), printer server, authentication, censor, guard and
+   the covert encoders. *)
+
+module Component = Sep_model.Component
+module Sclass = Sep_lattice.Sclass
+module Protocol = Sep_components.Protocol
+module Crypto = Sep_components.Crypto
+module File_server = Sep_components.File_server
+module Printer_server = Sep_components.Printer_server
+module Auth = Sep_components.Auth
+module Censor = Sep_components.Censor
+module Guard = Sep_components.Guard
+module Covert = Sep_components.Covert
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let feed = Component.feed
+
+let recv w m = Component.Recv (w, m)
+
+let sends actions =
+  List.filter_map (function Component.Send (w, m) -> Some (w, m) | Component.Output _ -> None) actions
+
+(* -- protocol ----------------------------------------------------------------- *)
+
+let test_protocol_words () =
+  Alcotest.(check (list string)) "split" [ "A"; "b"; "c" ] (Protocol.words "A b  c");
+  Alcotest.(check string) "verb" "A" (Protocol.verb "A b");
+  Alcotest.(check string) "verb of empty" "" (Protocol.verb "")
+
+let test_protocol_tail () =
+  Alcotest.(check string) "tail 1" "b c d" (Protocol.tail 1 "a b c d");
+  Alcotest.(check string) "tail 2" "c d" (Protocol.tail 2 "a b c d");
+  Alcotest.(check string) "tail beyond" "" (Protocol.tail 5 "a b")
+
+let test_protocol_int_field () =
+  Alcotest.(check (option int)) "found" (Some 12) (Protocol.int_field "seq" "HDR seq=12 len=3");
+  Alcotest.(check (option int)) "missing" None (Protocol.int_field "foo" "HDR seq=12");
+  Alcotest.(check (option int)) "garbage value" None (Protocol.int_field "seq" "HDR seq=xy")
+
+let class_roundtrip =
+  QCheck.Test.make ~name:"class wire codec roundtrip" ~count:200
+    QCheck.(pair (int_range 0 5) (list_of_size (QCheck.Gen.int_range 0 3) (oneofl [ "NATO"; "CRYPTO" ])))
+    (fun (level, comps) ->
+      let c = Sclass.with_compartments (Sclass.make ~level ()) comps in
+      match Protocol.class_of_wire (Protocol.class_to_wire c) with
+      | Some c' -> Sclass.equal c c'
+      | None -> false)
+
+(* -- crypto ------------------------------------------------------------------- *)
+
+let crypto_roundtrip =
+  QCheck.Test.make ~name:"decrypt . encrypt = id" ~count:300
+    QCheck.(pair small_int string)
+    (fun (k, s) ->
+      let key = Crypto.key_of_int k in
+      Crypto.decrypt key (Crypto.encrypt key s) = s)
+
+let test_crypto_actually_scrambles () =
+  let key = Crypto.key_of_int 0xBEEF in
+  let c = Crypto.encrypt key "attack at dawn" in
+  Alcotest.(check bool) "ciphertext differs" true (c <> "attack at dawn");
+  (* the payload must not survive in clear inside the ciphertext body *)
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "no cleartext inside" false (contains c "attack")
+
+let test_crypto_key_matters () =
+  let c1 = Crypto.encrypt (Crypto.key_of_int 1) "same message" in
+  let c2 = Crypto.encrypt (Crypto.key_of_int 2) "same message" in
+  Alcotest.(check bool) "keys differentiate" true (c1 <> c2);
+  Alcotest.(check bool) "wrong key garbles" true
+    (Crypto.decrypt (Crypto.key_of_int 2) c1 <> "same message")
+
+let test_crypto_component_direction () =
+  let key = Crypto.key_of_int 77 in
+  let enc = Component.instantiate (Crypto.component ~name:"e" ~key ~direction:Crypto.Encrypt ~in_wire:0 ~out_wire:1) in
+  let dec = Component.instantiate (Crypto.component ~name:"d" ~key ~direction:Crypto.Decrypt ~in_wire:1 ~out_wire:2) in
+  match feed enc (recv 0 "hello") with
+  | [ Component.Send (1, cipher) ] -> begin
+    match feed dec (recv 1 cipher) with
+    | [ Component.Send (2, plain) ] -> Alcotest.(check string) "roundtrip through boxes" "hello" plain
+    | _ -> Alcotest.fail "decryptor misbehaved"
+  end
+  | _ -> Alcotest.fail "encryptor misbehaved"
+
+let test_crypto_component_ignores_other_wires () =
+  let key = Crypto.key_of_int 77 in
+  let enc = Component.instantiate (Crypto.component ~name:"e" ~key ~direction:Crypto.Encrypt ~in_wire:0 ~out_wire:1) in
+  Alcotest.(check int) "other wire ignored" 0 (List.length (feed enc (recv 5 "x")));
+  Alcotest.(check int) "external ignored" 0 (List.length (feed enc (Component.External "x")))
+
+(* -- file server ---------------------------------------------------------------- *)
+
+let fs_sessions =
+  [
+    { File_server.wire_in = 0; wire_out = 1; clearance = Sclass.unclassified; privileged = false };
+    { File_server.wire_in = 2; wire_out = 3; clearance = Sclass.secret; privileged = false };
+    { File_server.wire_in = 4; wire_out = 5; clearance = Sclass.unclassified; privileged = true };
+  ]
+
+let fresh_fs () =
+  Component.instantiate (File_server.component ~name:"fs" ~sessions:fs_sessions ~control_wire:9 ())
+
+let expect_reply name inst wire msg expected =
+  match feed inst (recv wire msg) with
+  | [ Component.Send (w, reply) ] ->
+    Alcotest.(check int) (name ^ " reply wire") (wire + 1) w;
+    Alcotest.(check string) name expected reply
+  | _ -> Alcotest.fail (name ^ ": expected exactly one reply")
+
+let test_fs_create_read () =
+  let fs = fresh_fs () in
+  expect_reply "create" fs 0 "CREATE memo 0 hello world" "OK memo";
+  expect_reply "read back" fs 0 "READ memo" "DATA memo hello world";
+  expect_reply "exists" fs 0 "CREATE memo 0 again" "EXISTS memo";
+  expect_reply "read down from secret" fs 2 "READ memo" "DATA memo hello world"
+
+let test_fs_no_read_up () =
+  let fs = fresh_fs () in
+  expect_reply "secret creates" fs 2 "CREATE plan 2 fleet positions" "OK plan";
+  (* not DENIED: even the existence of the high instance is hidden *)
+  expect_reply "unclass sees nothing" fs 0 "READ plan" "NOFILE plan";
+  expect_reply "nor in listings" fs 0 "LIST" "FILES ";
+  expect_reply "secret can" fs 2 "READ plan" "DATA plan fleet positions"
+
+let test_fs_no_write_down () =
+  let fs = fresh_fs () in
+  expect_reply "create low" fs 0 "CREATE memo 0 v1" "OK memo";
+  expect_reply "secret cannot write down" fs 2 "WRITE memo v2" "DENIED memo";
+  expect_reply "secret cannot delete down" fs 2 "DELETE memo" "DENIED memo";
+  expect_reply "secret cannot append down" fs 2 "APPEND memo x" "DENIED memo";
+  expect_reply "unchanged" fs 0 "READ memo" "DATA memo v1"
+
+let test_fs_blind_write_up () =
+  let fs = fresh_fs () in
+  expect_reply "create up is blind" fs 0 "CREATE drop 2 for bob" "SENT drop";
+  expect_reply "nothing visible below" fs 0 "READ drop" "NOFILE drop";
+  (* a second blind drop is swallowed without feedback: no existence leak *)
+  expect_reply "re-send acknowledged identically" fs 0 "CREATE drop 2 overwrite?" "SENT drop";
+  expect_reply "upper level got the first" fs 2 "READ drop" "DATA drop for bob";
+  expect_reply "create below own level denied" fs 2 "CREATE low 0 x" "DENIED low"
+
+let test_fs_list_filters () =
+  let fs = fresh_fs () in
+  expect_reply "low file" fs 0 "CREATE a 0 x" "OK a";
+  expect_reply "high file" fs 2 "CREATE b 2 y" "OK b";
+  expect_reply "low sees low" fs 0 "LIST" "FILES a";
+  expect_reply "high sees both" fs 2 "LIST" "FILES a b"
+
+let test_fs_privileged_session () =
+  let fs = fresh_fs () in
+  expect_reply "secret file" fs 2 "CREATE plan 2 secret stuff" "OK plan";
+  expect_reply "printer reads any" fs 4 "READ-ANY plan" "ADATA plan 2 secret stuff";
+  expect_reply "printer deletes that instance" fs 4 "DELETE-ANY plan 2" "OK plan";
+  expect_reply "gone" fs 2 "READ plan" "NOFILE plan";
+  (* but an unprivileged session cannot use the privileged verbs *)
+  expect_reply "not for users" fs 0 "READ-ANY plan" "BADREQ"
+
+let test_fs_control_rebinds_clearance () =
+  let fs = fresh_fs () in
+  expect_reply "secret file" fs 2 "CREATE plan 2 xyz" "OK plan";
+  expect_reply "unclass sees nothing" fs 0 "READ plan" "NOFILE plan";
+  (* the auth service promotes session 0 to SECRET *)
+  Alcotest.(check int) "control is silent" 0
+    (List.length (feed fs (recv 9 "SESSION 0 2")));
+  expect_reply "now readable" fs 0 "READ plan" "DATA plan xyz"
+
+let test_fs_nofile_and_badreq () =
+  let fs = fresh_fs () in
+  expect_reply "nofile" fs 0 "READ ghost" "NOFILE ghost";
+  expect_reply "badreq" fs 0 "FROB x" "BADREQ";
+  expect_reply "bad class" fs 0 "CREATE x nonsense data" "DENIED x"
+
+let test_fs_seed () =
+  let fs =
+    Component.instantiate
+      (File_server.component ~name:"fs" ~sessions:fs_sessions
+         ~seed:[ ("boot", Sclass.unclassified, "init") ] ())
+  in
+  expect_reply "seeded file" fs 0 "READ boot" "DATA boot init"
+
+let test_fs_privileged_list_create () =
+  let fs = fresh_fs () in
+  expect_reply "low" fs 0 "CREATE a 0 xx" "OK a";
+  expect_reply "high" fs 2 "CREATE b 2 yy" "OK b";
+  expect_reply "list-any sees all with classes" fs 4 "LIST-ANY" "AFILES a:0 b:2";
+  expect_reply "create-any at a foreign level" fs 4 "CREATE-ANY c 3 zz" "OK c";
+  expect_reply "create-any respects existence" fs 4 "CREATE-ANY a 0 dup" "EXISTS a";
+  expect_reply "ordinary sessions cannot" fs 0 "CREATE-ANY d 0 q" "BADREQ"
+
+(* compartments: need-to-know is orthogonal to rank *)
+let test_fs_compartments () =
+  let crypto = Sclass.with_compartments Sclass.secret [ "CRYPTO" ] in
+  let nato = Sclass.with_compartments Sclass.secret [ "NATO" ] in
+  let fs =
+    Component.instantiate
+      (File_server.component ~name:"fs"
+         ~sessions:
+           [
+             { File_server.wire_in = 0; wire_out = 1; clearance = crypto; privileged = false };
+             { File_server.wire_in = 2; wire_out = 3; clearance = nato; privileged = false };
+             { File_server.wire_in = 4; wire_out = 5; clearance = Sclass.top_secret; privileged = false };
+           ]
+         ())
+  in
+  let crypto_str = Protocol.class_to_wire crypto in
+  expect_reply "crypto analyst files a report" fs 0
+    (Fmt.str "CREATE report %s keys rotated" crypto_str)
+    "OK report";
+  (* same rank, different compartment: invisible in both directions *)
+  expect_reply "nato officer cannot see it" fs 2 "READ report" "NOFILE report";
+  expect_reply "nato officer cannot touch it" fs 2 "DELETE report" "NOFILE report";
+  (* higher rank without the compartment still does not dominate *)
+  expect_reply "top secret alone is not enough" fs 4 "READ report" "NOFILE report"
+
+(* -- multilevel noninterference (the Feiertag-model claim of Section 2) ------------ *)
+
+(* "It turns out that the role of a multilevel secure file-server matches
+   the security model developed at SRI": relationally — a low session's
+   replies must be a function of low-visible state only, whatever the high
+   sessions do. The generator drives both sessions with arbitrary request
+   scripts and compares the low session's replies across two runs that
+   differ only in the high session's script. *)
+
+let random_fs_request rng ~own ~up =
+  let file () = Sep_util.Prng.choose rng [| "f0"; "f1"; "f2" |] in
+  match Sep_util.Prng.int rng 8 with
+  | 0 -> Fmt.str "CREATE %s %s d%d" (file ()) own (Sep_util.Prng.int rng 4)
+  | 1 -> Fmt.str "CREATE %s %s u%d" (file ()) up (Sep_util.Prng.int rng 4)
+  | 2 | 3 -> Fmt.str "READ %s" (file ())
+  | 4 -> Fmt.str "WRITE %s w%d" (file ()) (Sep_util.Prng.int rng 4)
+  | 5 -> Fmt.str "APPEND %s a%d" (file ()) (Sep_util.Prng.int rng 4)
+  | 6 -> Fmt.str "DELETE %s" (file ())
+  | _ -> "LIST"
+
+let low_replies ~low_script ~high_script =
+  let fs = fresh_fs () in
+  let replies = ref [] in
+  List.iter2
+    (fun low high ->
+      let low_actions = feed fs (recv 0 low) in
+      List.iter
+        (function Component.Send (1, m) -> replies := m :: !replies | _ -> ())
+        low_actions;
+      ignore (feed fs (recv 2 high)))
+    low_script high_script;
+  List.rev !replies
+
+let fs_mls_noninterference =
+  QCheck.Test.make ~name:"high activity cannot influence low replies" ~count:150
+    QCheck.small_int
+    (fun seed ->
+      let rng = Sep_util.Prng.create seed in
+      let script ~own ~up n = List.init n (fun _ -> random_fs_request rng ~own ~up) in
+      let low = script ~own:"0" ~up:"2" 20 in
+      let high_a = script ~own:"2" ~up:"3" 20 in
+      let high_b = script ~own:"2" ~up:"3" 20 in
+      low_replies ~low_script:low ~high_script:high_a
+      = low_replies ~low_script:low ~high_script:high_b)
+
+let fs_reads_below_do_matter =
+  (* sanity for the property above: low activity IS visible to high (read
+     down is the whole point), so the symmetric statement must fail *)
+  QCheck.Test.make ~name:"low activity is visible to high (sanity)" ~count:1 QCheck.unit
+    (fun () ->
+      let observe low_first =
+        let fs = fresh_fs () in
+        if low_first then ignore (feed fs (recv 0 "CREATE f0 0 visible"));
+        match feed fs (recv 2 "READ f0") with
+        | [ Component.Send (3, m) ] -> m
+        | _ -> "?"
+      in
+      observe true <> observe false)
+
+(* -- hex codec ----------------------------------------------------------------------- *)
+
+let hex_roundtrip =
+  QCheck.Test.make ~name:"hex codec roundtrip" ~count:300 QCheck.string (fun s ->
+      Protocol.of_hex (Protocol.to_hex s) = Some s)
+
+let test_hex_rejects () =
+  Alcotest.(check (option string)) "odd length" None (Protocol.of_hex "abc");
+  Alcotest.(check (option string)) "bad digits" None (Protocol.of_hex "zz")
+
+(* -- dump/restore -------------------------------------------------------------------- *)
+
+module Dump_restore = Sep_components.Dump_restore
+
+let entry_roundtrip =
+  QCheck.Test.make ~name:"archive entry roundtrip" ~count:200
+    QCheck.(pair (int_range 0 4) string)
+    (fun (level, data) ->
+      let cls = Sclass.with_compartments (Sclass.make ~level ()) [ "CRYPTO" ] in
+      Dump_restore.decode_entry (Dump_restore.encode_entry ~name:"file" ~cls ~data)
+      = Some ("file", cls, data))
+
+(* A little machine room: file server + backup service + operator console. *)
+let backup_topology seed_files =
+  let module Colour = Sep_model.Colour in
+  let fs_colour = Colour.make "FS" in
+  let backup = Colour.make "BACKUP" in
+  let operator = Colour.make "OPERATOR" in
+  (* wires: 0 backup->fs, 1 fs->backup, 2 backup->operator *)
+  let fs =
+    File_server.component ~name:"fs"
+      ~sessions:[ { File_server.wire_in = 0; wire_out = 1; clearance = Sclass.unclassified; privileged = true } ]
+      ~seed:seed_files ()
+  in
+  let svc = Dump_restore.component ~name:"backup" ~fs_out:0 ~fs_in:1 ~operator_out:2 in
+  let console =
+    Sep_model.Component.stateless ~name:"operator" (function
+      | Sep_model.Component.External m -> [ Sep_model.Component.Send (99, m) ]
+      | Sep_model.Component.Recv (_, m) -> [ Sep_model.Component.Output m ])
+  in
+  ( Sep_model.Topology.make
+      ~parts:[ (fs_colour, fs); (backup, svc); (operator, console) ]
+      ~wires:[ (backup, fs_colour, 8); (fs_colour, backup, 8); (backup, operator, 8) ],
+    backup,
+    operator )
+
+let run_backup topo colour ~steps ~externals =
+  let net = Sep_distributed.Net.build topo in
+  Sep_distributed.Net.run net ~steps ~externals;
+  (Sep_distributed.Net.outputs net colour, net)
+
+let test_dump_collects_all_levels () =
+  let seed =
+    [
+      ("memo", Sclass.unclassified, "hello");
+      ("plan", Sclass.secret, "fleet at dawn");
+    ]
+  in
+  let topo, backup, operator = backup_topology seed in
+  let tape, net = run_backup topo backup ~steps:20 ~externals:(fun n -> if n = 0 then [ (backup, "DUMP") ] else []) in
+  (match tape with
+  | [ archive ] -> begin
+    Alcotest.(check string) "verb" "ARCHIVE" (Protocol.verb archive);
+    let entries =
+      String.split_on_char ';' (Protocol.tail 1 archive) |> List.filter_map Dump_restore.decode_entry
+    in
+    Alcotest.(check int) "both levels dumped" 2 (List.length entries);
+    Alcotest.(check bool) "secret contents present" true
+      (List.exists (fun (n, c, d) -> n = "plan" && Sclass.equal c Sclass.secret && d = "fleet at dawn") entries)
+  end
+  | _ -> Alcotest.fail "expected exactly one archive on the tape");
+  Alcotest.(check (list string)) "operator notified" [ "DUMPED 2" ]
+    (Sep_distributed.Net.outputs net operator)
+
+let test_dump_restore_roundtrip () =
+  let seed = [ ("a", Sclass.unclassified, "one"); ("b", Sclass.secret, "two words") ] in
+  (* dump from a seeded system *)
+  let topo, backup, _ = backup_topology seed in
+  let tape, _ = run_backup topo backup ~steps:20 ~externals:(fun n -> if n = 0 then [ (backup, "DUMP") ] else []) in
+  let archive = List.hd tape in
+  (* restore into an empty system, then dump again *)
+  let topo2, backup2, operator2 = backup_topology [] in
+  let net2 = Sep_distributed.Net.build topo2 in
+  Sep_distributed.Net.run net2 ~steps:40 ~externals:(fun n ->
+      if n = 0 then [ (backup2, "RESTORE " ^ Protocol.tail 1 archive) ]
+      else if n = 20 then [ (backup2, "DUMP") ]
+      else []);
+  Alcotest.(check (list string)) "restored then re-dumped identically"
+    [ "RESTORED 2 0"; "DUMPED 2" ]
+    (Sep_distributed.Net.outputs net2 operator2);
+  let tape2 = Sep_distributed.Net.outputs net2 backup2 in
+  Alcotest.(check (list string)) "archives identical" [ archive ] tape2
+
+let test_restore_skips_existing () =
+  let seed = [ ("a", Sclass.unclassified, "one") ] in
+  let topo, backup, operator = backup_topology seed in
+  let entry = Dump_restore.encode_entry ~name:"a" ~cls:Sclass.unclassified ~data:"evil" in
+  let entry2 = Dump_restore.encode_entry ~name:"b" ~cls:Sclass.secret ~data:"new" in
+  let net = Sep_distributed.Net.build topo in
+  Sep_distributed.Net.run net ~steps:20 ~externals:(fun n ->
+      if n = 0 then [ (backup, Fmt.str "RESTORE %s;%s" entry entry2) ] else []);
+  Alcotest.(check (list string)) "existing file untouched" [ "RESTORED 1 1" ]
+    (Sep_distributed.Net.outputs net operator)
+
+(* -- printer server --------------------------------------------------------------- *)
+
+let test_printer_flow () =
+  let prt =
+    Component.instantiate
+      (Printer_server.component ~name:"prt"
+         ~users:[ { Printer_server.wire_in = 0; wire_out = 1 } ]
+         ~fs_out:8 ~fs_in:9)
+  in
+  (match feed prt (recv 0 "PRINT spool/x") with
+  | [ Component.Send (8, "READ-ANY spool/x") ] -> ()
+  | _ -> Alcotest.fail "expected a privileged read");
+  (match feed prt (recv 9 "ADATA spool/x 2 the content") with
+  | [ Component.Output banner; Component.Output body; Component.Output trailer; Component.Send (8, del) ] ->
+    Alcotest.(check string) "banner carries the class" "BANNER 2 spool/x" banner;
+    Alcotest.(check string) "body" "the content" body;
+    Alcotest.(check string) "trailer" "TRAILER spool/x" trailer;
+    Alcotest.(check string) "cleanup targets the printed instance" "DELETE-ANY spool/x 2" del
+  | _ -> Alcotest.fail "expected print then delete");
+  match feed prt (recv 9 "OK spool/x") with
+  | [ Component.Send (1, "PRINTED spool/x") ] -> ()
+  | _ -> Alcotest.fail "expected completion notice"
+
+let test_printer_serializes () =
+  let prt =
+    Component.instantiate
+      (Printer_server.component ~name:"prt"
+         ~users:[ { Printer_server.wire_in = 0; wire_out = 1 } ]
+         ~fs_out:8 ~fs_in:9)
+  in
+  ignore (feed prt (recv 0 "PRINT a"));
+  Alcotest.(check int) "second job queued, no fetch yet" 0
+    (List.length (feed prt (recv 0 "PRINT b")));
+  ignore (feed prt (recv 9 "ADATA a 0 body-a"));
+  match feed prt (recv 9 "OK a") with
+  | [ Component.Send (1, "PRINTED a"); Component.Send (8, "READ-ANY b") ] -> ()
+  | _ -> Alcotest.fail "expected b to start after a completed"
+
+let test_printer_missing_file () =
+  let prt =
+    Component.instantiate
+      (Printer_server.component ~name:"prt"
+         ~users:[ { Printer_server.wire_in = 0; wire_out = 1 } ]
+         ~fs_out:8 ~fs_in:9)
+  in
+  ignore (feed prt (recv 0 "PRINT ghost"));
+  match feed prt (recv 9 "NOFILE ghost") with
+  | [ Component.Send (1, "FAILED ghost") ] -> ()
+  | _ -> Alcotest.fail "expected failure notice"
+
+(* -- auth -------------------------------------------------------------------------- *)
+
+let auth_component () =
+  Component.instantiate
+    (Auth.component ~name:"auth"
+       ~accounts:[ { Auth.user = "alice"; password = "pw"; clearance = Sclass.secret } ]
+       ~terminals:[ { Auth.term_in = 0; term_out = 1; fs_session = 7 } ]
+       ~fs_control:9 ~max_attempts:2 ())
+
+let test_auth_success () =
+  let a = auth_component () in
+  match feed a (recv 0 "LOGIN alice pw") with
+  | [ Component.Send (9, session); Component.Send (1, welcome) ] ->
+    Alcotest.(check string) "binds the fs session" "SESSION 7 2" session;
+    Alcotest.(check string) "welcome" "WELCOME alice 2" welcome
+  | _ -> Alcotest.fail "expected session binding and welcome"
+
+let test_auth_failure_and_lockout () =
+  let a = auth_component () in
+  (match feed a (recv 0 "LOGIN alice wrong") with
+  | [ Component.Send (1, "BADAUTH") ] -> ()
+  | _ -> Alcotest.fail "expected BADAUTH");
+  (match feed a (recv 0 "LOGIN alice wrong") with
+  | [ Component.Send (1, "LOCKED") ] -> ()
+  | _ -> Alcotest.fail "expected LOCKED at the limit");
+  (* even the right password is refused once locked *)
+  match feed a (recv 0 "LOGIN alice pw") with
+  | [ Component.Send (1, "LOCKED") ] -> ()
+  | _ -> Alcotest.fail "expected LOCKED to stick"
+
+let test_auth_reset_on_success () =
+  let a = auth_component () in
+  ignore (feed a (recv 0 "LOGIN alice wrong"));
+  ignore (feed a (recv 0 "LOGIN alice pw"));
+  (* failures were reset by the success *)
+  match feed a (recv 0 "LOGIN alice wrong") with
+  | [ Component.Send (1, "BADAUTH") ] -> ()
+  | _ -> Alcotest.fail "expected a fresh failure count"
+
+(* -- censor ------------------------------------------------------------------------- *)
+
+let run_check mode ?(expected_seq = 0) msg =
+  Censor.check ~mode ~max_len:32 ~quantum:8 ~expected_seq msg
+
+let test_censor_off_forwards_verbatim () =
+  match run_check Censor.Off "anything at all" with
+  | Ok (m, _) -> Alcotest.(check string) "verbatim" "anything at all" m
+  | Error _ -> Alcotest.fail "off must not filter"
+
+let test_censor_basic_canonicalizes () =
+  (match run_check Censor.Basic "HDR seq=0 len=5 pad=deadbeef" with
+  | Ok (m, next) ->
+    Alcotest.(check string) "extra fields stripped" "HDR seq=0 len=5" m;
+    Alcotest.(check int) "seq advances" 1 next
+  | Error _ -> Alcotest.fail "legit header rejected");
+  (match run_check Censor.Basic "not a header" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage passed");
+  (match run_check Censor.Basic "HDR seq=3 len=5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-order seq passed");
+  match run_check Censor.Basic "HDR seq=0 len=99" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized len passed"
+
+let test_censor_strict_quantizes () =
+  (match run_check Censor.Strict "HDR seq=0 len=5" with
+  | Ok (m, _) -> Alcotest.(check string) "rounded up" "HDR seq=0 len=8" m
+  | Error _ -> Alcotest.fail "rejected");
+  match run_check Censor.Strict "HDR seq=0 len=16" with
+  | Ok (m, _) -> Alcotest.(check string) "multiples unchanged" "HDR seq=0 len=16" m
+  | Error _ -> Alcotest.fail "rejected"
+
+let test_censor_component_drop_indicator () =
+  let c = Component.instantiate (Censor.component ~name:"c" ~mode:Censor.Basic ~in_wire:0 ~out_wire:1 ()) in
+  (match feed c (recv 0 "HDR seq=0 len=1") with
+  | [ Component.Send (1, _) ] -> ()
+  | _ -> Alcotest.fail "expected forward");
+  match feed c (recv 0 "HDR seq=7 len=1") with
+  | [ Component.Output msg ] ->
+    Alcotest.(check bool) "drop indicator" true (String.length msg >= 4 && String.sub msg 0 4 = "DROP")
+  | _ -> Alcotest.fail "expected a drop"
+
+(* -- guard --------------------------------------------------------------------------- *)
+
+let gw = { Guard.low_in = 0; low_out = 1; high_in = 2; high_out = 3; officer_in = 4; officer_out = 5 }
+
+let test_guard_low_to_high () =
+  let g = Component.instantiate (Guard.component ~name:"g" ~wires:gw) in
+  Alcotest.(check (list (pair int string))) "unhindered" [ (3, "hello") ] (sends (feed g (recv 0 "hello")))
+
+let test_guard_high_to_low_review () =
+  let g = Component.instantiate (Guard.component ~name:"g" ~wires:gw) in
+  Alcotest.(check (list (pair int string))) "queued for review" [ (5, "REVIEW 0 secret msg") ]
+    (sends (feed g (recv 2 "secret msg")));
+  Alcotest.(check (list (pair int string))) "released" [ (1, "secret msg") ]
+    (sends (feed g (recv 4 "RELEASE 0")))
+
+let test_guard_deny_is_silent () =
+  let g = Component.instantiate (Guard.component ~name:"g" ~wires:gw) in
+  ignore (feed g (recv 2 "too hot"));
+  Alcotest.(check int) "deny leaks nothing" 0 (List.length (feed g (recv 4 "DENY 0")));
+  (* a second verdict on the same id does nothing *)
+  Alcotest.(check int) "verdicts are one-shot" 0 (List.length (feed g (recv 4 "RELEASE 0")))
+
+let test_guard_ids_are_fresh () =
+  let g = Component.instantiate (Guard.component ~name:"g" ~wires:gw) in
+  ignore (feed g (recv 2 "m0"));
+  ignore (feed g (recv 2 "m1"));
+  Alcotest.(check (list (pair int string))) "release the second" [ (1, "m1") ]
+    (sends (feed g (recv 4 "RELEASE 1")))
+
+(* -- covert -------------------------------------------------------------------------- *)
+
+let covert_roundtrip vector =
+  QCheck.Test.make
+    ~name:(Fmt.str "%a encode/decode roundtrip" Covert.pp_vector vector)
+    ~count:200
+    QCheck.(pair small_int (int_range 0 100))
+    (fun (seed, seq) ->
+      let k = Covert.bits_per_message vector ~max_len:32 ~quantum:8 in
+      let rng = Sep_util.Prng.create seed in
+      let bits = List.init k (fun _ -> Sep_util.Prng.bool rng) in
+      let hdr = Covert.encode_header vector ~max_len:32 ~quantum:8 ~seq bits in
+      Covert.decode_header vector ~max_len:32 ~quantum:8 hdr = Some bits)
+
+let test_covert_capacities () =
+  Alcotest.(check int) "pad field" 64 (Covert.bits_per_message Covert.Pad_field ~max_len:32 ~quantum:8);
+  Alcotest.(check int) "raw length" 5 (Covert.bits_per_message Covert.Length_raw ~max_len:32 ~quantum:8);
+  Alcotest.(check int) "bucketed length" 2 (Covert.bits_per_message Covert.Length_bucket ~max_len:32 ~quantum:8)
+
+let test_covert_headers_are_wellformed () =
+  (* every encoder output passes the Basic censor: individually legitimate *)
+  List.iter
+    (fun vector ->
+      let k = Covert.bits_per_message vector ~max_len:32 ~quantum:8 in
+      let bits = List.init k (fun i -> i mod 2 = 0) in
+      let hdr = Covert.encode_header vector ~max_len:32 ~quantum:8 ~seq:0 bits in
+      match Censor.check ~mode:Censor.Basic ~max_len:32 ~quantum:8 ~expected_seq:0 hdr with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Fmt.str "%a header rejected: %s" Covert.pp_vector vector e))
+    [ Covert.Pad_field; Covert.Length_raw; Covert.Length_bucket ]
+
+let test_covert_bucket_survives_strict () =
+  let bits = [ true; false ] in
+  let hdr = Covert.encode_header Covert.Length_bucket ~max_len:32 ~quantum:8 ~seq:0 bits in
+  match Censor.check ~mode:Censor.Strict ~max_len:32 ~quantum:8 ~expected_seq:0 hdr with
+  | Ok (censored, _) ->
+    Alcotest.(check (option (list bool))) "bits survive quantization" (Some bits)
+      (Covert.decode_header Covert.Length_bucket ~max_len:32 ~quantum:8 censored)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "components"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "words and verb" `Quick test_protocol_words;
+          Alcotest.test_case "tail" `Quick test_protocol_tail;
+          Alcotest.test_case "int field" `Quick test_protocol_int_field;
+          qtest class_roundtrip;
+        ] );
+      ( "crypto",
+        [
+          qtest crypto_roundtrip;
+          Alcotest.test_case "scrambles" `Quick test_crypto_actually_scrambles;
+          Alcotest.test_case "key matters" `Quick test_crypto_key_matters;
+          Alcotest.test_case "component boxes" `Quick test_crypto_component_direction;
+          Alcotest.test_case "ignores other wires" `Quick test_crypto_component_ignores_other_wires;
+        ] );
+      ( "file server",
+        [
+          Alcotest.test_case "create and read" `Quick test_fs_create_read;
+          Alcotest.test_case "no read up" `Quick test_fs_no_read_up;
+          Alcotest.test_case "no write down" `Quick test_fs_no_write_down;
+          Alcotest.test_case "blind write up" `Quick test_fs_blind_write_up;
+          Alcotest.test_case "list filters" `Quick test_fs_list_filters;
+          Alcotest.test_case "privileged session" `Quick test_fs_privileged_session;
+          Alcotest.test_case "control rebinds" `Quick test_fs_control_rebinds_clearance;
+          Alcotest.test_case "nofile and badreq" `Quick test_fs_nofile_and_badreq;
+          Alcotest.test_case "seeded files" `Quick test_fs_seed;
+          Alcotest.test_case "privileged list/create" `Quick test_fs_privileged_list_create;
+          Alcotest.test_case "compartments" `Quick test_fs_compartments;
+          qtest fs_mls_noninterference;
+          qtest fs_reads_below_do_matter;
+        ] );
+      ( "dump/restore",
+        [
+          qtest hex_roundtrip;
+          Alcotest.test_case "hex rejects" `Quick test_hex_rejects;
+          qtest entry_roundtrip;
+          Alcotest.test_case "dump collects all levels" `Quick test_dump_collects_all_levels;
+          Alcotest.test_case "dump/restore roundtrip" `Quick test_dump_restore_roundtrip;
+          Alcotest.test_case "restore skips existing" `Quick test_restore_skips_existing;
+        ] );
+      ( "printer server",
+        [
+          Alcotest.test_case "print flow" `Quick test_printer_flow;
+          Alcotest.test_case "serializes jobs" `Quick test_printer_serializes;
+          Alcotest.test_case "missing file" `Quick test_printer_missing_file;
+        ] );
+      ( "auth",
+        [
+          Alcotest.test_case "success" `Quick test_auth_success;
+          Alcotest.test_case "failure and lockout" `Quick test_auth_failure_and_lockout;
+          Alcotest.test_case "reset on success" `Quick test_auth_reset_on_success;
+        ] );
+      ( "censor",
+        [
+          Alcotest.test_case "off forwards" `Quick test_censor_off_forwards_verbatim;
+          Alcotest.test_case "basic canonicalizes" `Quick test_censor_basic_canonicalizes;
+          Alcotest.test_case "strict quantizes" `Quick test_censor_strict_quantizes;
+          Alcotest.test_case "drop indicator" `Quick test_censor_component_drop_indicator;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "low to high" `Quick test_guard_low_to_high;
+          Alcotest.test_case "review and release" `Quick test_guard_high_to_low_review;
+          Alcotest.test_case "deny is silent" `Quick test_guard_deny_is_silent;
+          Alcotest.test_case "fresh ids" `Quick test_guard_ids_are_fresh;
+        ] );
+      ( "covert",
+        [
+          qtest (covert_roundtrip Covert.Pad_field);
+          qtest (covert_roundtrip Covert.Length_raw);
+          qtest (covert_roundtrip Covert.Length_bucket);
+          Alcotest.test_case "capacities" `Quick test_covert_capacities;
+          Alcotest.test_case "headers wellformed" `Quick test_covert_headers_are_wellformed;
+          Alcotest.test_case "bucket survives strict" `Quick test_covert_bucket_survives_strict;
+        ] );
+    ]

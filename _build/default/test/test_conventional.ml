@@ -1,0 +1,156 @@
+(* Tests for the conventional kernelized baseline: syscall mediation,
+   audit, and the spooler dilemma (E9). *)
+
+module Sclass = Sep_lattice.Sclass
+module Kernel = Sep_conventional.Kernel
+module Spooler = Sep_conventional.Spooler
+
+let boot_two () =
+  let k = Kernel.boot () in
+  let low = Kernel.add_process k ~name:"low" ~clearance:Sclass.unclassified ~trusted:false in
+  let high = Kernel.add_process k ~name:"high" ~clearance:Sclass.secret ~trusted:false in
+  (k, low, high)
+
+let ok = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "unexpected denial: %a" Kernel.pp_denial d
+
+let denial = function
+  | Ok _ -> Alcotest.fail "expected a denial"
+  | Error d -> d
+
+let test_create_and_read () =
+  let k, low, high = boot_two () in
+  let o = ok (Kernel.create_object k low ~name:"memo" ~classification:Sclass.unclassified) in
+  ok (Kernel.write k low o "hello");
+  Alcotest.(check string) "owner reads" "hello" (ok (Kernel.read k low o));
+  Alcotest.(check string) "high reads down" "hello" (ok (Kernel.read k high o))
+
+let test_no_read_up () =
+  let k, low, high = boot_two () in
+  let o = ok (Kernel.create_object k high ~name:"plan" ~classification:Sclass.secret) in
+  match denial (Kernel.read k low o) with
+  | Kernel.Ss_violation -> ()
+  | d -> Alcotest.failf "wrong denial: %a" Kernel.pp_denial d
+
+let test_no_write_down () =
+  let k, _, high = boot_two () in
+  let o = ok (Kernel.create_object k high ~name:"memo" ~classification:Sclass.secret) in
+  (* a secret process cannot create below its level either *)
+  (match denial (Kernel.create_object k high ~name:"leak" ~classification:Sclass.unclassified) with
+  | Kernel.Star_violation -> ()
+  | d -> Alcotest.failf "wrong denial: %a" Kernel.pp_denial d);
+  ignore o
+
+let test_append_up_allowed () =
+  let k, low, high = boot_two () in
+  let o = ok (Kernel.create_object k high ~name:"drop" ~classification:Sclass.secret) in
+  ok (Kernel.append k low o "blind tip");
+  Alcotest.(check string) "high reads the tip" "blind tip" (ok (Kernel.read k high o))
+
+let test_delete_needs_both () =
+  let k, low, high = boot_two () in
+  let o = ok (Kernel.create_object k low ~name:"memo" ~classification:Sclass.unclassified) in
+  (match denial (Kernel.delete k high o) with
+  | Kernel.Star_violation -> ()
+  | d -> Alcotest.failf "wrong denial: %a" Kernel.pp_denial d);
+  ok (Kernel.delete k low o);
+  match denial (Kernel.read k low o) with
+  | Kernel.No_such_object -> ()
+  | d -> Alcotest.failf "wrong denial: %a" Kernel.pp_denial d
+
+let test_trusted_process_exemption () =
+  let k = Kernel.boot () in
+  let low = Kernel.add_process k ~name:"low" ~clearance:Sclass.unclassified ~trusted:false in
+  let spooler = Kernel.add_process k ~name:"spooler" ~clearance:Sclass.secret ~trusted:true in
+  let o = ok (Kernel.create_object k low ~name:"spool" ~classification:Sclass.unclassified) in
+  ok (Kernel.delete k spooler o);
+  let stats = Kernel.stats k in
+  Alcotest.(check int) "exactly one trust exemption" 1 stats.Kernel.by_trust
+
+let test_ipc_mediated () =
+  let k, low, high = boot_two () in
+  ok (Kernel.ipc_send k low ~to_:high "up is fine");
+  (match denial (Kernel.ipc_send k high ~to_:low "down is not") with
+  | Kernel.Star_violation -> ()
+  | d -> Alcotest.failf "wrong denial: %a" Kernel.pp_denial d);
+  Alcotest.(check (option string)) "delivered" (Some "up is fine") (ok (Kernel.ipc_recv k high));
+  Alcotest.(check (option string)) "nothing leaked down" None (ok (Kernel.ipc_recv k low))
+
+let test_audit_trail () =
+  let k, low, high = boot_two () in
+  let o = ok (Kernel.create_object k low ~name:"memo" ~classification:Sclass.unclassified) in
+  ignore (Kernel.read k high o);
+  ignore (Kernel.delete k high o);
+  let log = Kernel.audit k in
+  Alcotest.(check int) "every syscall audited" 3 (List.length log);
+  let last = List.nth log 2 in
+  Alcotest.(check bool) "denial recorded" false last.Kernel.au_granted;
+  let stats = Kernel.stats k in
+  Alcotest.(check int) "mediated" 3 stats.Kernel.mediated_calls;
+  Alcotest.(check int) "grants" 2 stats.Kernel.grants;
+  Alcotest.(check int) "denials" 1 stats.Kernel.denials
+
+let test_find_object () =
+  let k, low, _ = boot_two () in
+  let o = ok (Kernel.create_object k low ~name:"memo" ~classification:Sclass.unclassified) in
+  Alcotest.(check (option int)) "found" (Some o) (Kernel.find_object k "memo");
+  ok (Kernel.delete k low o);
+  Alcotest.(check (option int)) "deleted objects are gone" None (Kernel.find_object k "memo")
+
+(* -- the spooler dilemma (E9) ----------------------------------------------------- *)
+
+let jobs =
+  [
+    { Spooler.owner = "alice"; level = Sclass.unclassified; text = "alice memo" };
+    { Spooler.owner = "bob"; level = Sclass.secret; text = "bob plans" };
+    { Spooler.owner = "carol"; level = Sclass.unclassified; text = "carol note" };
+  ]
+
+let test_untrusted_spooler_leaks_files () =
+  let o = Spooler.run ~trusted:false ~jobs in
+  Alcotest.(check int) "all printed" 3 o.Spooler.jobs_printed;
+  Alcotest.(check int) "cross-level cleanups denied" 2 o.Spooler.deletions_denied;
+  Alcotest.(check int) "spool files accumulate" 2 o.Spooler.spool_files_left;
+  Alcotest.(check int) "no trust exercised" 0 o.Spooler.trust_exercised
+
+let test_trusted_spooler_cleans_up () =
+  let o = Spooler.run ~trusted:true ~jobs in
+  Alcotest.(check int) "all printed" 3 o.Spooler.jobs_printed;
+  Alcotest.(check int) "no leftovers" 0 o.Spooler.spool_files_left;
+  Alcotest.(check int) "but only via policy exemptions" 2 o.Spooler.trust_exercised
+
+let test_spooler_banners () =
+  let o = Spooler.run ~trusted:true ~jobs in
+  Alcotest.(check int) "banner + body per job" 6 (List.length o.Spooler.printed);
+  Alcotest.(check string) "banner carries level" "BANNER UNCLASSIFIED alice"
+    (List.nth o.Spooler.printed 0)
+
+let test_spooler_reads_all_levels () =
+  let o = Spooler.run ~trusted:false ~jobs in
+  Alcotest.(check bool) "secret job printed too" true
+    (List.mem "bob plans" o.Spooler.printed)
+
+let () =
+  Alcotest.run "conventional"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "create and read" `Quick test_create_and_read;
+          Alcotest.test_case "no read up" `Quick test_no_read_up;
+          Alcotest.test_case "no write down" `Quick test_no_write_down;
+          Alcotest.test_case "append up allowed" `Quick test_append_up_allowed;
+          Alcotest.test_case "delete needs both" `Quick test_delete_needs_both;
+          Alcotest.test_case "trusted exemption" `Quick test_trusted_process_exemption;
+          Alcotest.test_case "ipc mediated" `Quick test_ipc_mediated;
+          Alcotest.test_case "audit trail" `Quick test_audit_trail;
+          Alcotest.test_case "find object" `Quick test_find_object;
+        ] );
+      ( "spooler (E9)",
+        [
+          Alcotest.test_case "untrusted leaks files" `Quick test_untrusted_spooler_leaks_files;
+          Alcotest.test_case "trusted cleans up" `Quick test_trusted_spooler_cleans_up;
+          Alcotest.test_case "banners" `Quick test_spooler_banners;
+          Alcotest.test_case "reads all levels" `Quick test_spooler_reads_all_levels;
+        ] );
+    ]

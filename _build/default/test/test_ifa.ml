@@ -1,0 +1,179 @@
+(* Tests for the IFA baseline: expression classes, Denning certification,
+   dynamic taint tracking, and the paper's SWAP verdicts (E3). *)
+
+module Ast = Sep_ifa.Ast
+module Certify = Sep_ifa.Certify
+module Taint = Sep_ifa.Taint
+module Programs = Sep_ifa.Programs
+module Sclass = Sep_lattice.Sclass
+
+let low_high v =
+  match v with
+  | "low" -> Sclass.unclassified
+  | "high" -> Sclass.secret
+  | _ -> Sclass.unclassified
+
+let test_vars_of_expr () =
+  let e = Ast.Binop (Ast.Add, Ast.Var "x", Ast.Binop (Ast.Xor, Ast.Var "y", Ast.Var "x")) in
+  Alcotest.(check (list string)) "free vars deduped" [ "x"; "y" ] (Ast.vars_of_expr e)
+
+let test_assigned () =
+  let s =
+    Ast.Seq
+      [
+        Ast.Assign ("a", Ast.Const 1);
+        Ast.If (Ast.Var "c", Ast.Assign ("b", Ast.Const 2), Ast.Assign ("a", Ast.Const 3));
+        Ast.While (Ast.Var "c", Ast.Assign ("d", Ast.Const 4));
+      ]
+  in
+  Alcotest.(check (list string)) "assigned" [ "a"; "b"; "d" ] (Ast.assigned s)
+
+let test_expr_class () =
+  let cls = Certify.expr_class low_high in
+  Alcotest.(check bool) "const is bottom" true
+    (Sclass.equal (cls (Ast.Const 3)) Sclass.unclassified);
+  Alcotest.(check bool) "var class" true (Sclass.equal (cls (Ast.Var "high")) Sclass.secret);
+  Alcotest.(check bool) "binop is lub" true
+    (Sclass.equal (cls (Ast.Binop (Ast.Add, Ast.Var "low", Ast.Var "high"))) Sclass.secret)
+
+let test_certify_explicit () =
+  let vs = Certify.certify low_high (Ast.Assign ("low", Ast.Var "high")) in
+  match vs with
+  | [ v ] ->
+    Alcotest.(check string) "variable" "low" v.Certify.variable;
+    Alcotest.(check bool) "explicit" false v.Certify.implicit
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_certify_implicit () =
+  let p = Ast.If (Ast.Var "high", Ast.Assign ("low", Ast.Const 1), Ast.Skip) in
+  match Certify.certify low_high p with
+  | [ v ] -> Alcotest.(check bool) "implicit" true v.Certify.implicit
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_certify_nested_context () =
+  (* the context must compound through nested guards *)
+  let p =
+    Ast.While
+      ( Ast.Var "high",
+        Ast.If (Ast.Var "low", Ast.Assign ("low", Ast.Const 0), Ast.Skip) )
+  in
+  Alcotest.(check int) "loop guard taints inner assignment" 1
+    (List.length (Certify.certify low_high p));
+  (* but assignments above the guard are fine *)
+  let ok = Ast.Seq [ Ast.Assign ("low", Ast.Const 1); Ast.While (Ast.Var "low", Ast.Skip) ] in
+  Alcotest.(check bool) "independent code certified" true (Certify.secure low_high ok)
+
+let test_certify_upward_ok () =
+  Alcotest.(check bool) "write up is fine" true
+    (Certify.secure low_high (Ast.Assign ("high", Ast.Var "low")))
+
+(* E3: the SWAP verdicts. *)
+let test_swap_impl_rejected () =
+  let c = Programs.swap_impl in
+  Alcotest.(check bool) "program is semantically secure" true c.Programs.expect_secure;
+  Alcotest.(check bool) "yet IFA rejects it" false (Certify.secure c.Programs.env c.Programs.program)
+
+let test_swap_spec_certified () =
+  let c = Programs.swap_spec in
+  Alcotest.(check bool) "spec-level swap certified" true
+    (Certify.secure c.Programs.env c.Programs.program)
+
+let test_catalogue_expectations () =
+  (* IFA agrees with ground truth exactly on the cases without the
+     syntactic/semantic gap; the gap cases are swap-impl, dead-leak and
+     laundered-constant. *)
+  let gap = [ "swap-impl"; "dead-leak"; "laundered-constant" ] in
+  List.iter
+    (fun (c : Programs.case) ->
+      let verdict = Certify.secure c.Programs.env c.Programs.program in
+      if List.mem c.Programs.name gap then
+        Alcotest.(check bool) (c.Programs.name ^ " is a gap case") false verdict
+      else
+        Alcotest.(check bool) (c.Programs.name ^ " matches ground truth") c.Programs.expect_secure
+          verdict)
+    Programs.all
+
+(* -- taint ------------------------------------------------------------------ *)
+
+let test_taint_executes () =
+  let p =
+    Ast.Seq
+      [
+        Ast.Assign ("x", Ast.Const 3);
+        Ast.While
+          ( Ast.Var "x",
+            Ast.Seq
+              [
+                Ast.Assign ("x", Ast.Binop (Ast.Sub, Ast.Var "x", Ast.Const 1));
+                Ast.Assign ("sum", Ast.Binop (Ast.Add, Ast.Var "sum", Ast.Var "x"));
+              ] );
+      ]
+  in
+  let r = Taint.run ~env:low_high [] p in
+  Alcotest.(check (option int)) "sum 2+1+0" (Some 3) (List.assoc_opt "sum" r.Taint.final);
+  Alcotest.(check bool) "no violations" true (r.Taint.violations = [])
+
+let test_taint_explicit_flow () =
+  let r = Taint.run ~env:low_high [ ("high", 9) ] (Ast.Assign ("low", Ast.Var "high")) in
+  match r.Taint.violations with
+  | [ f ] ->
+    Alcotest.(check string) "flagged variable" "low" f.Taint.variable;
+    Alcotest.(check bool) "taint was high" true (Sclass.equal f.Taint.taint Sclass.secret)
+  | _ -> Alcotest.fail "expected one flow"
+
+let test_taint_implicit_flow_branch_sensitive () =
+  let p = Ast.If (Ast.Var "high", Ast.Assign ("low", Ast.Const 1), Ast.Skip) in
+  let taken = Taint.run ~env:low_high [ ("high", 1) ] p in
+  let not_taken = Taint.run ~env:low_high [ ("high", 0) ] p in
+  Alcotest.(check int) "taken branch flags" 1 (List.length taken.Taint.violations);
+  Alcotest.(check int) "untaken branch is clean" 0 (List.length not_taken.Taint.violations)
+
+let test_taint_dead_code_clean () =
+  let c = Programs.dead_leak in
+  let r = Taint.run ~env:c.Programs.env c.Programs.store c.Programs.program in
+  Alcotest.(check bool) "dynamic view of dead-leak" true (r.Taint.violations = [])
+
+let test_taint_fuel () =
+  let p = Ast.While (Ast.Const 1, Ast.Assign ("x", Ast.Const 0)) in
+  let r = Taint.run ~env:low_high ~fuel:100 [] p in
+  Alcotest.(check bool) "fuel exhausted" true r.Taint.fuel_exhausted
+
+let test_taint_swap_also_flags () =
+  (* taint tracking is value-blind about control reachability only; it
+     still flags SWAP, which is why PoS is needed (the paper's point) *)
+  let c = Programs.swap_impl in
+  let r = Taint.run ~env:c.Programs.env c.Programs.store c.Programs.program in
+  Alcotest.(check bool) "swap-impl flagged dynamically too" true (r.Taint.violations <> [])
+
+let () =
+  Alcotest.run "ifa"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "vars_of_expr" `Quick test_vars_of_expr;
+          Alcotest.test_case "assigned" `Quick test_assigned;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "expr class" `Quick test_expr_class;
+          Alcotest.test_case "explicit flow" `Quick test_certify_explicit;
+          Alcotest.test_case "implicit flow" `Quick test_certify_implicit;
+          Alcotest.test_case "nested context" `Quick test_certify_nested_context;
+          Alcotest.test_case "upward flow ok" `Quick test_certify_upward_ok;
+        ] );
+      ( "swap (E3)",
+        [
+          Alcotest.test_case "implementation rejected" `Quick test_swap_impl_rejected;
+          Alcotest.test_case "specification certified" `Quick test_swap_spec_certified;
+          Alcotest.test_case "catalogue verdicts" `Quick test_catalogue_expectations;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "executes" `Quick test_taint_executes;
+          Alcotest.test_case "explicit flow" `Quick test_taint_explicit_flow;
+          Alcotest.test_case "branch sensitive" `Quick test_taint_implicit_flow_branch_sensitive;
+          Alcotest.test_case "dead code clean" `Quick test_taint_dead_code_clean;
+          Alcotest.test_case "fuel" `Quick test_taint_fuel;
+          Alcotest.test_case "swap flagged too" `Quick test_taint_swap_also_flags;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+(* Tests for the security-class lattice: ordering, lub/glb laws, codecs. *)
+
+module Sclass = Sep_lattice.Sclass
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let compartment_pool = [ "CRYPTO"; "NATO"; "NUKE"; "SIGINT" ]
+
+let gen_class =
+  let open QCheck.Gen in
+  let* level = int_range 0 4 in
+  let* comps = list_size (int_range 0 4) (oneofl compartment_pool) in
+  return (Sclass.with_compartments (Sclass.make ~level ()) comps)
+
+let arb_class = QCheck.make ~print:Sclass.to_string gen_class
+
+let test_standard_hierarchy () =
+  Alcotest.(check bool) "U <= C" true (Sclass.leq Sclass.unclassified Sclass.confidential);
+  Alcotest.(check bool) "C <= S" true (Sclass.leq Sclass.confidential Sclass.secret);
+  Alcotest.(check bool) "S <= TS" true (Sclass.leq Sclass.secret Sclass.top_secret);
+  Alcotest.(check bool) "TS not <= U" false (Sclass.leq Sclass.top_secret Sclass.unclassified)
+
+let test_compartments_order () =
+  let s_crypto = Sclass.with_compartments Sclass.secret [ "CRYPTO" ] in
+  let s_both = Sclass.with_compartments Sclass.secret [ "CRYPTO"; "NATO" ] in
+  let ts = Sclass.top_secret in
+  Alcotest.(check bool) "fewer compartments below" true (Sclass.leq s_crypto s_both);
+  Alcotest.(check bool) "not conversely" false (Sclass.leq s_both s_crypto);
+  Alcotest.(check bool) "level alone does not dominate compartments" false (Sclass.leq s_crypto ts);
+  Alcotest.(check bool) "incomparable pair" false
+    (Sclass.comparable
+       (Sclass.with_compartments Sclass.secret [ "CRYPTO" ])
+       (Sclass.with_compartments Sclass.secret [ "NATO" ]))
+
+let test_compartments_dedup () =
+  let c = Sclass.with_compartments Sclass.secret [ "NATO"; "NATO"; "CRYPTO" ] in
+  Alcotest.(check (list string)) "sorted, deduped" [ "CRYPTO"; "NATO" ] (Sclass.compartments c)
+
+let prop name p = QCheck.Test.make ~name ~count:300 p
+let pair2 = QCheck.pair arb_class arb_class
+let triple3 = QCheck.triple arb_class arb_class arb_class
+
+let leq_reflexive = prop "leq reflexive" arb_class (fun a -> Sclass.leq a a)
+
+let leq_antisymmetric =
+  prop "leq antisymmetric" pair2 (fun (a, b) ->
+      (not (Sclass.leq a b && Sclass.leq b a)) || Sclass.equal a b)
+
+let leq_transitive =
+  prop "leq transitive" triple3 (fun (a, b, c) ->
+      (not (Sclass.leq a b && Sclass.leq b c)) || Sclass.leq a c)
+
+let lub_upper_bound =
+  prop "lub is an upper bound" pair2 (fun (a, b) ->
+      Sclass.leq a (Sclass.lub a b) && Sclass.leq b (Sclass.lub a b))
+
+let lub_least =
+  prop "lub is least among upper bounds" triple3 (fun (a, b, c) ->
+      (not (Sclass.leq a c && Sclass.leq b c)) || Sclass.leq (Sclass.lub a b) c)
+
+let glb_lower_bound =
+  prop "glb is a lower bound" pair2 (fun (a, b) ->
+      Sclass.leq (Sclass.glb a b) a && Sclass.leq (Sclass.glb a b) b)
+
+let glb_greatest =
+  prop "glb is greatest among lower bounds" triple3 (fun (a, b, c) ->
+      (not (Sclass.leq c a && Sclass.leq c b)) || Sclass.leq c (Sclass.glb a b))
+
+let lub_commutative =
+  prop "lub commutative" pair2 (fun (a, b) -> Sclass.equal (Sclass.lub a b) (Sclass.lub b a))
+
+let lub_associative =
+  prop "lub associative" triple3 (fun (a, b, c) ->
+      Sclass.equal (Sclass.lub a (Sclass.lub b c)) (Sclass.lub (Sclass.lub a b) c))
+
+let lub_idempotent = prop "lub idempotent" arb_class (fun a -> Sclass.equal (Sclass.lub a a) a)
+
+let absorption =
+  prop "absorption: a lub (a glb b) = a" pair2 (fun (a, b) ->
+      Sclass.equal (Sclass.lub a (Sclass.glb a b)) a)
+
+let compare_consistent =
+  prop "compare=0 iff equal" pair2 (fun (a, b) -> Sclass.compare a b = 0 = Sclass.equal a b)
+
+let hash_respects_equal =
+  prop "equal implies same hash" arb_class (fun a ->
+      Sclass.hash a = Sclass.hash (Sclass.with_compartments a (Sclass.compartments a)))
+
+let test_lub_all () =
+  Alcotest.(check bool) "lub_all [] is bottom" true
+    (Sclass.equal (Sclass.lub_all []) Sclass.unclassified);
+  Alcotest.(check bool) "lub_all takes max" true
+    (Sclass.equal (Sclass.lub_all [ Sclass.secret; Sclass.confidential ]) Sclass.secret)
+
+let test_pp () =
+  Alcotest.(check string) "plain level" "SECRET" (Sclass.to_string Sclass.secret);
+  Alcotest.(check string) "with compartments" "SECRET{CRYPTO,NATO}"
+    (Sclass.to_string (Sclass.with_compartments Sclass.secret [ "NATO"; "CRYPTO" ]));
+  Alcotest.(check string) "custom level" "LEVEL-7" (Sclass.to_string (Sclass.make ~level:7 ()))
+
+let () =
+  Alcotest.run "lattice"
+    [
+      ( "ordering",
+        [
+          Alcotest.test_case "standard hierarchy" `Quick test_standard_hierarchy;
+          Alcotest.test_case "compartments" `Quick test_compartments_order;
+          Alcotest.test_case "dedup" `Quick test_compartments_dedup;
+          qtest leq_reflexive;
+          qtest leq_antisymmetric;
+          qtest leq_transitive;
+        ] );
+      ( "lattice laws",
+        [
+          qtest lub_upper_bound;
+          qtest lub_least;
+          qtest glb_lower_bound;
+          qtest glb_greatest;
+          qtest lub_commutative;
+          qtest lub_associative;
+          qtest lub_idempotent;
+          qtest absorption;
+          qtest compare_consistent;
+          qtest hash_respects_equal;
+          Alcotest.test_case "lub_all" `Quick test_lub_all;
+        ] );
+      ("printing", [ Alcotest.test_case "pp" `Quick test_pp ]);
+    ]

@@ -1,0 +1,200 @@
+(* Tests for the policy library: Bell-LaPadula decisions and the channel
+   matrix over topologies. *)
+
+module Sclass = Sep_lattice.Sclass
+module Blp = Sep_policy.Blp
+module Matrix = Sep_policy.Channel_matrix
+module Colour = Sep_model.Colour
+
+let secret_sub = Blp.subject "sub" Sclass.secret
+let trusted_sub = Blp.subject ~trusted:true "spooler" Sclass.secret
+
+let unclass_obj = Blp.obj "memo" Sclass.unclassified
+let secret_obj = Blp.obj "plan" Sclass.secret
+let ts_obj = Blp.obj "codes" Sclass.top_secret
+
+let test_ss_property () =
+  Alcotest.(check bool) "read down" true (Blp.permitted secret_sub Blp.Read unclass_obj);
+  Alcotest.(check bool) "read level" true (Blp.permitted secret_sub Blp.Read secret_obj);
+  Alcotest.(check bool) "read up denied" false (Blp.permitted secret_sub Blp.Read ts_obj)
+
+let test_star_property () =
+  Alcotest.(check bool) "append up" true (Blp.permitted secret_sub Blp.Append ts_obj);
+  Alcotest.(check bool) "append level" true (Blp.permitted secret_sub Blp.Append secret_obj);
+  Alcotest.(check bool) "append down denied" false (Blp.permitted secret_sub Blp.Append unclass_obj)
+
+let test_write_needs_both () =
+  Alcotest.(check bool) "write at level" true (Blp.permitted secret_sub Blp.Write secret_obj);
+  Alcotest.(check bool) "write up denied (cannot observe)" false
+    (Blp.permitted secret_sub Blp.Write ts_obj);
+  Alcotest.(check bool) "write down denied (star)" false
+    (Blp.permitted secret_sub Blp.Write unclass_obj)
+
+let test_trusted_exemption () =
+  let v = Blp.decide trusted_sub Blp.Write unclass_obj in
+  Alcotest.(check bool) "granted" true v.Blp.granted;
+  Alcotest.(check bool) "only by trust" true v.Blp.by_trust;
+  Alcotest.(check bool) "ss still enforced" false (Blp.permitted trusted_sub Blp.Read ts_obj);
+  let normal = Blp.decide trusted_sub Blp.Write secret_obj in
+  Alcotest.(check bool) "no trust needed at level" false normal.Blp.by_trust
+
+let test_incomparable_compartments () =
+  let red = Sclass.with_compartments Sclass.secret [ "RED" ] in
+  let black = Sclass.with_compartments Sclass.secret [ "BLACK" ] in
+  let red_sub = Blp.subject "red" red in
+  Alcotest.(check bool) "cannot read sideways" false
+    (Blp.permitted red_sub Blp.Read (Blp.obj "o" black));
+  Alcotest.(check bool) "cannot append sideways" false
+    (Blp.permitted red_sub Blp.Append (Blp.obj "o" black))
+
+(* -- channel matrix ---------------------------------------------------------- *)
+
+let a = Colour.make "A"
+let b = Colour.make "B"
+let c = Colour.make "C"
+let d = Colour.make "D"
+
+let matrix edges = Matrix.of_pairs ~colours:[ a; b; c; d ] edges
+
+let test_direct_and_reachable () =
+  let m = matrix [ (a, b); (b, c) ] in
+  Alcotest.(check bool) "direct" true (Matrix.direct m a b);
+  Alcotest.(check bool) "not direct transitively" false (Matrix.direct m a c);
+  Alcotest.(check bool) "reachable transitively" true (Matrix.reachable m a c);
+  Alcotest.(check bool) "not backwards" false (Matrix.reachable m c a);
+  Alcotest.(check bool) "d isolated" false (Matrix.reachable m a d)
+
+let test_reachable_avoiding () =
+  let m = matrix [ (a, b); (b, c); (a, d); (d, c) ] in
+  Alcotest.(check bool) "avoid b still via d" true (Matrix.reachable_avoiding m ~avoid:[ b ] a c);
+  Alcotest.(check bool) "avoid both blocks" false
+    (Matrix.reachable_avoiding m ~avoid:[ b; d ] a c)
+
+let test_mediators () =
+  let single = matrix [ (a, b); (b, c) ] in
+  Alcotest.(check (list string)) "b mediates" [ "B" ]
+    (List.map Colour.name (Matrix.mediators single a c));
+  let dual = matrix [ (a, b); (b, c); (a, d); (d, c) ] in
+  Alcotest.(check (list string)) "no single mediator on parallel paths" []
+    (List.map Colour.name (Matrix.mediators dual a c));
+  let direct = matrix [ (a, c) ] in
+  Alcotest.(check (list string)) "direct edge has no mediator" []
+    (List.map Colour.name (Matrix.mediators direct a c))
+
+let test_isolated_pairs () =
+  let m = matrix [ (a, b) ] in
+  let pairs = Matrix.isolated_pairs m in
+  Alcotest.(check bool) "a-b connected" false (List.mem (a, b) pairs);
+  Alcotest.(check bool) "b-a isolated" true (List.mem (b, a) pairs);
+  Alcotest.(check int) "count" 11 (List.length pairs)
+
+let test_of_topology_respects_cut () =
+  let comp = Sep_model.Component.stateless ~name:"x" (fun _ -> []) in
+  let topo =
+    Sep_model.Topology.make
+      ~parts:[ (a, comp); (b, comp) ]
+      ~wires:[ (a, b, 1) ]
+  in
+  Alcotest.(check bool) "uncut reaches" true (Matrix.reachable (Matrix.of_topology topo) a b);
+  let cut = Sep_model.Topology.cut_all topo in
+  Alcotest.(check bool) "cut does not" false (Matrix.reachable (Matrix.of_topology cut) a b)
+
+(* The SNFE statement from the paper, against the real SNFE topology. *)
+let test_snfe_requirement () =
+  let m = Matrix.of_topology (Sep_snfe.Snfe.topology Sep_snfe.Snfe.default_config) in
+  let module S = Sep_snfe.Snfe in
+  Alcotest.(check bool) "red can reach black" true (Matrix.reachable m S.red S.black);
+  Alcotest.(check bool) "black can reach red" true (Matrix.reachable m S.black S.red);
+  Alcotest.(check bool) "but only through censor or crypto" false
+    (Matrix.reachable_avoiding m ~avoid:[ S.censor_tx; S.censor_rx; S.crypto_tx; S.crypto_rx ]
+       S.red S.black);
+  Alcotest.(check bool) "same inbound" false
+    (Matrix.reachable_avoiding m ~avoid:[ S.censor_tx; S.censor_rx; S.crypto_tx; S.crypto_rx ]
+       S.black S.red)
+
+let test_to_dot () =
+  let m = Matrix.of_topology (Sep_snfe.Snfe.topology Sep_snfe.Snfe.default_config) in
+  let dot = Matrix.to_dot ~highlight:[ Sep_snfe.Snfe.censor_tx ] m in
+  let has needle =
+    let n = String.length needle and h = String.length dot in
+    let rec at i = i + n <= h && (String.sub dot i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "digraph header" true (has "digraph channels");
+  Alcotest.(check bool) "red node" true (has "\"RED\"");
+  Alcotest.(check bool) "edge" true (has "\"RED\" -> \"CRYPTO-TX\";");
+  Alcotest.(check bool) "trusted box doubled" true (has "\"CENSOR-TX\" [peripheries=2];")
+
+(* -- the SRI multilevel model (E12) ------------------------------------------------ *)
+
+module Mls_model = Sep_policy.Mls_model
+module Sri = Sep_apps.Sri_checks
+
+let sri_check machine alphabet =
+  Mls_model.check
+    ~prng:(Sep_util.Prng.create 2024)
+    ~trials:50 ~word_len:12 ~alphabet ~levels:Sri.levels machine
+
+let test_sri_file_server_secure () =
+  Alcotest.(check bool) "file server satisfies the SRI model" true
+    (Mls_model.secure (sri_check (Sri.file_server_machine ()) Sri.file_server_alphabet))
+
+let test_sri_guard_insecure () =
+  Alcotest.(check bool) "the guard's downgrade violates the model (by design)" false
+    (Mls_model.secure (sri_check (Sri.guard_machine ()) Sri.guard_alphabet))
+
+let test_sri_detects_leaky_component () =
+  (* sanity: a component that echoes high inputs on a low wire is caught *)
+  let leaky () =
+    Sep_model.Component.stateless ~name:"leaky" (function
+      | Sep_model.Component.Recv (2, m) -> [ Sep_model.Component.Send (1, m) ]
+      | Sep_model.Component.Recv _ | Sep_model.Component.External _ -> [])
+  in
+  let machine =
+    {
+      Mls_model.name = "leaky";
+      fresh = (fun () -> Sep_model.Component.instantiate (leaky ()));
+      step =
+        (fun inst (w, m) ->
+          Sep_model.Component.feed inst (Sep_model.Component.Recv (w, m))
+          |> List.filter_map (function
+               | Sep_model.Component.Send (w', m') -> Some (w', m')
+               | Sep_model.Component.Output _ -> None));
+      class_of_input = (fun (w, _) -> if w <= 1 then Sclass.unclassified else Sclass.secret);
+      class_of_output = (fun (w, _) -> if w <= 1 then Sclass.unclassified else Sclass.secret);
+      equal_output = ( = );
+      pp_input = (fun ppf (w, m) -> Fmt.pf ppf "[%d] %s" w m);
+      pp_output = (fun ppf (w, m) -> Fmt.pf ppf "[%d] %s" w m);
+    }
+  in
+  let alphabet = [| (0, "lo-a"); (0, "lo-b"); (2, "hi-a"); (2, "hi-b") |] in
+  Alcotest.(check bool) "leak detected" false (Mls_model.secure (sri_check machine alphabet))
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "bell-lapadula",
+        [
+          Alcotest.test_case "ss property" `Quick test_ss_property;
+          Alcotest.test_case "star property" `Quick test_star_property;
+          Alcotest.test_case "write needs both" `Quick test_write_needs_both;
+          Alcotest.test_case "trusted exemption" `Quick test_trusted_exemption;
+          Alcotest.test_case "incomparable compartments" `Quick test_incomparable_compartments;
+        ] );
+      ( "channel matrix",
+        [
+          Alcotest.test_case "direct and reachable" `Quick test_direct_and_reachable;
+          Alcotest.test_case "reachable avoiding" `Quick test_reachable_avoiding;
+          Alcotest.test_case "mediators" `Quick test_mediators;
+          Alcotest.test_case "isolated pairs" `Quick test_isolated_pairs;
+          Alcotest.test_case "topology and cut" `Quick test_of_topology_respects_cut;
+          Alcotest.test_case "SNFE requirement" `Quick test_snfe_requirement;
+          Alcotest.test_case "dot rendering" `Quick test_to_dot;
+        ] );
+      ( "sri model (E12)",
+        [
+          Alcotest.test_case "file server secure" `Quick test_sri_file_server_secure;
+          Alcotest.test_case "guard insecure by design" `Quick test_sri_guard_insecure;
+          Alcotest.test_case "detects a leaky component" `Quick test_sri_detects_leaky_component;
+        ] );
+    ]

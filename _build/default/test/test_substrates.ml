@@ -1,0 +1,208 @@
+(* Tests for the two execution substrates and their equivalence (E7): the
+   physically distributed network of boxes and the behavioural separation
+   kernel must be indistinguishable to the hosted components. *)
+
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Net = Sep_distributed.Net
+module Kernel = Sep_core.Regime_kernel
+module Prng = Sep_util.Prng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let a = Colour.make "A"
+let b = Colour.make "B"
+let c = Colour.make "C"
+
+(* A forwards external words to B (wire 0); B uppercases onto C (wire 1);
+   C outputs. *)
+let relay_topology ?(capacity = 4) () =
+  let fwd out_wire =
+    Component.stateless ~name:"fwd" (function
+      | Component.External m -> [ Component.Send (out_wire, m) ]
+      | Component.Recv _ -> [])
+  in
+  let upper =
+    Component.stateless ~name:"upper" (function
+      | Component.Recv (0, m) -> [ Component.Send (1, String.uppercase_ascii m) ]
+      | Component.Recv _ | Component.External _ -> [])
+  in
+  let sink =
+    Component.stateless ~name:"sink" (function
+      | Component.Recv (_, m) -> [ Component.Output m ]
+      | Component.External _ -> [])
+  in
+  Topology.make
+    ~parts:[ (a, fwd 0); (b, upper); (c, sink) ]
+    ~wires:[ (a, b, capacity); (b, c, capacity) ]
+
+let test_net_relay () =
+  let net = Net.build (relay_topology ()) in
+  Net.run net ~steps:6 ~externals:(fun n -> if n = 0 then [ (a, "hello") ] else []);
+  Alcotest.(check (list string)) "delivered and transformed" [ "HELLO" ] (Net.outputs net c);
+  Alcotest.(check int) "nothing left in flight" 0 (Net.in_flight net);
+  Alcotest.(check int) "no drops" 0 (Net.drops net)
+
+let test_kernel_relay () =
+  let k = Kernel.build (relay_topology ()) in
+  Kernel.run k ~steps:6 ~externals:(fun n -> if n = 0 then [ (a, "hello") ] else []);
+  Alcotest.(check (list string)) "delivered and transformed" [ "HELLO" ] (Kernel.outputs k c);
+  Alcotest.(check int) "kernel buffers drained" 0 (Kernel.buffered k);
+  Alcotest.(check bool) "context switches happened" true (Kernel.context_switches k > 0);
+  Alcotest.(check bool) "messages were copied through the kernel" true (Kernel.messages_copied k >= 4)
+
+let test_net_capacity_drops () =
+  let net = Net.build (relay_topology ~capacity:1 ()) in
+  (* two sends into a capacity-1 wire in one step: the second is dropped *)
+  Net.step net ~externals:[ (a, "one"); (a, "two") ];
+  Alcotest.(check int) "drop counted" 1 (Net.drops net)
+
+let test_kernel_capacity_drops () =
+  let k = Kernel.build (relay_topology ~capacity:1 ()) in
+  Kernel.step k ~externals:[ (a, "one"); (a, "two") ];
+  Alcotest.(check int) "drop counted" 1 (Kernel.drops k)
+
+let test_cut_wire_blocks_delivery () =
+  let topo = Topology.cut_wire (relay_topology ()) 0 in
+  let net = Net.build topo in
+  Net.run net ~steps:6 ~externals:(fun n -> if n = 0 then [ (a, "x") ] else []);
+  Alcotest.(check (list string)) "net: nothing arrives" [] (Net.outputs net c);
+  let k = Kernel.build topo in
+  Kernel.run k ~steps:6 ~externals:(fun n -> if n = 0 then [ (a, "x") ] else []);
+  Alcotest.(check (list string)) "kernel: nothing arrives" [] (Kernel.outputs k c)
+
+let test_unowned_wire_send_dropped () =
+  (* a component sending on a wire whose source is another box *)
+  let rogue =
+    Component.stateless ~name:"rogue" (function
+      | Component.External _ -> [ Component.Send (1, "forged") ]
+      | Component.Recv _ -> [])
+  in
+  let sink =
+    Component.stateless ~name:"sink" (function
+      | Component.Recv (_, m) -> [ Component.Output m ]
+      | Component.External _ -> [])
+  in
+  let topo =
+    Topology.make
+      ~parts:[ (a, rogue); (b, sink); (c, sink) ]
+      ~wires:[ (a, b, 4); (b, c, 4) ]
+  in
+  let net = Net.build topo in
+  Net.run net ~steps:4 ~externals:(fun n -> if n = 0 then [ (a, "go") ] else []);
+  Alcotest.(check (list string)) "net: forgery blocked" [] (Net.outputs net c);
+  Alcotest.(check int) "net: counted" 1 (Net.drops net);
+  let k = Kernel.build topo in
+  Kernel.run k ~steps:4 ~externals:(fun n -> if n = 0 then [ (a, "go") ] else []);
+  Alcotest.(check (list string)) "kernel: forgery blocked" [] (Kernel.outputs k c);
+  Alcotest.(check int) "kernel: counted" 1 (Kernel.drops k)
+
+(* -- E7: trace equivalence ----------------------------------------------------- *)
+
+let traces_equal topo ~steps ~externals =
+  let net = Net.build topo in
+  let k = Kernel.build topo in
+  Net.run net ~steps ~externals;
+  Kernel.run k ~steps ~externals;
+  List.for_all (fun col -> Net.trace net col = Kernel.trace k col) (Topology.colours topo)
+
+let test_e7_relay () =
+  let externals n = if n mod 2 = 0 && n < 10 then [ (a, Fmt.str "m%d" n) ] else [] in
+  Alcotest.(check bool) "relay traces equal" true
+    (traces_equal (relay_topology ()) ~steps:20 ~externals)
+
+let test_e7_snfe () =
+  let topo = Sep_snfe.Snfe.topology Sep_snfe.Snfe.default_config in
+  let externals n =
+    if n < 4 then [ (Sep_snfe.Snfe.red, Fmt.str "packet %d" n) ]
+    else if n = 5 then [ (Sep_snfe.Snfe.black, "PKT HDR seq=0 len=3|3|aabbcc") ]
+    else []
+  in
+  Alcotest.(check bool) "snfe traces equal" true (traces_equal topo ~steps:25 ~externals)
+
+let test_e7_mls () =
+  let topo = Sep_apps.Mls.topology () in
+  let externals n =
+    List.filter_map
+      (fun (s, c, m) -> if s = n then Some (c, m) else None)
+      Sep_apps.Mls.demo_script
+  in
+  Alcotest.(check bool) "mls traces equal" true (traces_equal topo ~steps:50 ~externals)
+
+let test_e7_detects_kernel_bugs () =
+  (* a kernel that fails at its one job must be caught by the equivalence *)
+  let externals n = if n < 6 then [ (a, Fmt.str "m%d" n) ] else [] in
+  List.iter
+    (fun bug ->
+      let topo = relay_topology () in
+      let net = Net.build topo in
+      let k = Kernel.build ~bugs:[ bug ] topo in
+      Net.run net ~steps:15 ~externals;
+      Kernel.run k ~steps:15 ~externals;
+      let equal =
+        List.for_all (fun col -> Net.trace net col = Kernel.trace k col) (Topology.colours topo)
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%a breaks indistinguishability" Kernel.pp_bug bug)
+        false equal)
+    Kernel.all_bugs
+
+(* Random workloads over a randomly-wired topology. *)
+let e7_random =
+  QCheck.Test.make ~name:"random workloads: kernelized = distributed" ~count:30
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      (* random 3-component topology with 2-4 wires *)
+      let cols = [| a; b; c |] in
+      let bounce =
+        Component.make ~name:"bounce" ~init:0 ~step:(fun n ev ->
+            match ev with
+            | Component.External m -> (n + 1, [ Component.Send (n mod 4, m) ])
+            | Component.Recv (w, m) ->
+              if String.length m > 6 then (n, [ Component.Output m ])
+              else (n + 1, [ Component.Send ((n + w) mod 4, m ^ "!") ]))
+      in
+      let wire _ =
+        let src = Prng.int rng 3 in
+        let dst = (src + 1 + Prng.int rng 2) mod 3 in
+        (cols.(src), cols.(dst), 1 + Prng.int rng 3)
+      in
+      let wires = List.init (2 + Prng.int rng 3) wire in
+      let topo = Topology.make ~parts:[ (a, bounce); (b, bounce); (c, bounce) ] ~wires in
+      let script =
+        List.init 12 (fun i -> (i, cols.(Prng.int rng 3), Fmt.str "w%d" (Prng.int rng 10)))
+      in
+      let externals n =
+        List.filter_map (fun (s, col, m) -> if s = n then Some (col, m) else None) script
+      in
+      traces_equal topo ~steps:30 ~externals)
+
+let () =
+  Alcotest.run "substrates"
+    [
+      ( "distributed net",
+        [
+          Alcotest.test_case "relay" `Quick test_net_relay;
+          Alcotest.test_case "capacity drops" `Quick test_net_capacity_drops;
+        ] );
+      ( "regime kernel",
+        [
+          Alcotest.test_case "relay" `Quick test_kernel_relay;
+          Alcotest.test_case "capacity drops" `Quick test_kernel_capacity_drops;
+        ] );
+      ( "isolation mechanics",
+        [
+          Alcotest.test_case "cut wire" `Quick test_cut_wire_blocks_delivery;
+          Alcotest.test_case "unowned wire" `Quick test_unowned_wire_send_dropped;
+        ] );
+      ( "indistinguishability (E7)",
+        [
+          Alcotest.test_case "relay" `Quick test_e7_relay;
+          Alcotest.test_case "snfe" `Quick test_e7_snfe;
+          Alcotest.test_case "mls" `Quick test_e7_mls;
+          Alcotest.test_case "detects kernel bugs" `Quick test_e7_detects_kernel_bugs;
+          qtest e7_random;
+        ] );
+    ]
