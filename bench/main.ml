@@ -4,9 +4,11 @@
    DESIGN.md and EXPERIMENTS.md), each printing the table that supports
    it, followed by bechamel timings of the core operations.
 
-     dune exec bench/main.exe            all experiments + timings
-     dune exec bench/main.exe -- e3 e6   selected experiments
-     dune exec bench/main.exe -- timings only the timing benches *)
+     dune exec bench/main.exe                 all experiments + timings
+     dune exec bench/main.exe -- e3 e6        selected experiments
+     dune exec bench/main.exe -- timings      only the timing benches
+     dune exec bench/main.exe -- snapshot     write BENCH_PR1.json (see EXPERIMENTS.md)
+     dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing *)
 
 module Table = Sep_util.Table
 module Colour = Sep_model.Colour
@@ -676,6 +678,161 @@ let timings () =
     tests;
   Table.print table
 
+(* -- snapshot: the machine-readable bench record ------------------------------ *)
+
+(* Writes BENCH_PR<n>.json: per-experiment wall clock, states explored,
+   checks/sec, per-regime kernel counters and the span profile, so the
+   perf trajectory of the repository is comparable across PRs. The schema
+   is documented in EXPERIMENTS.md; `snapshot --check` rebuilds the
+   snapshot in memory, parses it back and validates the shape without
+   touching the file. *)
+
+module Json = Sep_util.Json
+
+let snapshot_scenarios () =
+  Scenarios.all @ [ Scenarios.scaled ~regimes:2 ~counter_bits:3 ]
+
+let snapshot_json () =
+  Sep_obs.Span.set_enabled true;
+  Sep_obs.Span.reset ();
+  let check_experiments =
+    List.map
+      (fun (inst : Scenarios.instance) ->
+        let report, secs =
+          timed (fun () ->
+              Separability.check (Sue.to_system ~inputs:inst.Scenarios.alphabet inst.Scenarios.cfg))
+        in
+        Json.Obj
+          [
+            ("label", Json.String inst.Scenarios.label);
+            ("kind", Json.String "exhaustive-pos");
+            ("states", Json.Int report.Separability.states);
+            ("checks", Json.Int report.Separability.checks);
+            ("verified", Json.Bool (Separability.verified report));
+            ("seconds", Json.Float secs);
+            ( "checks_per_sec",
+              Json.Float
+                (if secs > 0.0 then float_of_int report.Separability.checks /. secs else 0.0) );
+          ])
+      (snapshot_scenarios ())
+  in
+  let kernel_runs =
+    let run (inst : Scenarios.instance) impl =
+      let t = Sue.build ~impl inst.Scenarios.cfg in
+      let alphabet = Array.of_list inst.Scenarios.alphabet in
+      let steps = 5_000 in
+      let inputs n =
+        if Array.length alphabet > 1 && n mod 10 = 0 then
+          alphabet.((n / 10) mod (Array.length alphabet - 1) + 1)
+        else []
+      in
+      let (), secs =
+        timed (fun () ->
+            for n = 0 to steps - 1 do
+              ignore (Sue.step t (inputs n))
+            done)
+      in
+      Json.Obj
+        [
+          ("label", Json.String inst.Scenarios.label);
+          ("impl", Json.String (Fmt.str "%a" Sue.pp_impl impl));
+          ("steps", Json.Int steps);
+          ("seconds", Json.Float secs);
+          ("steps_per_sec", Json.Float (if secs > 0.0 then float_of_int steps /. secs else 0.0));
+          ("counters", Sep_obs.Telemetry.to_json (Sue.telemetry t));
+        ]
+    in
+    List.map (fun inst -> run inst Sue.Microcode) (snapshot_scenarios ())
+    @ [ run Scenarios.pipeline Sue.Assembly ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "rushby-bench/1");
+      ("generated_at_unix", Json.Float (Unix.time ()));
+      ("ocaml_version", Json.String Sys.ocaml_version);
+      ("experiments", Json.List check_experiments);
+      ("kernel_runs", Json.List kernel_runs);
+      ("spans", Sep_obs.Span.to_json ());
+    ]
+
+let validate_snapshot json =
+  let fail msg = Error msg in
+  let require_obj name v = match v with Some (Json.Obj _ as o) -> Ok o | _ -> fail ("missing object " ^ name) in
+  let require_list name v = match v with Some (Json.List l) -> Ok l | _ -> fail ("missing list " ^ name) in
+  match Json.member "schema" json with
+  | Some (Json.String "rushby-bench/1") -> (
+    match require_list "experiments" (Json.member "experiments" json) with
+    | Error e -> fail e
+    | Ok experiments -> (
+      match require_list "kernel_runs" (Json.member "kernel_runs" json) with
+      | Error e -> fail e
+      | Ok runs -> (
+        match require_obj "spans" (Json.member "spans" json) with
+        | Error e -> fail e
+        | Ok _ ->
+          let exp_ok e =
+            List.for_all
+              (fun k -> Json.member k e <> None)
+              [ "label"; "states"; "checks"; "verified"; "seconds"; "checks_per_sec" ]
+          in
+          let run_ok r =
+            List.for_all (fun k -> Json.member k r <> None)
+              [ "label"; "impl"; "steps"; "seconds"; "steps_per_sec"; "counters" ]
+            && (match Json.member "counters" r with
+               | Some c -> Json.member "counters" c <> None
+               | None -> false)
+          in
+          if not (List.for_all exp_ok experiments) then fail "malformed experiment entry"
+          else if not (List.for_all run_ok runs) then fail "malformed kernel_run entry"
+          else if experiments = [] || runs = [] then fail "empty snapshot"
+          else Ok (List.length experiments, List.length runs))))
+  | _ -> fail "missing or unexpected schema tag"
+
+let snapshot_main args =
+  let check_only = ref false in
+  let out = ref "BENCH_PR1.json" in
+  let rec parse = function
+    | [] -> Ok ()
+    | "--check" :: rest ->
+      check_only := true;
+      parse rest
+    | "--out" :: f :: rest ->
+      out := f;
+      parse rest
+    | "--out" :: [] -> Error "--out requires a file name"
+    | a :: _ -> Error (Fmt.str "unknown argument %S (expected --check or --out FILE)" a)
+  in
+  match parse args with
+  | Error e ->
+    Fmt.epr "snapshot: %s@." e;
+    2
+  | Ok () ->
+  let check_only = !check_only and out = !out in
+  let json = snapshot_json () in
+  (* round-trip through the writer and reader, then validate the shape *)
+  match Json.parse (Json.to_string json) with
+  | Error e ->
+    Fmt.epr "snapshot: writer produced unparseable JSON: %s@." e;
+    1
+  | Ok parsed -> (
+    match validate_snapshot parsed with
+    | Error e ->
+      Fmt.epr "snapshot: invalid shape: %s@." e;
+      1
+    | Ok (nexp, nruns) ->
+      if check_only then begin
+        Fmt.pr "snapshot --check: ok (%d experiments, %d kernel runs; nothing written)@." nexp nruns;
+        0
+      end
+      else begin
+        let oc = open_out out in
+        output_string oc (Json.to_string json);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "wrote %s (%d experiments, %d kernel runs)@." out nexp nruns;
+        0
+      end)
+
 let experiments =
   [
     ("e1", e1);
@@ -695,8 +852,11 @@ let experiments =
   ]
 
 let () =
+  match Array.to_list Sys.argv with
+  | _ :: "snapshot" :: rest -> exit (snapshot_main rest)
+  | argv ->
   let requested =
-    match Array.to_list Sys.argv with
+    match argv with
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in

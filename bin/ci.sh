@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI check: full build, the whole test suite, and a self-validating bench
+# snapshot (exercises the telemetry/JSON pipeline without writing files).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- snapshot --check

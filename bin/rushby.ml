@@ -50,9 +50,48 @@ let impl_arg =
   Arg.(value & opt impl_conv Sep_core.Sue.Microcode
        & info [ "impl" ] ~doc:"Kernel implementation: microcode or assembly (machine code).")
 
+let trace_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-json" ] ~docv:"FILE"
+           ~doc:"Also write a machine-readable JSONL record of the run to $(docv).")
+
+(* the deterministic drip of external input used by trace/stats runs *)
+let drip_inputs scenario =
+  let alphabet = Array.of_list scenario.Sep_core.Scenarios.alphabet in
+  fun n ->
+    if Array.length alphabet > 1 && n mod 10 = 0 then
+      alphabet.((n / 10) mod (Array.length alphabet - 1) + 1)
+    else []
+
+(* a bad --trace-json/--json path is a usage problem, not an internal error *)
+let graceful_write f = try f () with Sys_error msg -> Fmt.epr "rushby: %s@." msg; exit 1
+
+let emit_json_record file ~kernel_counters report =
+  graceful_write @@ fun () ->
+  Sep_obs.Sink.with_file file (fun sink ->
+      Sep_obs.Sink.emit sink
+        (Sep_util.Json.Obj
+           [
+             ("kind", Sep_util.Json.String "report");
+             ("report", Sep_core.Separability.report_to_json report);
+           ]);
+      (match kernel_counters with
+      | None -> ()
+      | Some tel ->
+        Sep_obs.Sink.emit sink
+          (Sep_util.Json.Obj
+             [
+               ("kind", Sep_util.Json.String "kernel_counters");
+               ("telemetry", Sep_obs.Telemetry.to_json tel);
+             ]));
+      Sep_obs.Sink.emit sink
+        (Sep_util.Json.Obj
+           [ ("kind", Sep_util.Json.String "spans"); ("telemetry", Sep_obs.Span.to_json ()) ]))
+
 (* -- verify ---------------------------------------------------------------- *)
 
-let verify_run scenario bugs uncut impl =
+let verify_run scenario bugs uncut impl trace_json =
+  if trace_json <> None then Sep_obs.Span.set_enabled true;
   let cfg =
     if uncut then Sep_core.Config.cut_none scenario.Sep_core.Scenarios.cfg
     else scenario.Sep_core.Scenarios.cfg
@@ -60,22 +99,37 @@ let verify_run scenario bugs uncut impl =
   let sys = Sep_core.Sue.to_system ~bugs ~impl ~inputs:scenario.Sep_core.Scenarios.alphabet cfg in
   let report = Sep_core.Separability.check sys in
   Fmt.pr "%a@." Sep_core.Separability.pp_report report;
+  (match trace_json with
+  | None -> ()
+  | Some file ->
+    (* the exploration's kernel counters accumulate in the system's shared
+       initial instance *)
+    let kernel_counters =
+      match sys.Sep_model.System.initial with
+      | t0 :: _ -> Some (Sep_core.Sue.telemetry t0)
+      | [] -> None
+    in
+    emit_json_record file ~kernel_counters report);
   if Sep_core.Separability.verified report then 0 else 1
 
 let verify_cmd =
   let doc = "Exhaustive Proof of Separability over a micro-scenario." in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const verify_run $ scenario_arg $ bugs_arg $ uncut_arg $ impl_arg)
+    Term.(const verify_run $ scenario_arg $ bugs_arg $ uncut_arg $ impl_arg $ trace_json_arg)
 
 (* -- verify-random ---------------------------------------------------------- *)
 
-let verify_random_run scenario bugs seed walks walk_len scrambles impl =
+let verify_random_run scenario bugs seed walks walk_len scrambles impl trace_json =
+  if trace_json <> None then Sep_obs.Span.set_enabled true;
   let params = { Sep_core.Randomized.walks; walk_len; scrambles } in
   let report =
     Sep_core.Randomized.check ~bugs ~impl ~params ~seed
       ~inputs:scenario.Sep_core.Scenarios.alphabet scenario.Sep_core.Scenarios.cfg
   in
   Fmt.pr "%a@." Sep_core.Separability.pp_report report;
+  (match trace_json with
+  | None -> ()
+  | Some file -> emit_json_record file ~kernel_counters:None report);
   if Sep_core.Separability.verified report then 0 else 1
 
 let verify_random_cmd =
@@ -86,7 +140,7 @@ let verify_random_cmd =
   Cmd.v (Cmd.info "verify-random" ~doc)
     Term.(
       const verify_random_run $ scenario_arg $ bugs_arg $ seed_arg $ walks $ walk_len $ scrambles
-      $ impl_arg)
+      $ impl_arg $ trace_json_arg)
 
 (* -- mutants ---------------------------------------------------------------- *)
 
@@ -284,21 +338,66 @@ let dot_cmd =
 
 (* -- trace ------------------------------------------------------------------- *)
 
-let trace_run scenario bugs steps impl =
+let trace_run scenario bugs steps impl trace_json =
   let t = Sep_core.Sue.build ~bugs ~impl scenario.Sep_core.Scenarios.cfg in
-  let alphabet = Array.of_list scenario.Sep_core.Scenarios.alphabet in
-  let inputs n =
-    (* a deterministic drip of external input to keep the regimes busy *)
-    if Array.length alphabet > 1 && n mod 10 = 0 then alphabet.((n / 10) mod (Array.length alphabet - 1) + 1)
-    else []
-  in
-  print_string (Sep_core.Ktrace.render (Sep_core.Ktrace.record t ~steps ~inputs));
+  let inputs = drip_inputs scenario in
+  let entries = Sep_core.Ktrace.record t ~steps ~inputs in
+  print_string (Sep_core.Ktrace.render entries);
+  (match trace_json with
+  | None -> ()
+  | Some file ->
+    graceful_write @@ fun () ->
+    let oc = open_out file in
+    output_string oc (Sep_core.Ktrace.to_json entries);
+    close_out oc);
   0
 
 let trace_cmd =
   let steps = Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Steps to trace.") in
   Cmd.v (Cmd.info "trace" ~doc:"Trace a kernel run: instructions, traps, switches, interrupts.")
-    Term.(const trace_run $ scenario_arg $ bugs_arg $ steps $ impl_arg)
+    Term.(const trace_run $ scenario_arg $ bugs_arg $ steps $ impl_arg $ trace_json_arg)
+
+(* -- stats ------------------------------------------------------------------- *)
+
+let stats_run scenario bugs steps impl json_file =
+  Sep_obs.Span.set_enabled true;
+  let t = Sep_core.Sue.build ~bugs ~impl scenario.Sep_core.Scenarios.cfg in
+  let inputs = drip_inputs scenario in
+  for n = 0 to steps - 1 do
+    ignore (Sep_core.Sue.step t (inputs n))
+  done;
+  let tel = Sep_core.Sue.telemetry t in
+  Fmt.pr "== kernel counters: %s, %d steps, %a kernel ==@.%a@."
+    scenario.Sep_core.Scenarios.label steps Sep_core.Sue.pp_impl impl Sep_obs.Telemetry.pp tel;
+  Fmt.pr "@.== span profile (seconds) ==@.%a@." Sep_obs.Telemetry.pp Sep_obs.Span.registry;
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    graceful_write @@ fun () ->
+    Sep_obs.Sink.with_file file (fun sink ->
+        Sep_obs.Sink.emit sink
+          (Sep_util.Json.Obj
+             [
+               ("kind", Sep_util.Json.String "kernel_counters");
+               ("scenario", Sep_util.Json.String scenario.Sep_core.Scenarios.label);
+               ("steps", Sep_util.Json.Int steps);
+               ("telemetry", Sep_obs.Telemetry.to_json tel);
+             ]);
+        Sep_obs.Sink.emit sink
+          (Sep_util.Json.Obj
+             [ ("kind", Sep_util.Json.String "spans"); ("telemetry", Sep_obs.Span.to_json ()) ])));
+  0
+
+let stats_cmd =
+  let steps = Arg.(value & opt int 2000 & info [ "steps" ] ~doc:"Steps to run.") in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the counters and spans as JSONL to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a scenario and print the kernel's telemetry: per-regime counters and a span profile.")
+    Term.(const stats_run $ scenario_arg $ bugs_arg $ steps $ impl_arg $ json_file)
 
 (* -- metrics ----------------------------------------------------------------- *)
 
@@ -326,6 +425,7 @@ let main_cmd =
       spooler_cmd;
       dot_cmd;
       trace_cmd;
+      stats_cmd;
       metrics_cmd;
     ]
 

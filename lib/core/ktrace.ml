@@ -103,6 +103,51 @@ let record t ~steps ~inputs =
   done;
   List.rev !out
 
+(* JSON rendering. The match is exhaustive on purpose: adding an event
+   constructor without extending the schema is a compile error, not a
+   silently incomplete trace. *)
+let event_to_json ev =
+  let module J = Sep_util.Json in
+  let colour c = ("colour", J.String (Colour.name c)) in
+  match ev with
+  | Executed e ->
+    J.Obj
+      [
+        ("type", J.String "executed");
+        colour e.colour;
+        ("pc", J.Int e.pc);
+        ("instr", J.String (Fmt.str "%a" Isa.pp e.instr));
+      ]
+  | Trapped t -> J.Obj [ ("type", J.String "trapped"); colour t.colour; ("number", J.Int t.number) ]
+  | Switched s ->
+    J.Obj
+      [
+        ("type", J.String "switched");
+        ("from", J.String (Colour.name s.from_));
+        ("to", J.String (Colour.name s.to_));
+      ]
+  | Blocked c -> J.Obj [ ("type", J.String "blocked"); colour c ]
+  | Parked c -> J.Obj [ ("type", J.String "parked"); colour c ]
+  | Woken c -> J.Obj [ ("type", J.String "woken"); colour c ]
+  | Arrived a ->
+    J.Obj [ ("type", J.String "arrived"); ("device", J.Int a.device); ("word", J.Int a.word) ]
+  | Emitted e ->
+    J.Obj [ ("type", J.String "emitted"); ("device", J.Int e.device); ("word", J.Int e.word) ]
+  | Stalled -> J.Obj [ ("type", J.String "stalled") ]
+
+let entry_to_json e =
+  let module J = Sep_util.Json in
+  J.Obj [ ("step", J.Int e.step); ("events", J.List (List.map event_to_json e.events)) ]
+
+let to_json entries =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun e ->
+      Sep_util.Json.to_buffer buf (entry_to_json e);
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.contents buf
+
 let render entries =
   let buf = Buffer.create 512 in
   List.iter

@@ -36,3 +36,16 @@ val record : Sue.t -> steps:int -> inputs:(int -> Sue.input) -> entry list
 
 val render : entry list -> string
 (** One line per event, prefixed with the step number. *)
+
+val event_to_json : event -> Sep_util.Json.t
+(** One event as a JSON object, discriminated by a ["type"] field
+    ([executed], [trapped], [switched], [blocked], [parked], [woken],
+    [arrived], [emitted], [stalled]). Exhaustive over the constructors by
+    construction: a new event cannot compile without a schema entry. *)
+
+val entry_to_json : entry -> Sep_util.Json.t
+(** [{"step": n, "events": [...]}]. *)
+
+val to_json : entry list -> string
+(** JSONL: one {!entry_to_json} line per entry — the machine-readable
+    sibling of {!render}. *)

@@ -8,6 +8,10 @@ type params = {
 
 let default_params = { walks = 8; walk_len = 64; scrambles = 2 }
 
+let span_walk = Sep_obs.Span.make "randomized.walk"
+let span_scramble = Sep_obs.Span.make "randomized.scramble"
+let span_check_states = Sep_obs.Span.make "randomized.check_states"
+
 let sample_states ?(bugs = []) ?(impl = Sue.Microcode) ~params ~seed ~inputs cfg =
   let rng = Prng.create seed in
   let alphabet = Array.of_list inputs in
@@ -15,21 +19,23 @@ let sample_states ?(bugs = []) ?(impl = Sue.Microcode) ~params ~seed ~inputs cfg
   let out = ref [] in
   let add s =
     out := s :: !out;
-    List.iter
-      (fun c ->
-        for _ = 1 to params.scrambles do
-          out := Sue.scramble_others rng s c :: !out
-        done)
-      colours
+    Sep_obs.Span.time span_scramble (fun () ->
+        List.iter
+          (fun c ->
+            for _ = 1 to params.scrambles do
+              out := Sue.scramble_others rng s c :: !out
+            done)
+          colours)
   in
   for _ = 1 to params.walks do
-    let t = Sue.build ~bugs ~impl cfg in
-    add (Sue.copy t);
-    for _ = 1 to params.walk_len do
-      let input = if Array.length alphabet = 0 then [] else Prng.choose rng alphabet in
-      ignore (Sue.step t input);
-      add (Sue.copy t)
-    done
+    Sep_obs.Span.time span_walk (fun () ->
+        let t = Sue.build ~bugs ~impl cfg in
+        add (Sue.copy t);
+        for _ = 1 to params.walk_len do
+          let input = if Array.length alphabet = 0 then [] else Prng.choose rng alphabet in
+          ignore (Sue.step t input);
+          add (Sue.copy t)
+        done)
   done;
   List.rev !out
 
@@ -37,4 +43,5 @@ let check ?(bugs = []) ?(impl = Sue.Microcode) ?(params = default_params) ?max_f
     ~inputs cfg =
   let states = sample_states ~bugs ~impl ~params ~seed ~inputs cfg in
   let sys = Sue.to_system ~bugs ~impl ~inputs cfg in
-  Separability.check_states ?max_failures sys states
+  Sep_obs.Span.time span_check_states (fun () ->
+      Separability.check_states ?max_failures sys states)

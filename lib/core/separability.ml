@@ -3,7 +3,13 @@ module System = Sep_model.System
 
 type failure = { condition : int; colour : Colour.t; detail : string }
 
-type report = { instance : string; states : int; checks : int; failures : failure list }
+type report = {
+  instance : string;
+  states : int;
+  checks : int;
+  cond_checks : (int * int) list;
+  failures : failure list;
+}
 
 let verified r = r.failures = []
 
@@ -23,19 +29,32 @@ exception Enough
 (* Mutable accumulation shared by one checking run. *)
 type acc = {
   mutable checks : int;
+  cond : int array;  (* checks per condition, indices 1..6 *)
   mutable failures : failure list;
   mutable nfail : int;
   max_failures : int;
 }
 
-let fresh max_failures = { checks = 0; failures = []; nfail = 0; max_failures }
+let fresh max_failures =
+  { checks = 0; cond = Array.make 7 0; failures = []; nfail = 0; max_failures }
 
 let record acc condition colour detail =
   acc.failures <- { condition; colour; detail } :: acc.failures;
   acc.nfail <- acc.nfail + 1;
   if acc.nfail >= acc.max_failures then raise Enough
 
-let tick acc = acc.checks <- acc.checks + 1
+let tick acc condition =
+  acc.checks <- acc.checks + 1;
+  acc.cond.(condition) <- acc.cond.(condition) + 1
+
+let cond_checks_of acc = List.init 6 (fun i -> (i + 1, acc.cond.(i + 1)))
+
+(* Span handles for the profiling surfaces; no-ops unless
+   [Sep_obs.Span.set_enabled true] was called. *)
+let span_reachable = Sep_obs.Span.make "separability.reachable"
+let span_cond12 = Sep_obs.Span.make "separability.cond1_2"
+let span_cond3456 = Sep_obs.Span.make "separability.cond3_4_5_6"
+let span_cond4 = Sep_obs.Span.make "separability.cond4"
 
 (* Conditions 1 and 2 examine each state's actually-selected operation. *)
 let check_ops sys acc states =
@@ -43,7 +62,7 @@ let check_ops sys acc states =
     let op = sys.System.nextop s in
     let c = sys.System.colour_of s in
     let s' = op.System.op_apply s in
-    tick acc;
+    tick acc 1;
     let concrete = sys.System.abstract c s' in
     let abstract_op = sys.System.abop c op in
     let spec = abstract_op.System.abop_apply (sys.System.abstract c s) in
@@ -54,7 +73,7 @@ let check_ops sys acc states =
            sys.System.pp_abstate spec);
     let inactive c' =
       if not (Colour.equal c' c) then begin
-        tick acc;
+        tick acc 2;
         let before = sys.System.abstract c' s and after = sys.System.abstract c' s' in
         if not (sys.System.equal_abstate before after) then
           record acc 2 c'
@@ -70,13 +89,14 @@ let check_ops sys acc states =
 (* Group the given inputs by their c-projection; within a group the
    post-INPUT abstractions must agree (condition 4). *)
 let check_cond4 sys acc c s images =
+  Sep_obs.Span.time span_cond4 @@ fun () ->
   let groups = ref [] in
   let place (i, img) =
     let proj = sys.System.extract_input c i in
     match List.find_opt (fun (p, _, _) -> sys.System.equal_proj p proj) !groups with
     | None -> groups := (proj, img, i) :: !groups
     | Some (_, rep_img, rep_i) ->
-      tick acc;
+      tick acc 4;
       if not (sys.System.equal_abstate img rep_img) then
         record acc 4 c
           (Fmt.str "inputs %a and %a have equal %a-components but give %a different views in state@ %a"
@@ -114,7 +134,7 @@ let check_views sys acc states =
         (* condition 3: same input, same effect on c's view *)
         List.iter2
           (fun (i, img) (_, rep_img) ->
-            tick acc;
+            tick acc 3;
             if not (sys.System.equal_abstate img rep_img) then
               record acc 3 c
                 (Fmt.str
@@ -123,7 +143,7 @@ let check_views sys acc states =
                    Colour.pp c))
           imgs rep_imgs;
         (* condition 5: same output components for c *)
-        tick acc;
+        tick acc 5;
         if not (sys.System.equal_proj out rep_out) then
           record acc 5 c
             (Fmt.str "states@ %a@ and@ %a@ look alike to %a but emit different %a-outputs"
@@ -134,7 +154,7 @@ let check_views sys acc states =
           match !rep_op with
           | None -> rep_op := Some name
           | Some rep_name ->
-            tick acc;
+            tick acc 6;
             if not (String.equal name rep_name) then
               record acc 6 c
                 (Fmt.str
@@ -177,21 +197,21 @@ let check_views_pairwise sys acc states =
           if sys.System.equal_abstate a1 a2 then begin
             List.iteri
               (fun k img1 ->
-                tick acc;
+                tick acc 3;
                 if not (sys.System.equal_abstate img1 (List.nth imgs2 k)) then
                   record acc 3 c
                     (Fmt.str "states@ %a@ and@ %a@ look alike to %a but an input affects them \
                               differently"
                        sys.System.pp_state s sys.System.pp_state arr.(y) Colour.pp c))
               imgs1;
-            tick acc;
+            tick acc 5;
             if not (sys.System.equal_proj out1 out2) then
               record acc 5 c
                 (Fmt.str "states@ %a@ and@ %a@ look alike to %a but emit different outputs"
                    sys.System.pp_state s sys.System.pp_state arr.(y) Colour.pp c);
             match (op1, op2) with
             | Some n1, Some n2 ->
-              tick acc;
+              tick acc 6;
               if not (String.equal n1 n2) then
                 record acc 6 c
                   (Fmt.str "states@ %a@ and@ %a@ look alike to the active regime %a but select \
@@ -207,31 +227,57 @@ let check_views_pairwise sys acc states =
 let check_states_pairwise ?(max_failures = 20) sys states =
   let acc = fresh max_failures in
   (try
-     check_ops sys acc states;
-     check_views_pairwise sys acc states
+     Sep_obs.Span.time span_cond12 (fun () -> check_ops sys acc states);
+     Sep_obs.Span.time span_cond3456 (fun () -> check_views_pairwise sys acc states)
    with Enough -> ());
   {
     instance = sys.System.name ^ " (pairwise)";
     states = List.length states;
     checks = acc.checks;
+    cond_checks = cond_checks_of acc;
     failures = List.rev acc.failures;
   }
 
 let run_checks sys states max_failures =
   let acc = fresh max_failures in
   (try
-     check_ops sys acc states;
-     check_views sys acc states
+     Sep_obs.Span.time span_cond12 (fun () -> check_ops sys acc states);
+     Sep_obs.Span.time span_cond3456 (fun () -> check_views sys acc states)
    with Enough -> ());
   {
     instance = sys.System.name;
     states = List.length states;
     checks = acc.checks;
+    cond_checks = cond_checks_of acc;
     failures = List.rev acc.failures;
   }
 
 let check ?state_limit ?(max_failures = 20) sys =
-  let states = System.reachable ?limit:state_limit sys in
+  let states = Sep_obs.Span.time span_reachable (fun () -> System.reachable ?limit:state_limit sys) in
   run_checks sys states max_failures
+
+let report_to_json r =
+  let module J = Sep_util.Json in
+  J.Obj
+    [
+      ("instance", J.String r.instance);
+      ("states", J.Int r.states);
+      ("checks", J.Int r.checks);
+      ( "cond_checks",
+        J.Obj (List.map (fun (c, n) -> (string_of_int c, J.Int n)) r.cond_checks) );
+      ("verified", J.Bool (verified r));
+      ("failing_conditions", J.List (List.map (fun c -> J.Int c) (failing_conditions r)));
+      ( "failures",
+        J.List
+          (List.map
+             (fun f ->
+               J.Obj
+                 [
+                   ("condition", J.Int f.condition);
+                   ("colour", J.String (Colour.name f.colour));
+                   ("detail", J.String f.detail);
+                 ])
+             r.failures) );
+    ]
 
 let check_states ?(max_failures = 20) sys states = run_checks sys states max_failures

@@ -38,6 +38,7 @@ type report = {
   instance : string;
   states : int;  (** states examined *)
   checks : int;  (** condition instances evaluated *)
+  cond_checks : (int * int) list;  (** the same count broken out per condition, 1–6 *)
   failures : failure list;
 }
 
@@ -48,6 +49,16 @@ val failing_conditions : report -> int list
 (** Sorted, duplicate-free condition numbers among the failures. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> Sep_util.Json.t
+(** Stable machine-readable rendering: [{"instance", "states", "checks",
+    "cond_checks": {"1": n, ...}, "verified", "failing_conditions",
+    "failures": [{"condition", "colour", "detail"}]}]. *)
+
+(** Checking is profiled through {!Sep_obs.Span} (spans
+    [separability.reachable], [separability.cond1_2],
+    [separability.cond3_4_5_6], [separability.cond4]) when span profiling
+    is enabled; otherwise the instrumentation is inert. *)
 
 val check : ?state_limit:int -> ?max_failures:int -> ('s, 'i, 'o, 'a, 'p) Sep_model.System.t -> report
 (** Exhaustive Proof of Separability over the reachable states of the

@@ -89,6 +89,39 @@ type layout = {
   dev_kinds : Machine.device_kind array;
 }
 
+(* Per-instance kernel counters. Arrays are indexed by regime; the record
+   is shared by [copy], so one build's whole family of snapshots (e.g. a
+   state-space exploration) accumulates into a single tally. *)
+type counts = {
+  ct_instrs : int array;
+  ct_traps : int array;
+  ct_swaps : int array;
+  ct_sent : int array;
+  ct_recvd : int array;
+  mutable ct_switches : int;
+  mutable ct_irqs_forwarded : int;
+  mutable ct_wakes : int;
+  mutable ct_stalls : int;
+  mutable ct_inputs_latched : int;
+  mutable ct_outputs_observed : int;
+  mutable ct_kernel_instrs : int;
+}
+
+type kstats = {
+  ks_instrs : (Colour.t * int) list;
+  ks_traps : (Colour.t * int) list;
+  ks_swaps : (Colour.t * int) list;
+  ks_sent : (Colour.t * int) list;
+  ks_recvd : (Colour.t * int) list;
+  ks_switches : int;
+  ks_irqs_forwarded : int;
+  ks_wakes : int;
+  ks_stalls : int;
+  ks_inputs_latched : int;
+  ks_outputs_observed : int;
+  ks_kernel_instrs : int;
+}
+
 type t = {
   layout : layout;
   cfg : Isa.stmt list Config.t;
@@ -98,6 +131,7 @@ type t = {
   rdt_base : int;  (* 0 for Microcode *)
   code_base : int;
   code_len : int;
+  counts : counts;
 }
 
 type input = (int * int) list
@@ -404,6 +438,21 @@ let build ?(bugs = []) ?(impl = Microcode) cfg =
       rdt_base = rdt;
       code_base;
       code_len = Array.length kcode;
+      counts =
+        {
+          ct_instrs = Array.make nregs 0;
+          ct_traps = Array.make nregs 0;
+          ct_swaps = Array.make nregs 0;
+          ct_sent = Array.make nregs 0;
+          ct_recvd = Array.make nregs 0;
+          ct_switches = 0;
+          ct_irqs_forwarded = 0;
+          ct_wakes = 0;
+          ct_stalls = 0;
+          ct_inputs_latched = 0;
+          ct_outputs_observed = 0;
+          ct_kernel_instrs = 0;
+        };
     }
   in
   (* Load each regime's program at the bottom of its partition. *)
@@ -441,6 +490,61 @@ let config t = t.cfg
 let machine t = t.m
 let bugs t = t.bug_list
 let kernel_words t = t.layout.kernel_size
+
+(* -- Kernel telemetry ------------------------------------------------------ *)
+
+let kstats t =
+  let per array = Array.to_list (Array.mapi (fun r n -> (t.layout.colours.(r), n)) array) in
+  {
+    ks_instrs = per t.counts.ct_instrs;
+    ks_traps = per t.counts.ct_traps;
+    ks_swaps = per t.counts.ct_swaps;
+    ks_sent = per t.counts.ct_sent;
+    ks_recvd = per t.counts.ct_recvd;
+    ks_switches = t.counts.ct_switches;
+    ks_irqs_forwarded = t.counts.ct_irqs_forwarded;
+    ks_wakes = t.counts.ct_wakes;
+    ks_stalls = t.counts.ct_stalls;
+    ks_inputs_latched = t.counts.ct_inputs_latched;
+    ks_outputs_observed = t.counts.ct_outputs_observed;
+    ks_kernel_instrs = t.counts.ct_kernel_instrs;
+  }
+
+let reset_kstats t =
+  let c = t.counts in
+  Array.fill c.ct_instrs 0 (Array.length c.ct_instrs) 0;
+  Array.fill c.ct_traps 0 (Array.length c.ct_traps) 0;
+  Array.fill c.ct_swaps 0 (Array.length c.ct_swaps) 0;
+  Array.fill c.ct_sent 0 (Array.length c.ct_sent) 0;
+  Array.fill c.ct_recvd 0 (Array.length c.ct_recvd) 0;
+  c.ct_switches <- 0;
+  c.ct_irqs_forwarded <- 0;
+  c.ct_wakes <- 0;
+  c.ct_stalls <- 0;
+  c.ct_inputs_latched <- 0;
+  c.ct_outputs_observed <- 0;
+  c.ct_kernel_instrs <- 0
+
+let telemetry t =
+  let reg = Sep_obs.Telemetry.create () in
+  let s = kstats t in
+  let set name v = Sep_obs.Telemetry.incr ~by:v (Sep_obs.Telemetry.counter reg name) in
+  let per name pairs =
+    List.iter (fun (c, n) -> set (Fmt.str "sue.%s.%s" name (Colour.name c)) n) pairs
+  in
+  per "instrs" s.ks_instrs;
+  per "traps" s.ks_traps;
+  per "swaps" s.ks_swaps;
+  per "chan_words_sent" s.ks_sent;
+  per "chan_words_recvd" s.ks_recvd;
+  set "sue.switches" s.ks_switches;
+  set "sue.irqs_forwarded" s.ks_irqs_forwarded;
+  set "sue.wakes" s.ks_wakes;
+  set "sue.stalls" s.ks_stalls;
+  set "sue.inputs_latched" s.ks_inputs_latched;
+  set "sue.outputs_observed" s.ks_outputs_observed;
+  set "sue.kernel_instrs" s.ks_kernel_instrs;
+  reg
 
 let current_colour t = t.layout.colours.(current_index t)
 
@@ -486,6 +590,7 @@ let load_context t r =
 let switch_to t r =
   let cur = current_index t in
   if r <> cur then begin
+    t.counts.ct_switches <- t.counts.ct_switches + 1;
     save_context t cur;
     if has_bug t Partition_hole then
       Machine.write_phys t.m t.layout.part_base.(r) (Machine.get_reg t.m 0);
@@ -551,7 +656,10 @@ let do_send t cur =
   let set_result v = Machine.set_reg t.m 2 v in
   match find_chan t (Machine.get_reg t.m 0) with
   | Some ci when ci.ci_sender = cur ->
-    if ring_push t ci.ci_area_a ci.ci_capacity (Machine.get_reg t.m 1) then set_result 1
+    if ring_push t ci.ci_area_a ci.ci_capacity (Machine.get_reg t.m 1) then begin
+      t.counts.ct_sent.(cur) <- t.counts.ct_sent.(cur) + 1;
+      set_result 1
+    end
     else set_result 0
   | Some _ | None -> set_result 2
 
@@ -562,6 +670,7 @@ let do_recv t cur =
     match ring_pop t (recv_area t ci) ci.ci_capacity with
     | Some w ->
       Machine.set_reg t.m 1 w;
+      t.counts.ct_recvd.(cur) <- t.counts.ct_recvd.(cur) + 1;
       set_result 1
     | None -> set_result 0
   end
@@ -575,9 +684,11 @@ let do_recv t cur =
    loudly. *)
 let run_kernel t =
   let fuel = ref 20_000 in
+  let before = current_index t in
   let rec loop () =
     decr fuel;
     if !fuel <= 0 then failwith "Sue: kernel code did not terminate";
+    t.counts.ct_kernel_instrs <- t.counts.ct_kernel_instrs + 1;
     match Machine.step_user t.m with
     | Machine.Stepped -> loop ()
     | Machine.Returned -> ()
@@ -585,7 +696,8 @@ let run_kernel t =
     | Machine.Trapped _ -> failwith "Sue: trap inside the kernel"
     | Machine.Faulted _ -> failwith "Sue: fault inside the kernel"
   in
-  loop ()
+  loop ();
+  if current_index t <> before then t.counts.ct_switches <- t.counts.ct_switches + 1
 
 let enter_and_run t cause =
   Machine.enter_kernel t.m ~cause ~vector:t.code_base;
@@ -602,6 +714,7 @@ let deliver_inputs t arrivals =
     match t.layout.dev_kinds.(d) with
     | Machine.Rx ->
       let w = if has_bug t Input_crosstalk then Word.logxor w (Machine.get_reg t.m 0) else w in
+      t.counts.ct_inputs_latched <- t.counts.ct_inputs_latched + 1;
       Machine.device_input t.m d w
     | Machine.Tx | Machine.Xform _ -> ()
   in
@@ -609,9 +722,13 @@ let deliver_inputs t arrivals =
   (* Field the raised interrupts: wake waiting owners. *)
   let field d =
     Machine.field_irq t.m d;
+    t.counts.ct_irqs_forwarded <- t.counts.ct_irqs_forwarded + 1;
     let owner = t.layout.dev_owner.(d) in
     let owner = if has_bug t Misroute_interrupt then (owner + 1) mod t.layout.nregs else owner in
-    if get_status t owner = status_waiting then set_status t owner status_runnable
+    if get_status t owner = status_waiting then begin
+      t.counts.ct_wakes <- t.counts.ct_wakes + 1;
+      set_status t owner status_runnable
+    end
   in
   List.iter field (Machine.pending_irqs t.m);
   (* If the processor was stalled, hand it to a woken regime. For the
@@ -655,8 +772,10 @@ let rx_pending t r =
 
 let exec_op_microcode t =
   let cur = current_index t in
-  if get_status t cur <> status_runnable || bug_stalls t cur then ()
+  if get_status t cur <> status_runnable || bug_stalls t cur then
+    t.counts.ct_stalls <- t.counts.ct_stalls + 1
   else begin
+    t.counts.ct_instrs.(cur) <- t.counts.ct_instrs.(cur) + 1;
     match Machine.step_user t.m with
     | Machine.Stepped -> begin
       (* preemptive configurations: charge the quantum and, when it is
@@ -679,9 +798,16 @@ let exec_op_microcode t =
         set_status t cur status_waiting;
         swap_away t
       end
-    | Machine.Trapped 0 -> swap_away t
-    | Machine.Trapped 1 -> do_send t cur
-    | Machine.Trapped 2 -> do_recv t cur
+    | Machine.Trapped 0 ->
+      t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
+      t.counts.ct_swaps.(cur) <- t.counts.ct_swaps.(cur) + 1;
+      swap_away t
+    | Machine.Trapped 1 ->
+      t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
+      do_send t cur
+    | Machine.Trapped 2 ->
+      t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
+      do_recv t cur
     | Machine.Trapped _ | Machine.Returned | Machine.Faulted _ ->
       (* Returned cannot occur in user mode (Rti faults there); treat it
          like any other illegal action *)
@@ -690,14 +816,26 @@ let exec_op_microcode t =
   end
 
 let exec_op_assembly t =
-  if Machine.mode t.m = Machine.Kernel then () (* total stall: kernel halted in its scan loop *)
+  if Machine.mode t.m = Machine.Kernel then
+    (* total stall: kernel halted in its scan loop *)
+    t.counts.ct_stalls <- t.counts.ct_stalls + 1
   else begin
     let cur = current_index t in
-    if get_status t cur <> status_runnable || bug_stalls t cur then ()
+    if get_status t cur <> status_runnable || bug_stalls t cur then
+      t.counts.ct_stalls <- t.counts.ct_stalls + 1
     else begin
+      t.counts.ct_instrs.(cur) <- t.counts.ct_instrs.(cur) + 1;
+      (* The kernel machine code performs the channel copy itself; its
+         effect is read back from the trapping regime's saved R2. *)
+      let chan_result () = read_kw t (t.layout.save_base.(cur) + 2) in
       match Machine.step_user t.m with
       | Machine.Stepped -> ()
-      | Machine.Trapped n when n <= 2 -> enter_and_run t n
+      | Machine.Trapped n when n <= 2 ->
+        t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
+        if n = 0 then t.counts.ct_swaps.(cur) <- t.counts.ct_swaps.(cur) + 1;
+        enter_and_run t n;
+        if n = 1 && chan_result () = 1 then t.counts.ct_sent.(cur) <- t.counts.ct_sent.(cur) + 1;
+        if n = 2 && chan_result () = 1 then t.counts.ct_recvd.(cur) <- t.counts.ct_recvd.(cur) + 1
       | Machine.Trapped _ -> enter_and_run t Machine.cause_bad_trap
       | Machine.Waiting ->
         (* WAIT falls through on an asserted Rx line, as in microcode *)
@@ -706,10 +844,13 @@ let exec_op_assembly t =
     end
   end
 
+let span_exec = Sep_obs.Span.make "sue.exec_op"
+
 let exec_op t =
-  match t.impl with
-  | Microcode -> exec_op_microcode t
-  | Assembly -> exec_op_assembly t
+  Sep_obs.Span.time span_exec (fun () ->
+      match t.impl with
+      | Microcode -> exec_op_microcode t
+      | Assembly -> exec_op_assembly t)
 
 (* -- Output observation --------------------------------------------------- *)
 
@@ -735,6 +876,7 @@ let outputs t =
 
 let step t arrivals =
   let observed = outputs t in
+  t.counts.ct_outputs_observed <- t.counts.ct_outputs_observed + List.length observed;
   deliver_inputs t arrivals;
   exec_op t;
   observed

@@ -95,6 +95,46 @@ val kernel_words : t -> int
 (** Size of the kernel partition in words — the analogue of the paper's
     "about 5K words, including all stack and data space". *)
 
+(** {1 Kernel telemetry}
+
+    Every kernel instance keeps cheap counters of the work it performs:
+    instructions retired per regime, kernel service calls, voluntary
+    yields, channel words copied, interrupts forwarded, wake-ups, context
+    switches and stalled steps. {b The tally is shared by {!copy}} — all
+    snapshots derived from one {!build} accumulate into the same record, so
+    a state-space exploration reports the total work of the exploration.
+    Counters are outside {!equal}, {!hash} and every {!phi}: observing the
+    kernel never perturbs verification. *)
+
+type kstats = {
+  ks_instrs : (Colour.t * int) list;  (** user instructions retired, per regime *)
+  ks_traps : (Colour.t * int) list;  (** serviced kernel calls (SWAP/SEND/RECV) *)
+  ks_swaps : (Colour.t * int) list;  (** voluntary yields among those *)
+  ks_sent : (Colour.t * int) list;  (** channel words copied in by SEND *)
+  ks_recvd : (Colour.t * int) list;  (** channel words copied out by RECV *)
+  ks_switches : int;  (** context switches *)
+  ks_irqs_forwarded : int;  (** device interrupts fielded *)
+  ks_wakes : int;  (** waiting regimes made runnable *)
+  ks_stalls : int;  (** execution steps with nothing to run *)
+  ks_inputs_latched : int;  (** external words latched into Rx devices *)
+  ks_outputs_observed : int;  (** words seen on busy Tx wires by {!step} *)
+  ks_kernel_instrs : int;  (** kernel-mode instructions ([Assembly] only) *)
+}
+
+val kstats : t -> kstats
+(** An immutable snapshot of the counters. *)
+
+val reset_kstats : t -> unit
+(** Zero the counters (shared across every copy of this instance). *)
+
+val telemetry : t -> Sep_obs.Telemetry.t
+(** The same snapshot as a metric registry, for merging and JSON export:
+    per-regime counters are named [sue.<metric>.<colour>]
+    ([sue.instrs.RED], [sue.traps.RED], [sue.swaps.RED],
+    [sue.chan_words_sent.RED], [sue.chan_words_recvd.RED]), machine-wide
+    ones [sue.switches], [sue.irqs_forwarded], [sue.wakes], [sue.stalls],
+    [sue.inputs_latched], [sue.outputs_observed], [sue.kernel_instrs]. *)
+
 val current_colour : t -> Colour.t
 val regime_status : t -> Colour.t -> Abstract_regime.status
 val device_owner : t -> int -> Colour.t

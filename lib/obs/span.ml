@@ -1,0 +1,22 @@
+type t = Telemetry.histogram
+
+let registry = Telemetry.create ()
+let on = ref false
+
+let set_enabled b = on := b
+let enabled () = !on
+
+let make name = Telemetry.histogram registry ("span." ^ name)
+
+let time h f =
+  if not !on then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> Telemetry.observe h (Unix.gettimeofday () -. t0)) f
+  end
+
+let with_ ~name f = time (make name) f
+
+let reset () = Telemetry.reset registry
+
+let to_json () = Telemetry.to_json registry

@@ -1,0 +1,198 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+(* Geometric buckets: bucket [i] covers [v0 * gamma^i, v0 * gamma^(i+1)).
+   gamma = 2^(1/4) bounds the relative quantile error by sqrt(gamma) - 1
+   (~9%); 256 buckets upward from 1ns span ~18 decimal orders, enough for
+   any duration or count this repository observes. *)
+let nbuckets = 256
+let v0 = 1e-9
+let log_gamma = log 2.0 /. 4.0
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let register t name make describe =
+  match Hashtbl.find_opt t.tbl name with
+  | None ->
+    let m, v = make () in
+    Hashtbl.add t.tbl name m;
+    v
+  | Some existing -> (
+    match describe existing with
+    | Some v -> v
+    | None -> invalid_arg (Fmt.str "Telemetry: %s is already a different metric kind" name))
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c_name = name; c_value = 0 } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g_name = name; g_value = 0.0 } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  register t name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          h_buckets = Array.make nbuckets 0;
+        }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let bucket_of v =
+  if v <= v0 then 0
+  else
+    let i = int_of_float (log (v /. v0) /. log_gamma) in
+    if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_of v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+let count h = h.h_count
+let sum h = h.h_sum
+let hist_min h = if h.h_count = 0 then 0.0 else h.h_min
+let hist_max h = if h.h_count = 0 then 0.0 else h.h_max
+
+let quantile h p =
+  if h.h_count = 0 then 0.0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let target =
+      let r = int_of_float (ceil (p *. float_of_int h.h_count)) in
+      if r < 1 then 1 else r
+    in
+    let rec walk i seen =
+      if i >= nbuckets then h.h_max
+      else begin
+        let seen = seen + h.h_buckets.(i) in
+        if seen >= target then
+          (* geometric midpoint of the bucket *)
+          v0 *. exp ((float_of_int i +. 0.5) *. log_gamma)
+        else walk (i + 1) seen
+      end
+    in
+    let v = walk 0 0 in
+    if v < h.h_min then h.h_min else if v > h.h_max then h.h_max else v
+  end
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.0;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity;
+        Array.fill h.h_buckets 0 nbuckets 0)
+    t.tbl
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | Counter c -> incr ~by:c.c_value (counter into name)
+      | Gauge g -> set (gauge into name) g.g_value
+      | Histogram h ->
+        let d = histogram into name in
+        d.h_count <- d.h_count + h.h_count;
+        d.h_sum <- d.h_sum +. h.h_sum;
+        if h.h_min < d.h_min then d.h_min <- h.h_min;
+        if h.h_max > d.h_max then d.h_max <- h.h_max;
+        Array.iteri (fun i n -> d.h_buckets.(i) <- d.h_buckets.(i) + n) h.h_buckets)
+    src.tbl
+
+let names t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl [])
+
+let find t name kind = Option.bind (Hashtbl.find_opt t.tbl name) kind
+let find_counter t name = find t name (function Counter c -> Some c | _ -> None)
+let find_gauge t name = find t name (function Gauge g -> Some g | _ -> None)
+let find_histogram t name = find t name (function Histogram h -> Some h | _ -> None)
+
+let sorted_metrics t =
+  List.filter_map (fun name -> Hashtbl.find_opt t.tbl name |> Option.map (fun m -> (name, m))) (names t)
+
+let hist_json h =
+  Sep_util.Json.Obj
+    [
+      ("count", Sep_util.Json.Int h.h_count);
+      ("sum", Sep_util.Json.Float h.h_sum);
+      ("min", Sep_util.Json.Float (hist_min h));
+      ("max", Sep_util.Json.Float (hist_max h));
+      ("mean", Sep_util.Json.Float (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count));
+      ("p50", Sep_util.Json.Float (quantile h 0.5));
+      ("p90", Sep_util.Json.Float (quantile h 0.9));
+      ("p99", Sep_util.Json.Float (quantile h 0.99));
+    ]
+
+let to_json t =
+  let section f =
+    List.filter_map (fun (name, m) -> f m |> Option.map (fun v -> (name, v))) (sorted_metrics t)
+  in
+  Sep_util.Json.Obj
+    [
+      ( "counters",
+        Sep_util.Json.Obj
+          (section (function Counter c -> Some (Sep_util.Json.Int c.c_value) | _ -> None)) );
+      ( "gauges",
+        Sep_util.Json.Obj
+          (section (function Gauge g -> Some (Sep_util.Json.Float g.g_value) | _ -> None)) );
+      ( "histograms",
+        Sep_util.Json.Obj (section (function Histogram h -> Some (hist_json h) | _ -> None)) );
+    ]
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Fmt.pf ppf "%-40s %d@," name c.c_value
+      | Gauge g -> Fmt.pf ppf "%-40s %g@," name g.g_value
+      | Histogram h ->
+        Fmt.pf ppf "%-40s n=%d sum=%.6f p50=%.3e p90=%.3e p99=%.3e max=%.3e@," name h.h_count
+          h.h_sum (quantile h 0.5) (quantile h 0.9) (quantile h 0.99) (hist_max h))
+    (sorted_metrics t);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,354 @@
+(* Tests for the observability layer: Sep_util.Json, Sep_obs (telemetry,
+   spans, sinks), kernel counters, Ktrace JSON, and the loc_of_file fix. *)
+
+module Json = Sep_util.Json
+module Telemetry = Sep_obs.Telemetry
+module Span = Sep_obs.Span
+module Sink = Sep_obs.Sink
+module Colour = Sep_model.Colour
+module Isa = Sep_hw.Isa
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* -- Json ------------------------------------------------------------------ *)
+
+let roundtrip v =
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "parse error on %s: %s" (Json.to_string v) e
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("string", Json.String "esc \"quotes\" \\ slash \n tab \t unicode \xc3\xa9");
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ("nested", Json.List [ Json.Obj [ ("k", Json.Int 1) ] ]);
+      ]
+  in
+  Alcotest.(check bool) "writer and parser agree" true (Json.equal v (roundtrip v))
+
+let test_json_parse_standard () =
+  (match Json.parse {| { "a" : [ 1, 2.5, -3e2, "é", true, null ] } |} with
+  | Error e -> Alcotest.fail e
+  | Ok v -> (
+    match Json.member "a" v with
+    | Some (Json.List [ Json.Int 1; Json.Float 2.5; Json.Float f; Json.String s; Json.Bool true; Json.Null ])
+      ->
+      check (Alcotest.float 1e-9) "exponent" (-300.) f;
+      check Alcotest.string "\\u escape decodes to UTF-8" "\xc3\xa9" s
+    | _ -> Alcotest.fail "unexpected shape"));
+  (match Json.parse "{} garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing input must be rejected")
+
+let test_json_nonfinite () =
+  check Alcotest.string "nan renders null" "null" (Json.to_string (Json.Float Float.nan))
+
+let json_int_roundtrip =
+  QCheck.Test.make ~name:"json int roundtrip" ~count:200 QCheck.int (fun n ->
+      Json.equal (Json.Int n) (roundtrip (Json.Int n)))
+
+(* -- Telemetry: counters and gauges ---------------------------------------- *)
+
+let test_counter_semantics () =
+  let reg = Telemetry.create () in
+  let c = Telemetry.counter reg "c" in
+  Telemetry.incr c;
+  Telemetry.incr ~by:41 c;
+  check Alcotest.int "accumulates" 42 (Telemetry.counter_value c);
+  check Alcotest.int "same name, same counter" 42
+    (Telemetry.counter_value (Telemetry.counter reg "c"));
+  let g = Telemetry.gauge reg "g" in
+  Telemetry.set g 1.0;
+  Telemetry.set g 2.5;
+  check (Alcotest.float 0.) "gauge keeps last value" 2.5 (Telemetry.gauge_value g);
+  (match Telemetry.gauge reg "c" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash must raise");
+  Telemetry.reset reg;
+  check Alcotest.int "reset zeroes" 0 (Telemetry.counter_value c)
+
+(* -- Telemetry: histogram quantiles ---------------------------------------- *)
+
+(* Log buckets with gamma = 2^(1/4) guarantee <= ~9% relative error on any
+   quantile; check against a known distribution with a safety margin. *)
+let test_histogram_quantiles () =
+  let reg = Telemetry.create () in
+  let h = Telemetry.histogram reg "h" in
+  for i = 1 to 1000 do
+    Telemetry.observe h (float_of_int i /. 1000.)
+  done;
+  check Alcotest.int "count" 1000 (Telemetry.count h);
+  check (Alcotest.float 1.) "sum" 500.5 (Telemetry.sum h);
+  check (Alcotest.float 1e-12) "min exact" 0.001 (Telemetry.hist_min h);
+  check (Alcotest.float 1e-12) "max exact" 1.0 (Telemetry.hist_max h);
+  List.iter
+    (fun (p, exact) ->
+      let q = Telemetry.quantile h p in
+      let rel = Float.abs (q -. exact) /. exact in
+      if rel > 0.10 then
+        Alcotest.failf "p%.0f: estimate %.4f vs exact %.4f (rel err %.3f)" (100. *. p) q exact rel)
+    [ (0.5, 0.5); (0.9, 0.9); (0.99, 0.99); (1.0, 1.0) ];
+  Alcotest.(check bool) "quantiles stay within observed range" true
+    (Telemetry.quantile h 1.0 <= Telemetry.hist_max h
+    && Telemetry.quantile h 0.0 >= Telemetry.hist_min h);
+  check (Alcotest.float 0.) "empty histogram quantile" 0.
+    (Telemetry.quantile (Telemetry.histogram reg "empty") 0.5)
+
+(* -- Telemetry: merge ------------------------------------------------------ *)
+
+let fill seed reg =
+  let prng = Sep_util.Prng.create seed in
+  let c = Telemetry.counter reg "c" in
+  Telemetry.incr ~by:(Sep_util.Prng.int prng 100) c;
+  Telemetry.set (Telemetry.gauge reg "g") (float_of_int seed);
+  let h = Telemetry.histogram reg "h" in
+  for _ = 1 to 50 do
+    Telemetry.observe h (float_of_int (1 + Sep_util.Prng.int prng 1000) /. 997.)
+  done;
+  reg
+
+let snapshot reg = Json.to_string (Telemetry.to_json reg)
+
+let test_merge_associative () =
+  let make () = List.map (fun s -> fill s (Telemetry.create ())) [ 1; 2; 3 ] in
+  (* (a <- b) <- c *)
+  let left =
+    match make () with
+    | [ a; b; c ] ->
+      Telemetry.merge ~into:a b;
+      Telemetry.merge ~into:a c;
+      snapshot a
+    | _ -> assert false
+  in
+  (* a <- (b <- c) *)
+  let right =
+    match make () with
+    | [ a; b; c ] ->
+      Telemetry.merge ~into:b c;
+      Telemetry.merge ~into:a b;
+      snapshot a
+    | _ -> assert false
+  in
+  check Alcotest.string "merge associates" left right;
+  (* merging into an empty registry is the identity on the source *)
+  let empty = Telemetry.create () in
+  Telemetry.merge ~into:empty (fill 1 (Telemetry.create ()));
+  check Alcotest.string "empty is left identity" (snapshot (fill 1 (Telemetry.create ())))
+    (snapshot empty)
+
+(* -- Telemetry: JSON snapshot shape ---------------------------------------- *)
+
+let test_snapshot_shape () =
+  let reg = fill 7 (Telemetry.create ()) in
+  let v = roundtrip (Telemetry.to_json reg) in
+  (match Json.member "counters" v with
+  | Some (Json.Obj [ ("c", Json.Int _) ]) -> ()
+  | _ -> Alcotest.fail "counters section");
+  (match Json.member "gauges" v with
+  | Some (Json.Obj [ ("g", Json.Float 7.) ]) -> ()
+  | _ -> Alcotest.fail "gauges section");
+  match Json.member "histograms" v with
+  | Some (Json.Obj [ ("h", stats) ]) ->
+    List.iter
+      (fun k ->
+        if Json.member k stats = None then Alcotest.failf "histogram stat %s missing" k)
+      [ "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99" ]
+  | _ -> Alcotest.fail "histograms section"
+
+(* -- Span ------------------------------------------------------------------ *)
+
+let test_span_gating () =
+  Span.reset ();
+  Span.set_enabled false;
+  check Alcotest.int "disabled spans record nothing" 0
+    (Span.with_ ~name:"t" (fun () -> 0));
+  let h = Telemetry.histogram Span.registry "span.t" in
+  check Alcotest.int "no observation while off" 0 (Telemetry.count h);
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false) @@ fun () ->
+  check Alcotest.int "result passes through" 41 (Span.with_ ~name:"t" (fun () -> 41));
+  (try Span.with_ ~name:"t" (fun () -> failwith "boom") with Failure _ -> 0) |> ignore;
+  check Alcotest.int "timed twice, also on raise" 2 (Telemetry.count h);
+  Span.reset ();
+  check Alcotest.int "reset zeroes" 0 (Telemetry.count h)
+
+(* -- Sink ------------------------------------------------------------------ *)
+
+let test_sink_jsonl () =
+  let buf = Buffer.create 64 in
+  let sink = Sink.of_buffer buf in
+  Sink.emit sink (Json.Obj [ ("a", Json.Int 1) ]);
+  Sink.emit sink (Json.Obj [ ("b", Json.Int 2) ]);
+  check Alcotest.int "two lines emitted" 2 (Sink.emitted sink);
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  (match lines with
+  | [ l1; l2; "" ] ->
+    List.iter
+      (fun l ->
+        match Json.parse l with
+        | Ok (Json.Obj _) -> ()
+        | _ -> Alcotest.failf "line is not a JSON object: %s" l)
+      [ l1; l2 ]
+  | _ -> Alcotest.fail "JSONL framing: one object per line, trailing newline");
+  check Alcotest.bool "lines are compact (no embedded newline)" false
+    (String.contains (List.nth lines 0) '\n')
+
+(* -- Kernel counters ------------------------------------------------------- *)
+
+let test_sue_kstats () =
+  let scenario = Sep_core.Scenarios.pipeline in
+  let t = Sep_core.Sue.build scenario.Sep_core.Scenarios.cfg in
+  for _ = 1 to 500 do
+    ignore (Sep_core.Sue.step t [])
+  done;
+  let s = Sep_core.Sue.kstats t in
+  let total l = List.fold_left (fun acc (_, n) -> acc + n) 0 l in
+  Alcotest.(check bool) "instructions retired" true (total s.Sep_core.Sue.ks_instrs > 0);
+  Alcotest.(check bool) "traps serviced" true (total s.Sep_core.Sue.ks_traps > 0);
+  Alcotest.(check bool) "voluntary yields" true (total s.Sep_core.Sue.ks_swaps > 0);
+  Alcotest.(check bool) "context switches" true (s.Sep_core.Sue.ks_switches > 0);
+  let reg = Sep_core.Sue.telemetry t in
+  (match Telemetry.find_counter reg "sue.instrs.RED" with
+  | Some c -> Alcotest.(check bool) "telemetry mirrors kstats" true (Telemetry.counter_value c > 0)
+  | None -> Alcotest.fail "per-regime counter sue.instrs.RED missing");
+  Sep_core.Sue.reset_kstats t;
+  let z = Sep_core.Sue.kstats t in
+  check Alcotest.int "reset zeroes instrs" 0 (total z.Sep_core.Sue.ks_instrs);
+  check Alcotest.int "reset zeroes switches" 0 z.Sep_core.Sue.ks_switches
+
+let test_sue_kstats_shared_by_copy () =
+  let scenario = Sep_core.Scenarios.pipeline in
+  let t = Sep_core.Sue.build scenario.Sep_core.Scenarios.cfg in
+  let t' = Sep_core.Sue.copy t in
+  for _ = 1 to 100 do
+    ignore (Sep_core.Sue.step t' [])
+  done;
+  let s = Sep_core.Sue.kstats t in
+  let total l = List.fold_left (fun acc (_, n) -> acc + n) 0 l in
+  Alcotest.(check bool) "copies share one tally" true (total s.Sep_core.Sue.ks_instrs > 0)
+
+(* -- Ktrace JSON ----------------------------------------------------------- *)
+
+let all_event_samples =
+  Sep_core.Ktrace.
+    [
+      ("executed", Executed { colour = Colour.red; pc = 3; instr = Isa.Nop });
+      ("trapped", Trapped { colour = Colour.red; number = 1 });
+      ("switched", Switched { from_ = Colour.red; to_ = Colour.black });
+      ("blocked", Blocked Colour.black);
+      ("parked", Parked Colour.green);
+      ("woken", Woken Colour.red);
+      ("arrived", Arrived { device = 0; word = 0xBEEF });
+      ("emitted", Emitted { device = 1; word = 7 });
+      ("stalled", Stalled);
+    ]
+
+let test_ktrace_event_json () =
+  (* every constructor serializes, parses back, and carries its tag *)
+  List.iter
+    (fun (tag, ev) ->
+      let v = roundtrip (Sep_core.Ktrace.event_to_json ev) in
+      match Json.member "type" v with
+      | Some (Json.String t) -> check Alcotest.string "type tag" tag t
+      | _ -> Alcotest.failf "event %s: missing type tag" tag)
+    all_event_samples
+
+let test_ktrace_to_json () =
+  let entries =
+    [
+      { Sep_core.Ktrace.step = 0; events = List.map snd all_event_samples };
+      { Sep_core.Ktrace.step = 5; events = [ Sep_core.Ktrace.Stalled ] };
+    ]
+  in
+  let lines =
+    Sep_core.Ktrace.to_json entries |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  check Alcotest.int "one line per entry" 2 (List.length lines);
+  List.iter2
+    (fun line entry ->
+      match Json.parse line with
+      | Ok v -> (
+        (match Json.member "step" v with
+        | Some (Json.Int n) -> check Alcotest.int "step" entry.Sep_core.Ktrace.step n
+        | _ -> Alcotest.fail "step field");
+        match Json.member "events" v with
+        | Some (Json.List evs) ->
+          check Alcotest.int "event count" (List.length entry.Sep_core.Ktrace.events)
+            (List.length evs)
+        | _ -> Alcotest.fail "events field")
+      | Error e -> Alcotest.fail e)
+    lines entries
+
+(* -- Metrics.loc_of_file --------------------------------------------------- *)
+
+let test_loc_multiline_comments () =
+  let path = Filename.temp_file "loc" ".ml" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc
+    "let x = 1\n\
+     (* a comment\n\
+     \   spanning (* a nested block\n\
+     \   *) still inside\n\
+     *)\n\
+     let y = 2  (* trailing comment *)\n\
+     \n\
+     \t  \n\
+     (* one-liner *)\n\
+     let z = 3\n";
+  close_out oc;
+  match Sep_core.Metrics.loc_of_file path with
+  | None -> Alcotest.fail "file exists"
+  | Some n -> check Alcotest.int "only the three code lines count" 3 n
+
+let test_loc_missing_file () =
+  check Alcotest.bool "missing file is None" true
+    (Sep_core.Metrics.loc_of_file "/nonexistent/nope.ml" = None)
+
+(* -------------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse standard" `Quick test_json_parse_standard;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+          qtest json_int_roundtrip;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "counter and gauge semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "merge associativity" `Quick test_merge_associative;
+          Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+        ] );
+      ( "span",
+        [ Alcotest.test_case "gating and exception safety" `Quick test_span_gating ] );
+      ("sink", [ Alcotest.test_case "jsonl framing" `Quick test_sink_jsonl ]);
+      ( "sue",
+        [
+          Alcotest.test_case "kernel counters" `Quick test_sue_kstats;
+          Alcotest.test_case "counters shared by copy" `Quick test_sue_kstats_shared_by_copy;
+        ] );
+      ( "ktrace",
+        [
+          Alcotest.test_case "every event constructor" `Quick test_ktrace_event_json;
+          Alcotest.test_case "jsonl entries" `Quick test_ktrace_to_json;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "loc: nested multi-line comments" `Quick test_loc_multiline_comments;
+          Alcotest.test_case "loc: missing file" `Quick test_loc_missing_file;
+        ] );
+    ]
