@@ -7,7 +7,7 @@
      dune exec bench/main.exe                 all experiments + timings
      dune exec bench/main.exe -- e3 e6        selected experiments
      dune exec bench/main.exe -- timings      only the timing benches
-     dune exec bench/main.exe -- snapshot     write BENCH_PR1.json (see EXPERIMENTS.md)
+     dune exec bench/main.exe -- snapshot     write BENCH_PR2.json (see EXPERIMENTS.md)
      dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing *)
 
 module Table = Sep_util.Table
@@ -576,6 +576,53 @@ let e13 () =
     "all 8 seeded bugs caught in the machine-code kernel by their predicted conditions: %b@.@."
     all_caught
 
+(* -- E14: fault containment --------------------------------------------------------------- *)
+
+let e14 () =
+  claim
+    "in the distributed ideal a hardware fault inside one box cannot corrupt another box — the \
+     kernelized system inherits that fault containment: no injected single fault perturbs another \
+     colour's observable trace, and corrupted kernel state is detected and parked, not trusted.";
+  let module C = Sep_robust.Campaign in
+  let seed = 42 and steps = 200 and count = 40 in
+  let report, secs = timed (fun () -> C.run ~seed ~steps ~count) in
+  let t = Table.create ~title:"E14: fault-injection campaign (seed 42, 200 steps, 40 faults/scenario)"
+      ~columns:[ "scenario"; "masked"; "detected-safe"; "violating"; "watchdog" ] in
+  List.iter
+    (fun (sr : C.scenario_report) ->
+      let m, d, v =
+        List.fold_left
+          (fun (m, d, v) (c : C.case) ->
+            match c.C.outcome with
+            | C.Masked -> (m + 1, d, v)
+            | C.Detected_safe -> (m, d + 1, v)
+            | C.Violating -> (m, d, v + 1))
+          (0, 0, 0) sr.C.cases
+      in
+      Table.add_row t
+        [
+          sr.C.label;
+          string_of_int m;
+          string_of_int d;
+          string_of_int v;
+          (match sr.C.watchdog with Some w -> string_of_int w | None -> "-");
+        ])
+    report.C.rp_scenarios;
+  let dist = C.run_distributed ~seed ~steps:40 ~count:20 in
+  Table.add_row t
+    [
+      "distributed (wire tamper)";
+      "-";
+      "-";
+      (if dist.C.dr_contained then "0" else "!");
+      "-";
+    ];
+  Table.print t;
+  let masked, detected, violating = C.totals report in
+  Fmt.pr "%d cases in %.2fs: %d masked, %d detected-safe, %d violating; containment holds: %b@.@."
+    (masked + detected + violating) secs masked detected violating
+    (C.holds report && dist.C.dr_contained)
+
 (* -- bechamel timings -------------------------------------------------------------------- *)
 
 let timings () =
@@ -745,13 +792,23 @@ let snapshot_json () =
     List.map (fun inst -> run inst Sue.Microcode) (snapshot_scenarios ())
     @ [ run Scenarios.pipeline Sue.Assembly ]
   in
+  let fault_campaign =
+    let module C = Sep_robust.Campaign in
+    let report, secs = timed (fun () -> C.run ~seed:42 ~steps:200 ~count:40) in
+    let dist = C.run_distributed ~seed:42 ~steps:40 ~count:20 in
+    match C.summary_json report with
+    | Json.Obj fields ->
+      Json.Obj (fields @ [ ("seconds", Json.Float secs); ("distributed", C.dist_to_json dist) ])
+    | other -> other
+  in
   Json.Obj
     [
-      ("schema", Json.String "rushby-bench/1");
+      ("schema", Json.String "rushby-bench/2");
       ("generated_at_unix", Json.Float (Unix.time ()));
       ("ocaml_version", Json.String Sys.ocaml_version);
       ("experiments", Json.List check_experiments);
       ("kernel_runs", Json.List kernel_runs);
+      ("fault_campaign", fault_campaign);
       ("spans", Sep_obs.Span.to_json ());
     ]
 
@@ -760,15 +817,23 @@ let validate_snapshot json =
   let require_obj name v = match v with Some (Json.Obj _ as o) -> Ok o | _ -> fail ("missing object " ^ name) in
   let require_list name v = match v with Some (Json.List l) -> Ok l | _ -> fail ("missing list " ^ name) in
   match Json.member "schema" json with
-  | Some (Json.String "rushby-bench/1") -> (
+  | Some (Json.String "rushby-bench/2") -> (
     match require_list "experiments" (Json.member "experiments" json) with
     | Error e -> fail e
     | Ok experiments -> (
       match require_list "kernel_runs" (Json.member "kernel_runs" json) with
       | Error e -> fail e
       | Ok runs -> (
-        match require_obj "spans" (Json.member "spans" json) with
+        match
+          Result.bind (require_obj "spans" (Json.member "spans" json)) (fun _ ->
+              require_obj "fault_campaign" (Json.member "fault_campaign" json))
+        with
         | Error e -> fail e
+        | Ok campaign when
+            List.exists
+              (fun k -> Json.member k campaign = None)
+              [ "cases"; "masked"; "detected_safe"; "violating"; "holds"; "distributed" ] ->
+          fail "malformed fault_campaign entry"
         | Ok _ ->
           let exp_ok e =
             List.for_all
@@ -790,7 +855,7 @@ let validate_snapshot json =
 
 let snapshot_main args =
   let check_only = ref false in
-  let out = ref "BENCH_PR1.json" in
+  let out = ref "BENCH_PR2.json" in
   let rec parse = function
     | [] -> Ok ()
     | "--check" :: rest ->
@@ -848,6 +913,7 @@ let experiments =
     ("e11", e11);
     ("e12", e12);
     ("e13", e13);
+    ("e14", e14);
     ("timings", timings);
   ]
 

@@ -1,6 +1,8 @@
 #!/bin/sh
-# CI check: full build, the whole test suite, and a self-validating bench
-# snapshot (exercises the telemetry/JSON pipeline without writing files).
+# CI check: full build, the whole test suite, a self-validating bench
+# snapshot (exercises the telemetry/JSON pipeline without writing files),
+# a deterministic fault-injection smoke campaign (exit 1 on any
+# separation-violating outcome), and the example programs.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -8,3 +10,8 @@ cd "$(dirname "$0")/.."
 dune build @all
 dune runtest
 dune exec bench/main.exe -- snapshot --check
+dune exec bin/rushby.exe -- inject --smoke
+
+for ex in quickstart snfe_demo guard_demo mls_demo machine_snfe; do
+  dune exec "examples/$ex.exe" > /dev/null
+done

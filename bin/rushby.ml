@@ -410,6 +410,71 @@ let metrics_run () =
 let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc:"Print the kernel comparison profiles (E2).") Term.(const metrics_run $ const ())
 
+(* -- inject ------------------------------------------------------------------ *)
+
+let inject_run seed steps count smoke json_file =
+  let steps, count = if smoke then (60, 12) else (steps, count) in
+  let module C = Sep_robust.Campaign in
+  let report = C.run ~seed ~steps ~count in
+  Fmt.pr "== fault-injection campaign: seed %d, %d steps, %d faults/scenario ==@." seed steps count;
+  List.iter
+    (fun (sr : C.scenario_report) ->
+      let m, d, v =
+        List.fold_left
+          (fun (m, d, v) (c : C.case) ->
+            match c.C.outcome with
+            | C.Masked -> (m + 1, d, v)
+            | C.Detected_safe -> (m, d + 1, v)
+            | C.Violating -> (m, d, v + 1))
+          (0, 0, 0) sr.C.cases
+      in
+      Fmt.pr "  %-16s %3d masked  %3d detected-safe  %3d violating%s@." sr.C.label m d v
+        (match sr.C.watchdog with Some w -> Fmt.str "  (watchdog %d)" w | None -> "");
+      List.iter
+        (fun (c : C.case) ->
+          if c.C.outcome = C.Violating then
+            Fmt.pr "    VIOLATION %a@." Sep_robust.Fault_plan.pp c.C.plan)
+        sr.C.cases)
+    report.C.rp_scenarios;
+  let masked, detected, violating = C.totals report in
+  let dist = C.run_distributed ~seed ~steps:40 ~count:20 in
+  Fmt.pr "  %-16s %3d wire-tamper cases, %d messages hit, contained by construction: %b@."
+    "distributed" dist.C.dr_cases dist.C.dr_affected dist.C.dr_contained;
+  Fmt.pr "@.totals: %d masked, %d detected-safe, %d separation-violating@." masked detected violating;
+  let ok = C.holds report && dist.C.dr_contained in
+  Fmt.pr "fault containment %s@." (if ok then "HOLDS" else "VIOLATED");
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    graceful_write @@ fun () ->
+    let oc = open_out file in
+    output_string oc (C.report_to_jsonl report);
+    let buf = Buffer.create 256 in
+    Sep_util.Json.to_buffer buf (C.dist_to_json dist);
+    Buffer.add_char buf '\n';
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Fmt.pr "wrote %s@." file);
+  if ok then 0 else 1
+
+let inject_cmd =
+  let steps = Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Steps per run.") in
+  let count = Arg.(value & opt int 40 & info [ "count" ] ~doc:"Fault plans per scenario.") in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ] ~doc:"Small deterministic campaign (60 steps, 12 faults/scenario) for CI.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the campaign report as JSONL to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Run seeded fault-injection campaigns against every scenario and classify each outcome as \
+          masked, detected-safe or separation-violating by differential per-colour trace comparison.")
+    Term.(const inject_run $ seed_arg $ steps $ count $ smoke $ json_file)
+
 let main_cmd =
   let doc = "reproduction of Rushby's separation kernel and Proof of Separability (SOSP 1981)" in
   Cmd.group (Cmd.info "rushby" ~version:"1.0.0" ~doc)
@@ -427,6 +492,7 @@ let main_cmd =
       trace_cmd;
       stats_cmd;
       metrics_cmd;
+      inject_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -11,6 +11,19 @@ type event =
   | Arrived of { device : int; word : int }
   | Emitted of { device : int; word : int }
   | Stalled
+  | Save_corrupt of Colour.t
+  | Guard_breached of { addr : int }
+  | Watchdog_fired of Colour.t
+  | Kernel_panicked of { reason : string }
+
+(* The audit constructors mirror Sue.kernel_fault one-for-one, so a new
+   fault kind cannot compile without a trace event (and, below, a JSON
+   schema entry). *)
+let event_of_fault = function
+  | Sue.Save_area_corrupt c -> Save_corrupt c
+  | Sue.Guard_breach addr -> Guard_breached { addr }
+  | Sue.Watchdog_expired c -> Watchdog_fired c
+  | Sue.Kernel_panic reason -> Kernel_panicked { reason }
 
 let pp_event ppf = function
   | Executed e -> Fmt.pf ppf "%a@%04x  %a" Colour.pp e.colour e.pc Isa.pp e.instr
@@ -22,6 +35,10 @@ let pp_event ppf = function
   | Arrived a -> Fmt.pf ppf "input dev%d <- %04x" a.device a.word
   | Emitted e -> Fmt.pf ppf "output dev%d -> %04x" e.device e.word
   | Stalled -> Fmt.string ppf "all regimes waiting"
+  | Save_corrupt c -> Fmt.pf ppf "AUDIT save area of %a corrupt; parked" Colour.pp c
+  | Guard_breached g -> Fmt.pf ppf "AUDIT guard %04x breached; repaired" g.addr
+  | Watchdog_fired c -> Fmt.pf ppf "AUDIT watchdog forced %a off the processor" Colour.pp c
+  | Kernel_panicked k -> Fmt.pf ppf "AUDIT KERNEL PANIC: %s" k.reason
 
 type entry = { step : int; events : event list }
 
@@ -55,10 +72,12 @@ let observe t =
 let step t input =
   let events = ref [] in
   let add e = events := e :: !events in
+  let audit () = List.iter (fun f -> add (event_of_fault f)) (Sue.drain_faults t) in
   let before = observe t in
   List.iter (fun (device, word) -> add (Emitted { device; word })) (Sue.outputs t);
   List.iter (fun (device, word) -> add (Arrived { device; word })) input;
   Sue.deliver_inputs t input;
+  audit ();
   let mid = observe t in
   List.iter2
     (fun (c, s0) (_, s1) ->
@@ -92,6 +111,7 @@ let step t input =
     mid.sn_status after.sn_status;
   if not (Colour.equal mid.sn_current after.sn_current) then
     add (Switched { from_ = mid.sn_current; to_ = after.sn_current });
+  audit ();
   List.rev !events
 
 let record t ~steps ~inputs =
@@ -134,6 +154,11 @@ let event_to_json ev =
   | Emitted e ->
     J.Obj [ ("type", J.String "emitted"); ("device", J.Int e.device); ("word", J.Int e.word) ]
   | Stalled -> J.Obj [ ("type", J.String "stalled") ]
+  | Save_corrupt c -> J.Obj [ ("type", J.String "save-corrupt"); colour c ]
+  | Guard_breached g -> J.Obj [ ("type", J.String "guard-breached"); ("addr", J.Int g.addr) ]
+  | Watchdog_fired c -> J.Obj [ ("type", J.String "watchdog-fired"); colour c ]
+  | Kernel_panicked k ->
+    J.Obj [ ("type", J.String "kernel-panicked"); ("reason", J.String k.reason) ]
 
 let entry_to_json e =
   let module J = Sep_util.Json in

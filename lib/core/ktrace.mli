@@ -20,6 +20,17 @@ type event =
   | Arrived of { device : int; word : int }  (** external input latched *)
   | Emitted of { device : int; word : int }  (** word observed on a Tx wire *)
   | Stalled  (** no regime was runnable this step *)
+  | Save_corrupt of Sep_model.Colour.t
+      (** audit: a save-area checksum mismatch parked this regime *)
+  | Guard_breached of { addr : int }  (** audit: a guard word was overwritten (and repaired) *)
+  | Watchdog_fired of Sep_model.Colour.t  (** audit: the watchdog forced this regime off *)
+  | Kernel_panicked of { reason : string }  (** audit: fault inside the kernel; everything parked *)
+
+val event_of_fault : Sue.kernel_fault -> event
+(** The audit event of a {!Sue.kernel_fault} — total, so a new fault kind
+    cannot compile without a trace event. {!step} drains the kernel's
+    audit log (via {!Sue.drain_faults}) after each phase and interleaves
+    these events at the point of detection. *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -40,8 +51,9 @@ val render : entry list -> string
 val event_to_json : event -> Sep_util.Json.t
 (** One event as a JSON object, discriminated by a ["type"] field
     ([executed], [trapped], [switched], [blocked], [parked], [woken],
-    [arrived], [emitted], [stalled]). Exhaustive over the constructors by
-    construction: a new event cannot compile without a schema entry. *)
+    [arrived], [emitted], [stalled], [save-corrupt], [guard-breached],
+    [watchdog-fired], [kernel-panicked]). Exhaustive over the constructors
+    by construction: a new event cannot compile without a schema entry. *)
 
 val entry_to_json : entry -> Sep_util.Json.t
 (** [{"step": n, "events": [...]}]. *)

@@ -48,19 +48,30 @@ let pp_impl ppf = function
 
 (* Kernel data layout, in words of kernel memory:
      0                 index of the current regime
-     1                 quantum countdown (preemptive configurations only)
-     2 + 12r ..        regime r's record: R0..R7, flags, status, 2 spare
+     1                 quantum countdown (preemptive configurations only;
+                       reused as the watchdog countdown when a watchdog is
+                       armed instead)
+     2 + 12r ..        regime r's record: R0..R7, flags, status, save-area
+                       checksum, 1 spare
      after regimes     channel records: two ring-buffer areas per channel
                        (sender end then receiver end), each laid out as
                        head, count, data[capacity].
    Assembly configurations append, after the channel records:
      RDT               regime descriptor table, 8 words per regime:
                        part_base, part_size, slot count, 4 slot ids, spare
-     KCODE             the kernel's machine code (entry vector first). *)
+     KCODE             the kernel's machine code (entry vector first).
+   Outside the kernel partition proper, one guard word precedes each
+   regime partition and one trails the last, so the kernel data (and, for
+   Assembly, the descriptor table and kernel code) and every partition is
+   fenced by a known pattern whose corruption is detectable. *)
 
 let regime_record = 12
 let off_flags = 8
 let off_status = 9
+let off_checksum = 10
+
+let guard_pattern = 0xa5c3
+let checksum_salt = 0x5ee1
 
 let status_runnable = 0
 let status_waiting = 1
@@ -84,10 +95,27 @@ type layout = {
   save_base : int array;
   chans : chan_info array;
   kernel_size : int;
+  guards : int array;  (* physical addresses of the guard words *)
   dev_owner : int array;
   dev_slots : int array array;
   dev_kinds : Machine.device_kind array;
 }
+
+(* A corruption the kernel detected and survived. Detection is part of the
+   hardening, not of the verified separation model: every fault below puts
+   the kernel into a defined safe state (a parked regime, a repaired guard,
+   a forced yield, or a full halt) instead of raising. *)
+type kernel_fault =
+  | Save_area_corrupt of Colour.t
+  | Guard_breach of int
+  | Watchdog_expired of Colour.t
+  | Kernel_panic of string
+
+let pp_kernel_fault ppf = function
+  | Save_area_corrupt c -> Fmt.pf ppf "save area of %a corrupt" Colour.pp c
+  | Guard_breach a -> Fmt.pf ppf "guard word at %04x breached" a
+  | Watchdog_expired c -> Fmt.pf ppf "watchdog expired on %a" Colour.pp c
+  | Kernel_panic reason -> Fmt.pf ppf "kernel panic: %s" reason
 
 (* Per-instance kernel counters. Arrays are indexed by regime; the record
    is shared by [copy], so one build's whole family of snapshots (e.g. a
@@ -105,6 +133,12 @@ type counts = {
   mutable ct_inputs_latched : int;
   mutable ct_outputs_observed : int;
   mutable ct_kernel_instrs : int;
+  mutable ct_fault_parks : int;
+  mutable ct_guard_breaches : int;
+  mutable ct_watchdog_fires : int;
+  mutable ct_panics : int;
+  mutable ct_fault_log : kernel_fault list;  (* newest first *)
+  mutable ct_fault_log_len : int;
 }
 
 type kstats = {
@@ -120,6 +154,10 @@ type kstats = {
   ks_inputs_latched : int;
   ks_outputs_observed : int;
   ks_kernel_instrs : int;
+  ks_fault_parks : int;
+  ks_guard_breaches : int;
+  ks_watchdog_fires : int;
+  ks_panics : int;
 }
 
 type t = {
@@ -131,6 +169,7 @@ type t = {
   rdt_base : int;  (* 0 for Microcode *)
   code_base : int;
   code_len : int;
+  watchdog : int option;
   counts : counts;
 }
 
@@ -170,12 +209,16 @@ let compute_layout ?(extra = 0) (cfg : Isa.stmt list Config.t) =
   let kernel_size = !pos + extra in
   let part_size = Array.map (fun r -> r.Config.part_size) regimes in
   let part_base = Array.make nregs 0 in
+  let guards = Array.make (nregs + 1) 0 in
   let mem = ref kernel_size in
   Array.iteri
     (fun r size ->
-      part_base.(r) <- !mem;
-      mem := !mem + size)
+      guards.(r) <- !mem;
+      part_base.(r) <- !mem + 1;
+      mem := !mem + 1 + size)
     part_size;
+  guards.(nregs) <- !mem;
+  let mem = ref (!mem + 1) in
   let dev_kinds =
     Array.of_list (List.concat_map (fun r -> r.Config.devices) (Array.to_list regimes))
   in
@@ -188,7 +231,8 @@ let compute_layout ?(extra = 0) (cfg : Isa.stmt list Config.t) =
       List.iter (fun d -> dev_owner.(d) <- r) slots;
       dev_slots.(r) <- Array.of_list slots)
     regimes;
-  ( { nregs; colours; part_base; part_size; save_base; chans; kernel_size; dev_owner; dev_slots; dev_kinds },
+  ( { nregs; colours; part_base; part_size; save_base; chans; kernel_size; guards; dev_owner;
+      dev_slots; dev_kinds },
     !mem )
 
 let read_kw t a = Machine.read_phys t.m a
@@ -201,6 +245,59 @@ let quantum_addr = 1
 
 let get_status t r = read_kw t (t.layout.save_base.(r) + off_status)
 let set_status t r v = write_kw t (t.layout.save_base.(r) + off_status) v
+
+(* -- Hardening: fault log, save-area checksums, guard words ---------------- *)
+
+let fault_log_cap = 4096
+
+let record_fault t f =
+  let c = t.counts in
+  if c.ct_fault_log_len < fault_log_cap then begin
+    c.ct_fault_log <- f :: c.ct_fault_log;
+    c.ct_fault_log_len <- c.ct_fault_log_len + 1
+  end
+
+let drain_faults t =
+  let c = t.counts in
+  let log = List.rev c.ct_fault_log in
+  c.ct_fault_log <- [];
+  c.ct_fault_log_len <- 0;
+  log
+
+(* Rotate-and-xor over the saved registers and flags (slots 0..8) as they
+   sit in memory — deliberately computed by reading memory back rather
+   than from the values the kernel meant to write, so the checksum attests
+   to what the save area holds, not to what the save path intended. The
+   status word (slot 9) is excluded: it is rewritten independently of
+   context saves. A nonzero salt makes the all-zero area non-trivial. *)
+let save_checksum t r =
+  let base = t.layout.save_base.(r) in
+  let acc = ref checksum_salt in
+  for i = 0 to off_flags do
+    let rotated = ((!acc lsl 1) lor (!acc lsr 15)) land 0xffff in
+    acc := rotated lxor read_kw t (base + i)
+  done;
+  !acc
+
+let refresh_save_checksum t r =
+  write_kw t (t.layout.save_base.(r) + off_checksum) (save_checksum t r)
+
+let save_area_ok t r = read_kw t (t.layout.save_base.(r) + off_checksum) = save_checksum t r
+
+(* Verify (and repair) every guard word. Repairing restores the fence so
+   one breach is reported once, not on every subsequent switch. *)
+let guard_sweep t =
+  let breaches = ref 0 in
+  Array.iter
+    (fun a ->
+      if read_kw t a <> guard_pattern then begin
+        incr breaches;
+        t.counts.ct_guard_breaches <- t.counts.ct_guard_breaches + 1;
+        record_fault t (Guard_breach a);
+        write_kw t a guard_pattern
+      end)
+    t.layout.guards;
+  !breaches
 
 
 (* -- The kernel as machine code ------------------------------------------- *)
@@ -386,10 +483,17 @@ let validate_assembly cfg ~rdt ~nregs =
     cfg.Config.regimes;
   if rdt + (rdt_stride * nregs) > 250 then fail "kernel data must stay below address 250"
 
-let build ?(bugs = []) ?(impl = Microcode) cfg =
+let build ?(bugs = []) ?(impl = Microcode) ?watchdog cfg =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Sue.build: " ^ msg));
+  (match watchdog with
+  | None -> ()
+  | Some w ->
+    if w < 1 then invalid_arg "Sue.build: watchdog must be positive";
+    if cfg.Config.quantum <> None then
+      invalid_arg "Sue.build: watchdog and preemption quantum are exclusive";
+    if impl = Assembly then invalid_arg "Sue.build: watchdog requires the microcode kernel");
   let nregs = List.length cfg.Config.regimes in
   (* The assembly kernel is generated before the final layout: its data
      addresses (channel areas, RDT) depend only on the configuration. *)
@@ -438,6 +542,7 @@ let build ?(bugs = []) ?(impl = Microcode) cfg =
       rdt_base = rdt;
       code_base;
       code_len = Array.length kcode;
+      watchdog;
       counts =
         {
           ct_instrs = Array.make nregs 0;
@@ -452,6 +557,12 @@ let build ?(bugs = []) ?(impl = Microcode) cfg =
           ct_inputs_latched = 0;
           ct_outputs_observed = 0;
           ct_kernel_instrs = 0;
+          ct_fault_parks = 0;
+          ct_guard_breaches = 0;
+          ct_watchdog_fires = 0;
+          ct_panics = 0;
+          ct_fault_log = [];
+          ct_fault_log_len = 0;
         };
     }
   in
@@ -477,9 +588,15 @@ let build ?(bugs = []) ?(impl = Microcode) cfg =
   end;
   (* Regime 0 runs first. *)
   set_current_index t 0;
-  (match cfg.Config.quantum with
-  | Some q -> write_kw t quantum_addr q
-  | None -> ());
+  (match (cfg.Config.quantum, watchdog) with
+  | Some q, _ -> write_kw t quantum_addr q
+  | None, Some w -> write_kw t quantum_addr w
+  | None, None -> ());
+  (* Arm the hardening: fence the partitions and seal every save area. *)
+  Array.iter (fun a -> Machine.write_phys m a guard_pattern) layout.guards;
+  for r = 0 to nregs - 1 do
+    refresh_save_checksum t r
+  done;
   Machine.set_mmu m ~base:layout.part_base.(0) ~limit:layout.part_size.(0)
     ~dev_slots:layout.dev_slots.(0);
   t
@@ -508,6 +625,10 @@ let kstats t =
     ks_inputs_latched = t.counts.ct_inputs_latched;
     ks_outputs_observed = t.counts.ct_outputs_observed;
     ks_kernel_instrs = t.counts.ct_kernel_instrs;
+    ks_fault_parks = t.counts.ct_fault_parks;
+    ks_guard_breaches = t.counts.ct_guard_breaches;
+    ks_watchdog_fires = t.counts.ct_watchdog_fires;
+    ks_panics = t.counts.ct_panics;
   }
 
 let reset_kstats t =
@@ -523,7 +644,13 @@ let reset_kstats t =
   c.ct_stalls <- 0;
   c.ct_inputs_latched <- 0;
   c.ct_outputs_observed <- 0;
-  c.ct_kernel_instrs <- 0
+  c.ct_kernel_instrs <- 0;
+  c.ct_fault_parks <- 0;
+  c.ct_guard_breaches <- 0;
+  c.ct_watchdog_fires <- 0;
+  c.ct_panics <- 0;
+  c.ct_fault_log <- [];
+  c.ct_fault_log_len <- 0
 
 let telemetry t =
   let reg = Sep_obs.Telemetry.create () in
@@ -544,6 +671,10 @@ let telemetry t =
   set "sue.inputs_latched" s.ks_inputs_latched;
   set "sue.outputs_observed" s.ks_outputs_observed;
   set "sue.kernel_instrs" s.ks_kernel_instrs;
+  set "sue.fault_parks" s.ks_fault_parks;
+  set "sue.guard_breaches" s.ks_guard_breaches;
+  set "sue.watchdog_fires" s.ks_watchdog_fires;
+  set "sue.panics" s.ks_panics;
   reg
 
 let current_colour t = t.layout.colours.(current_index t)
@@ -565,6 +696,24 @@ let device_slot t d =
   let rec find i = if slots.(i) = d then i else find (i + 1) in
   (t.layout.colours.(owner), find 0)
 
+(* -- Physical-layout accessors (for fault injection and diagnostics) ------- *)
+
+let partition_bounds t c =
+  let r = Config.regime_index t.cfg c in
+  (t.layout.part_base.(r), t.layout.part_size.(r))
+
+let save_area_base t c = t.layout.save_base.(Config.regime_index t.cfg c)
+let guard_addrs t = Array.to_list t.layout.guards
+
+let channel_area t id =
+  if id >= 0 && id < Array.length t.layout.chans then begin
+    let ci = t.layout.chans.(id) in
+    Some (ci.ci_area_a, ci.ci_area_b, ci.ci_capacity)
+  end
+  else None
+
+let kernel_code_region t = (t.code_base, t.code_len)
+
 (* -- Context switching ---------------------------------------------------- *)
 
 let flags_word (z, n) = (if z then 1 else 0) lor (if n then 2 else 0)
@@ -576,7 +725,8 @@ let save_context t r =
     if not (i = 3 && has_bug t Forget_register_save) then
       write_kw t (base + i) (Machine.get_reg t.m i)
   done;
-  write_kw t (base + off_flags) (flags_word (Machine.get_flags t.m))
+  write_kw t (base + off_flags) (flags_word (Machine.get_flags t.m));
+  refresh_save_checksum t r
 
 let load_context t r =
   let base = t.layout.save_base.(r) in
@@ -586,20 +736,6 @@ let load_context t r =
   Machine.set_flags t.m (flags_of_word (read_kw t (base + off_flags)));
   Machine.set_mmu t.m ~base:t.layout.part_base.(r) ~limit:t.layout.part_size.(r)
     ~dev_slots:t.layout.dev_slots.(r)
-
-let switch_to t r =
-  let cur = current_index t in
-  if r <> cur then begin
-    t.counts.ct_switches <- t.counts.ct_switches + 1;
-    save_context t cur;
-    if has_bug t Partition_hole then
-      Machine.write_phys t.m t.layout.part_base.(r) (Machine.get_reg t.m 0);
-    set_current_index t r;
-    load_context t r;
-    match t.cfg.Config.quantum with
-    | Some q -> write_kw t quantum_addr q
-    | None -> ()
-  end
 
 let next_runnable t from =
   let n = t.layout.nregs in
@@ -611,6 +747,43 @@ let next_runnable t from =
     end
   in
   scan 1
+
+(* Context switch with the fail-safe restore path: a candidate whose save
+   area no longer matches its checksum is parked (and the corruption
+   audited) instead of being loaded, and the processor is offered to the
+   next runnable regime. When every candidate is corrupt the kernel stays
+   on the current regime, whose live context was never disturbed — a
+   defined safe state rather than an exception. Guard words are swept on
+   the same occasion: the switch is the kernel's natural audit point. *)
+let switch_to t r =
+  let cur = current_index t in
+  if r <> cur then begin
+    ignore (guard_sweep t);
+    save_context t cur;
+    if has_bug t Partition_hole then
+      Machine.write_phys t.m t.layout.part_base.(r) (Machine.get_reg t.m 0);
+    let rec settle r =
+      if r = cur then ()
+      else if save_area_ok t r then begin
+        t.counts.ct_switches <- t.counts.ct_switches + 1;
+        set_current_index t r;
+        load_context t r;
+        match (t.cfg.Config.quantum, t.watchdog) with
+        | Some q, _ -> write_kw t quantum_addr q
+        | None, Some w -> write_kw t quantum_addr w
+        | None, None -> ()
+      end
+      else begin
+        record_fault t (Save_area_corrupt t.layout.colours.(r));
+        t.counts.ct_fault_parks <- t.counts.ct_fault_parks + 1;
+        set_status t r status_parked;
+        match next_runnable t r with
+        | Some r' -> settle r'
+        | None -> ()
+      end
+    in
+    settle r
+  end
 
 let swap_away t =
   let cur = current_index t in
@@ -678,23 +851,43 @@ let do_recv t cur =
 
 (* -- Driving the assembly kernel ------------------------------------------- *)
 
+(* A fault taken {e inside} the kernel (a trap or machine fault while
+   running kernel code, or kernel code that never terminates) means the
+   kernel itself can no longer be trusted. The fail-safe response is a
+   panic: park every regime and leave the machine halted in kernel mode.
+   Nothing is runnable afterwards, the execution stage stalls forever, and
+   the audit log records why — a defined safe state in place of the old
+   [failwith]. *)
+let kernel_panic t reason =
+  t.counts.ct_panics <- t.counts.ct_panics + 1;
+  record_fault t (Kernel_panic reason);
+  for r = 0 to t.layout.nregs - 1 do
+    set_status t r status_parked
+  done
+
+let fault_reason = function
+  | Machine.Illegal_instruction w -> Fmt.str "illegal instruction %04x" (w : int)
+  | Machine.Mem_violation a -> Fmt.str "memory violation at %04x" a
+  | Machine.Device_violation a -> Fmt.str "device violation at %04x" a
+
 (* Run kernel machine code until it returns to user mode ([Rti]) or stalls
    ([Halt] with nobody runnable). Fuel guards against a runaway kernel —
-   exhausting it is a kernel bug, not a regime behaviour, so it fails
-   loudly. *)
+   exhausting it is a kernel bug, not a regime behaviour, and panics. *)
 let run_kernel t =
   let fuel = ref 20_000 in
   let before = current_index t in
   let rec loop () =
     decr fuel;
-    if !fuel <= 0 then failwith "Sue: kernel code did not terminate";
-    t.counts.ct_kernel_instrs <- t.counts.ct_kernel_instrs + 1;
-    match Machine.step_user t.m with
-    | Machine.Stepped -> loop ()
-    | Machine.Returned -> ()
-    | Machine.Waiting -> ()
-    | Machine.Trapped _ -> failwith "Sue: trap inside the kernel"
-    | Machine.Faulted _ -> failwith "Sue: fault inside the kernel"
+    if !fuel <= 0 then kernel_panic t "kernel code did not terminate"
+    else begin
+      t.counts.ct_kernel_instrs <- t.counts.ct_kernel_instrs + 1;
+      match Machine.step_user t.m with
+      | Machine.Stepped -> loop ()
+      | Machine.Returned -> ()
+      | Machine.Waiting -> ()
+      | Machine.Trapped n -> kernel_panic t (Fmt.str "trap %d inside the kernel" n)
+      | Machine.Faulted f -> kernel_panic t (Fmt.str "fault inside the kernel: %s" (fault_reason f))
+    end
   in
   loop ();
   if current_index t <> before then t.counts.ct_switches <- t.counts.ct_switches + 1
@@ -780,15 +973,27 @@ let exec_op_microcode t =
     | Machine.Stepped -> begin
       (* preemptive configurations: charge the quantum and, when it is
          spent, take the processor back *)
-      match t.cfg.Config.quantum with
-      | None -> ()
-      | Some q ->
+      match (t.cfg.Config.quantum, t.watchdog) with
+      | Some q, _ ->
         let left = read_kw t quantum_addr - 1 in
         if left <= 0 then begin
           write_kw t quantum_addr q;
           swap_away t
         end
         else write_kw t quantum_addr left
+      | None, Some w ->
+        (* watchdog: a regime that never yields is forced off the
+           processor after [w] instructions, audited but not parked —
+           hogging is a liveness fault, not a corruption *)
+        let left = read_kw t quantum_addr - 1 in
+        if left <= 0 then begin
+          write_kw t quantum_addr w;
+          t.counts.ct_watchdog_fires <- t.counts.ct_watchdog_fires + 1;
+          record_fault t (Watchdog_expired t.layout.colours.(cur));
+          swap_away t
+        end
+        else write_kw t quantum_addr left
+      | None, None -> ()
     end
     | Machine.Waiting ->
       (* WAIT falls through when an interrupt is already asserted,
@@ -1009,7 +1214,10 @@ let scramble_others rng t c =
           write_kw t (sb + i) (word ())
         done;
         write_kw t (sb + off_flags) (Sep_util.Prng.int rng 4);
-        write_kw t (sb + off_status) (Sep_util.Prng.int rng 3)
+        write_kw t (sb + off_status) (Sep_util.Prng.int rng 3);
+        (* reseal: the scrambled contents are the state under test, not a
+           corruption for the hardening to flag *)
+        refresh_save_checksum t r
       end)
     t.layout.part_base;
   (* Live registers and flags belong to whoever is current — unless the

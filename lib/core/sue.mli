@@ -73,7 +73,7 @@ type input = (int * int) list
 type output = (int * int) list
 (** Tx wire levels: (global device id, word) for each busy Tx device. *)
 
-val build : ?bugs:bug list -> ?impl:impl -> Isa.stmt list Config.t -> t
+val build : ?bugs:bug list -> ?impl:impl -> ?watchdog:int -> Isa.stmt list Config.t -> t
 (** Assemble each regime's program into its partition, lay out kernel data,
     and start with regime 0 current. Raises [Invalid_argument] on an
     invalid configuration, a program that overflows its partition, a
@@ -81,7 +81,13 @@ val build : ?bugs:bug list -> ?impl:impl -> Isa.stmt list Config.t -> t
     outside the [Assembly] restrictions. [impl] defaults to
     [Microcode]. All eight seeded bugs exist in both implementations
     (two are generated into the assembly; the I/O-side ones are shared
-    hardware behaviour). *)
+    hardware behaviour).
+
+    [watchdog] (microcode only, exclusive with a preemption [quantum])
+    arms a watchdog of that many instructions: a regime that executes that
+    long without yielding is forced off the processor with an audited
+    {!Watchdog_expired} fault — insurance against regimes that never
+    yield. Requires a positive count. *)
 
 val kernel_code_words : t -> int
 (** Words of kernel machine code ([Assembly] only; 0 for [Microcode]) —
@@ -93,7 +99,45 @@ val bugs : t -> bug list
 
 val kernel_words : t -> int
 (** Size of the kernel partition in words — the analogue of the paper's
-    "about 5K words, including all stack and data space". *)
+    "about 5K words, including all stack and data space". Guard words are
+    outside this tally (they fence the kernel area and the partitions). *)
+
+(** {1 Hardening and fault containment}
+
+    The kernel defends its own data structures against transient
+    corruption: every register save area carries a checksum (computed over
+    the saved registers and flags as they sit in memory) verified before a
+    restore; guard words fence the kernel area and every partition and are
+    swept at each context switch; an optional watchdog bounds how long a
+    regime can hold the processor without yielding. {b Detected corruption
+    never raises}: the kernel takes a fail-safe transition — park the
+    corrupt regime, repair the guard, force the yield, or (for faults
+    inside the kernel itself) panic to a fully parked halt — and records a
+    {!kernel_fault} in an audit log shared by {!copy}, alongside the
+    fault counters in {!kstats}. Checksums are maintained by the
+    [Microcode] kernel's save path; the [Assembly] kernel shares the guard
+    fencing and the panic path. *)
+
+type kernel_fault =
+  | Save_area_corrupt of Colour.t
+      (** a save-area checksum mismatch parked its regime before restore *)
+  | Guard_breach of int  (** a guard word at this physical address was overwritten (and repaired) *)
+  | Watchdog_expired of Colour.t  (** the watchdog forced this regime off the processor *)
+  | Kernel_panic of string
+      (** a trap, machine fault or non-termination {e inside} the kernel:
+          every regime is parked and the machine halts *)
+
+val pp_kernel_fault : Format.formatter -> kernel_fault -> unit
+
+val drain_faults : t -> kernel_fault list
+(** Remove and return the audit log, oldest first. The log is shared by
+    {!copy} (like the counters) and capped; counters in {!kstats} are not
+    affected by draining. *)
+
+val guard_sweep : t -> int
+(** Verify every guard word now (they are otherwise swept at context
+    switches), repairing and auditing each breach; returns the number of
+    breaches found. *)
 
 (** {1 Kernel telemetry}
 
@@ -119,6 +163,10 @@ type kstats = {
   ks_inputs_latched : int;  (** external words latched into Rx devices *)
   ks_outputs_observed : int;  (** words seen on busy Tx wires by {!step} *)
   ks_kernel_instrs : int;  (** kernel-mode instructions ([Assembly] only) *)
+  ks_fault_parks : int;  (** regimes parked by save-area checksum mismatches *)
+  ks_guard_breaches : int;  (** guard words found overwritten (and repaired) *)
+  ks_watchdog_fires : int;  (** forced yields by the watchdog *)
+  ks_panics : int;  (** kernel panics (faults inside the kernel) *)
 }
 
 val kstats : t -> kstats
@@ -133,7 +181,9 @@ val telemetry : t -> Sep_obs.Telemetry.t
     ([sue.instrs.RED], [sue.traps.RED], [sue.swaps.RED],
     [sue.chan_words_sent.RED], [sue.chan_words_recvd.RED]), machine-wide
     ones [sue.switches], [sue.irqs_forwarded], [sue.wakes], [sue.stalls],
-    [sue.inputs_latched], [sue.outputs_observed], [sue.kernel_instrs]. *)
+    [sue.inputs_latched], [sue.outputs_observed], [sue.kernel_instrs],
+    [sue.fault_parks], [sue.guard_breaches], [sue.watchdog_fires],
+    [sue.panics]. *)
 
 val current_colour : t -> Colour.t
 val regime_status : t -> Colour.t -> Abstract_regime.status
@@ -142,6 +192,32 @@ val device_owner : t -> int -> Colour.t
 val device_slot : t -> int -> Colour.t * int
 (** Owner and slot index of a global device: global device ids are
     machine-wide, slots are regime-relative. *)
+
+(** {1 Physical layout}
+
+    Physical addresses of the kernel's data structures, for fault
+    injection and diagnostics. Writing to these through
+    {!Machine.write_phys} models transient hardware corruption; the
+    hardening above decides what the kernel does about it. *)
+
+val partition_bounds : t -> Colour.t -> int * int
+(** [(base, size)] of a regime's memory partition, in physical words. *)
+
+val save_area_base : t -> Colour.t -> int
+(** Physical address of a regime's register save area (slots 0-7 the
+    saved registers, 8 the flags, 9 the status word, 10 the checksum). *)
+
+val guard_addrs : t -> int list
+(** Physical addresses of the guard words (one before each partition, one
+    after the last). *)
+
+val channel_area : t -> int -> (int * int * int) option
+(** [(send_area, recv_area, capacity)] of a channel id: the two ring
+    buffers, each laid out as head, count, data\[capacity\]. *)
+
+val kernel_code_region : t -> int * int
+(** [(base, length)] of the kernel's machine code ([Assembly]; length 0
+    for [Microcode]). *)
 
 (** {1 Execution} *)
 

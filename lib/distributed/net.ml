@@ -94,3 +94,29 @@ let outputs t c = List.rev (find_node t c).outs
 
 let in_flight t = Array.fold_left (fun acc line -> acc + Fifo.length line) 0 t.lines
 let drops t = t.dropped
+
+(* Fault injection on a physical line: rewrite (Some) or destroy (None)
+   every message currently in flight on one wire. Draining and refilling
+   the FIFO preserves arrival order; destroyed messages count as drops —
+   to the boxes at either end, a tampered line is indistinguishable from a
+   lossy or noisy one. *)
+let tamper t ~wire f =
+  if wire < 0 || wire >= Array.length t.lines then invalid_arg "Net.tamper: no such wire";
+  let line = t.lines.(wire) in
+  let affected = ref 0 in
+  let rec drain acc =
+    match Fifo.pop line with
+    | Some msg -> drain (msg :: acc)
+    | None -> List.rev acc
+  in
+  List.iter
+    (fun msg ->
+      match f msg with
+      | Some msg' ->
+        if not (String.equal msg' msg) then incr affected;
+        ignore (Fifo.push line msg')
+      | None ->
+        incr affected;
+        t.dropped <- t.dropped + 1)
+    (drain []);
+  !affected

@@ -38,3 +38,13 @@ val in_flight : t -> int
 
 val drops : t -> int
 (** Messages dropped against full wires so far. *)
+
+val tamper :
+  t -> wire:int -> (Sep_model.Component.message -> Sep_model.Component.message option) -> int
+(** Fault injection on one physical line: apply [f] to every message
+    currently in flight on the wire, in order — [Some m'] replaces the
+    message, [None] destroys it (counted in {!drops}). Returns how many
+    messages were altered or destroyed. The blast radius is structurally
+    the wire itself: no other line, box or trace can be touched, which is
+    the distributed ideal's fault-containment argument. Raises
+    [Invalid_argument] on an unknown wire id. *)

@@ -149,6 +149,10 @@ let pending_irqs t =
 
 let field_irq t d = t.devices.(d).irq <- false
 
+(* Assert a device's interrupt line without latching any data — a
+   spurious or duplicated interrupt, as injected by fault campaigns. *)
+let raise_irq t d = t.devices.(d).irq <- true
+
 (* Virtual-address access through the MMU.
 
    Below [device_space]: base/limit relocation into the regime partition.

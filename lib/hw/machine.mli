@@ -147,6 +147,10 @@ val pending_irqs : t -> int list
 val field_irq : t -> int -> unit
 (** Kernel acknowledges (lowers) a device's IRQ line. *)
 
+val raise_irq : t -> int -> unit
+(** Assert a device's IRQ line without latching data — models a spurious
+    or duplicated interrupt (fault injection; any device kind). *)
+
 (** {1 Execution} *)
 
 val step_user : t -> step_result

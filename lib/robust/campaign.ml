@@ -1,0 +1,424 @@
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Machine = Sep_hw.Machine
+module Sue = Sep_core.Sue
+module Config = Sep_core.Config
+module Scenarios = Sep_core.Scenarios
+module Abstract_regime = Sep_core.Abstract_regime
+module Net = Sep_distributed.Net
+module Prng = Sep_util.Prng
+module J = Sep_util.Json
+
+type outcome =
+  | Masked
+  | Detected_safe
+  | Violating
+
+let pp_outcome ppf = function
+  | Masked -> Fmt.string ppf "masked"
+  | Detected_safe -> Fmt.string ppf "detected-safe"
+  | Violating -> Fmt.string ppf "separation-violating"
+
+type case = {
+  plan : Fault_plan.t;
+  target : Colour.t option;
+  outcome : outcome;
+  victim_perturbed : bool;
+  detections : Sue.kernel_fault list;
+  watchdog_delta : int;
+}
+
+type scenario_report = {
+  label : string;
+  seed : int;
+  steps : int;
+  watchdog : int option;
+  cases : case list;
+}
+
+type report = {
+  rp_seed : int;
+  rp_scenarios : scenario_report list;
+}
+
+(* -- Subjects -------------------------------------------------------------- *)
+
+(* The preemptive instance stripped of its quantum: its regimes never
+   yield, so without the watchdog the second one would starve forever.
+   Faults against this subject exercise the watchdog-forced switch as the
+   occasion on which save-area corruption of a starving regime is
+   caught. *)
+let greedy_watchdog_quantum = 6
+
+let greedy_watchdog =
+  let p = Scenarios.preemptive in
+  {
+    Scenarios.label = "greedy-watchdog";
+    cfg = { p.Scenarios.cfg with Config.quantum = None };
+    alphabet = p.Scenarios.alphabet;
+  }
+
+let catalogue =
+  List.map (fun sc -> (sc, None)) Scenarios.all @ [ (greedy_watchdog, Some greedy_watchdog_quantum) ]
+
+let subjects = List.map fst catalogue
+
+(* Deterministic input drip, shared with the CLI drivers: one alphabet
+   element every 10 steps, cycling through the non-empty entries. *)
+let drip (sc : Scenarios.instance) =
+  let alphabet = Array.of_list sc.Scenarios.alphabet in
+  fun n ->
+    if Array.length alphabet > 1 && n mod 10 = 0 then
+      alphabet.((n / 10) mod (Array.length alphabet - 1) + 1)
+    else []
+
+(* -- The stepping wrapper -------------------------------------------------- *)
+
+type runner = {
+  t : Sue.t;
+  mutable schedule : (int * Fault_plan.fault) list;
+  mutable pending_drops : int list;  (* devices whose next arrival is lost *)
+  mutable stuck : int list;  (* devices dead from their fault onward *)
+  mutable dup_after : int list;  (* IRQs to re-assert after this step *)
+}
+
+let flip_phys m a bit = Machine.write_phys m a (Machine.read_phys m a lxor (1 lsl bit))
+
+let apply r fault =
+  let m = Sue.machine r.t in
+  match (fault : Fault_plan.fault) with
+  | Mem_flip { colour; offset; bit } ->
+    let base, size = Sue.partition_bounds r.t colour in
+    flip_phys m (base + (offset mod size)) bit
+  | Saved_reg_flip { colour; slot; bit } -> flip_phys m (Sue.save_area_base r.t colour + slot) bit
+  | Guard_smash { index } ->
+    let guards = Array.of_list (Sue.guard_addrs r.t) in
+    flip_phys m guards.(index mod Array.length guards) 7
+  | Chan_flip { chan; which; word; bit } -> begin
+    match Sue.channel_area r.t chan with
+    | None -> ()
+    | Some (send_area, recv_area, cap) ->
+      let area = match which with Fault_plan.Send_end -> send_area | Fault_plan.Recv_end -> recv_area in
+      flip_phys m (area + (word mod (cap + 2))) bit
+  end
+  | Rx_latch_flip { device; bit } ->
+    let data, status = Machine.device_regs m device in
+    Machine.set_device_regs m device ~data:(data lxor (1 lsl bit)) ~status
+  | Drop_input { device } -> r.pending_drops <- device :: r.pending_drops
+  | Spurious_irq { device } -> Machine.raise_irq m device
+  | Duplicate_irq { device } -> r.dup_after <- device :: r.dup_after
+  | Stuck_device { device } -> r.stuck <- device :: r.stuck
+
+let remove_one x xs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: rest -> if y = x then List.rev_append acc rest else go (y :: acc) rest
+  in
+  go [] xs
+
+let force_stuck r =
+  let m = Sue.machine r.t in
+  List.iter
+    (fun d ->
+      let data, _ = Machine.device_regs m d in
+      Machine.set_device_regs m d ~data ~status:0)
+    r.stuck
+
+(* One wrapped step: due faults strike between instructions (before the
+   step), dropped arrivals never reach the latch, dead devices stay dead,
+   duplicated IRQs re-assert after the fielding they duplicate. *)
+let step r n input =
+  let due, rest = List.partition (fun (at, _) -> at <= n) r.schedule in
+  r.schedule <- rest;
+  List.iter (fun (_, f) -> apply r f) due;
+  let input =
+    List.filter
+      (fun (d, _) ->
+        if List.mem d r.stuck then false
+        else if List.mem d r.pending_drops then begin
+          r.pending_drops <- remove_one d r.pending_drops;
+          false
+        end
+        else true)
+      input
+  in
+  force_stuck r;
+  let out = Sue.step r.t input in
+  force_stuck r;
+  let m = Sue.machine r.t in
+  List.iter (fun d -> Machine.raise_irq m d) r.dup_after;
+  r.dup_after <- [];
+  out
+
+(* -- Observation and comparison -------------------------------------------- *)
+
+type observation = {
+  ob_outputs : (int * int list) list;  (* per Tx device, words in order *)
+  ob_status : (Colour.t * Abstract_regime.status) list;
+  ob_detections : Sue.kernel_fault list;  (* corruption detections *)
+  ob_wd_fires : int;
+}
+
+let observe_run ?watchdog (sc : Scenarios.instance) ~steps ~plan =
+  let t = Sue.build ?watchdog sc.Scenarios.cfg in
+  let r =
+    {
+      t;
+      schedule = (match plan with Some (p : Fault_plan.t) -> p.Fault_plan.faults | None -> []);
+      pending_drops = [];
+      stuck = [];
+      dup_after = [];
+    }
+  in
+  let m = Sue.machine t in
+  let ndev = Machine.num_devices m in
+  let inputs = drip sc in
+  (* Flow-controlled delivery: a dripped word queues until its Rx latch is
+     free (status 0), so each regime consumes the same word sequence no
+     matter how the processor is shared. Without the handshake the
+     external world doubles as a clock — parking one regime shifts when
+     another samples its latch, and that is the timing channel the paper
+     excludes, not a separation violation. *)
+  let queues = Array.init ndev (fun _ -> Queue.create ()) in
+  let flat = ref [] in
+  for n = 0 to steps - 1 do
+    List.iter (fun (d, w) -> if d < ndev then Queue.add w queues.(d)) (inputs n);
+    let input =
+      List.concat
+        (List.init ndev (fun d ->
+             if (not (Queue.is_empty queues.(d))) && snd (Machine.device_regs m d) = 0 then
+               [ (d, Queue.pop queues.(d)) ]
+             else []))
+    in
+    List.iter (fun o -> flat := o :: !flat) (step r n input)
+  done;
+  ignore (Sue.guard_sweep t);
+  let corrupt, wd =
+    List.partition (function Sue.Watchdog_expired _ -> false | _ -> true) (Sue.drain_faults t)
+  in
+  let per_dev = Hashtbl.create 8 in
+  for d = 0 to ndev - 1 do
+    Hashtbl.add per_dev d []
+  done;
+  List.iter (fun (d, w) -> Hashtbl.replace per_dev d (w :: Hashtbl.find per_dev d)) (List.rev !flat);
+  let ob_outputs = List.init ndev (fun d -> (d, List.rev (Hashtbl.find per_dev d))) in
+  let ob_status = List.map (fun c -> (c, Sue.regime_status t c)) (Config.colours sc.Scenarios.cfg) in
+  ({ ob_outputs; ob_status; ob_detections = corrupt; ob_wd_fires = List.length wd }, t)
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> x = y && is_prefix a' b'
+
+(* Order-preserving comparison, step indices deliberately dropped: parking
+   or slowing one regime shifts every other regime's timing (the paper
+   excludes timing channels), so observing more or fewer words of the
+   same sequence is not divergence — different words are. *)
+let sequences_diverge a b = not (is_prefix a b || is_prefix b a)
+
+let colour_diverged reference faulty t c =
+  List.exists2
+    (fun (d, ref_words) (_, got_words) ->
+      Colour.equal (Sue.device_owner t d) c && sequences_diverge ref_words got_words)
+    reference.ob_outputs faulty.ob_outputs
+
+(* -- Classification -------------------------------------------------------- *)
+
+let classify ~cfg ~reference ~faulty ~t (plan : Fault_plan.t) =
+  let target =
+    match plan.Fault_plan.faults with
+    | (_, f) :: _ -> Fault_plan.target cfg f
+    | [] -> None
+  in
+  let colours = Config.colours cfg in
+  let is_other c = match target with Some v -> not (Colour.equal c v) | None -> true in
+  let others_diverged = List.exists (fun c -> is_other c && colour_diverged reference faulty t c) colours in
+  let victim_perturbed =
+    match target with
+    | None -> false
+    | Some v ->
+      colour_diverged reference faulty t v
+      || List.assoc v faulty.ob_status <> List.assoc v reference.ob_status
+  in
+  let outcome =
+    if others_diverged then Violating
+    else if faulty.ob_detections <> [] then Detected_safe
+    else Masked
+  in
+  {
+    plan;
+    target;
+    outcome;
+    victim_perturbed;
+    detections = faulty.ob_detections;
+    watchdog_delta = faulty.ob_wd_fires - reference.ob_wd_fires;
+  }
+
+(* Scenario seeds derive from the campaign seed and the label so each
+   scenario's plans are reproducible in isolation. *)
+let scenario_seed seed label =
+  String.fold_left (fun acc ch -> ((acc * 31) + Char.code ch) land 0x3fffffff) seed label
+
+let run_scenario ?watchdog ~seed ~steps ~count (sc : Scenarios.instance) =
+  let reference, _ = observe_run ?watchdog sc ~steps ~plan:None in
+  let plans = Fault_plan.generate ~seed ~steps ~count sc.Scenarios.cfg in
+  let run_case plan =
+    let faulty, t = observe_run ?watchdog sc ~steps ~plan:(Some plan) in
+    classify ~cfg:sc.Scenarios.cfg ~reference ~faulty ~t plan
+  in
+  { label = sc.Scenarios.label; seed; steps; watchdog; cases = List.map run_case plans }
+
+let run ~seed ~steps ~count =
+  {
+    rp_seed = seed;
+    rp_scenarios =
+      List.map
+        (fun (sc, watchdog) ->
+          run_scenario ?watchdog ~seed:(scenario_seed seed sc.Scenarios.label) ~steps ~count sc)
+        catalogue;
+  }
+
+let totals report =
+  List.fold_left
+    (fun (m, d, v) sr ->
+      List.fold_left
+        (fun (m, d, v) case ->
+          match case.outcome with
+          | Masked -> (m + 1, d, v)
+          | Detected_safe -> (m, d + 1, v)
+          | Violating -> (m, d, v + 1))
+        (m, d, v) sr.cases)
+    (0, 0, 0) report.rp_scenarios
+
+let holds report =
+  let _, _, v = totals report in
+  v = 0
+
+(* -- Reporting ------------------------------------------------------------- *)
+
+let detection_to_json f =
+  match (f : Sue.kernel_fault) with
+  | Sue.Save_area_corrupt c -> J.String ("save-area-corrupt:" ^ Colour.name c)
+  | Sue.Guard_breach a -> J.String (Fmt.str "guard-breach:%04x" a)
+  | Sue.Watchdog_expired c -> J.String ("watchdog-expired:" ^ Colour.name c)
+  | Sue.Kernel_panic reason -> J.String ("kernel-panic:" ^ reason)
+
+let case_to_json sr case =
+  J.Obj
+    [
+      ("kind", J.String "fault-case");
+      ("scenario", J.String sr.label);
+      ("seed", J.Int sr.seed);
+      ("steps", J.Int sr.steps);
+      ("plan", Fault_plan.to_json case.plan);
+      ("target", match case.target with Some c -> J.String (Colour.name c) | None -> J.Null);
+      ("outcome", J.String (Fmt.str "%a" pp_outcome case.outcome));
+      ("victim_perturbed", J.Bool case.victim_perturbed);
+      ("detections", J.List (List.map detection_to_json case.detections));
+      ("watchdog_delta", J.Int case.watchdog_delta);
+    ]
+
+let summary_json report =
+  let masked, detected, violating = totals report in
+  J.Obj
+    [
+      ("kind", J.String "campaign-summary");
+      ("seed", J.Int report.rp_seed);
+      ("scenarios", J.Int (List.length report.rp_scenarios));
+      ("cases", J.Int (masked + detected + violating));
+      ("masked", J.Int masked);
+      ("detected_safe", J.Int detected);
+      ("violating", J.Int violating);
+      ("holds", J.Bool (holds report));
+    ]
+
+let report_to_jsonl report =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun sr ->
+      List.iter
+        (fun case ->
+          J.to_buffer buf (case_to_json sr case);
+          Buffer.add_char buf '\n')
+        sr.cases)
+    report.rp_scenarios;
+  J.to_buffer buf (summary_json report);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* -- The distributed baseline ---------------------------------------------- *)
+
+type dist_report = {
+  dr_cases : int;
+  dr_affected : int;
+  dr_contained : bool;
+}
+
+(* A -> B over one physical wire, C isolated. Tampering with the wire can
+   reach only what the wire connects: B's deliveries. A and C have no
+   physical path from the fault — that is the containment the kernel's
+   campaign above has to earn with checksums and guards. *)
+let dist_topology () =
+  let a = Colour.make "A" and b = Colour.make "B" and c = Colour.make "C" in
+  let sender =
+    Component.stateless ~name:"sender" (function
+      | Component.External m -> [ Component.Send (0, m) ]
+      | Component.Recv _ -> [])
+  in
+  let sink =
+    Component.stateless ~name:"sink" (function
+      | Component.Recv (_, m) -> [ Component.Output m ]
+      | Component.External _ -> [])
+  in
+  let loner =
+    Component.stateless ~name:"loner" (function
+      | Component.External m -> [ Component.Output m ]
+      | Component.Recv _ -> [])
+  in
+  (Topology.make ~parts:[ (a, sender); (b, sink); (c, loner) ] ~wires:[ (a, b, 2) ], a, b, c)
+
+let dist_run ~steps ~tamper_at ~mode =
+  let topo, a, _b, c = dist_topology () in
+  let net = Net.build topo in
+  let affected = ref 0 in
+  for n = 0 to steps - 1 do
+    (match tamper_at with
+    | Some at when at = n ->
+      affected :=
+        !affected
+        + Net.tamper net ~wire:0 (fun msg ->
+              match mode with
+              | `Destroy -> None
+              | `Scramble -> Some (msg ^ "!"))
+    | _ -> ());
+    Net.step net ~externals:(if n mod 2 = 0 then [ (a, Fmt.str "m%d" n); (c, Fmt.str "c%d" n) ] else [])
+  done;
+  (Net.trace net a, Net.trace net c, !affected)
+
+let run_distributed ~seed ~steps ~count =
+  let rng = Prng.create seed in
+  let ref_a, ref_c, _ = dist_run ~steps ~tamper_at:None ~mode:`Destroy in
+  let equal_trace = List.equal Component.equal_obs in
+  let one _ =
+    let at = Prng.int rng steps in
+    let mode = if Prng.bool rng then `Destroy else `Scramble in
+    let got_a, got_c, affected = dist_run ~steps ~tamper_at:(Some at) ~mode in
+    (affected, equal_trace ref_a got_a && equal_trace ref_c got_c)
+  in
+  let results = List.init count one in
+  {
+    dr_cases = count;
+    dr_affected = List.fold_left (fun acc (n, _) -> acc + n) 0 results;
+    dr_contained = List.for_all snd results;
+  }
+
+let dist_to_json d =
+  J.Obj
+    [
+      ("kind", J.String "distributed-baseline");
+      ("cases", J.Int d.dr_cases);
+      ("affected", J.Int d.dr_affected);
+      ("contained", J.Bool d.dr_contained);
+    ]

@@ -1,0 +1,119 @@
+(** Fault-injection campaigns: fault containment as a corollary of
+    separation.
+
+    Rushby's argument makes one processor indistinguishable from a
+    physically distributed system — and in the distributed ideal a
+    hardware fault inside one box cannot corrupt another box. The
+    campaign tests that corollary directly: it runs every {!Fault_plan}
+    against a fault-free reference of the same scenario and classifies
+    each outcome by {e differential per-colour trace comparison}.
+
+    {b Observable trace.} A colour's observable trace is the sequence of
+    words on its Tx wires, {e in order but not indexed by step}. Parking
+    or slowing one regime redistributes the processor and shifts every
+    other regime's step timing; the paper explicitly excludes such timing
+    channels from separability, so the comparison tolerates one trace
+    being a prefix of the other (the same behaviour, observed for more or
+    fewer of its steps) and flags only genuine content divergence. For
+    the same reason external input is {e flow-controlled}: a dripped word
+    queues until its Rx latch is free, so every regime consumes the same
+    word sequence however the processor is shared — otherwise the
+    external world doubles as a clock and re-imports the excluded timing
+    channel through input sampling.
+
+    {b Classification.} For a fault targeting colour [v] (see
+    {!Fault_plan.target}): {e separation-violating} if any colour other
+    than [v] diverges; otherwise {e detected-safe} if the kernel's
+    hardening audited a corruption (save-area parks, guard breaches,
+    kernel panics — watchdog fires are liveness events and are reported
+    separately); otherwise {e masked}. Perturbation of [v] itself is
+    allowed and recorded: in the distributed ideal too, a fault inside a
+    box may corrupt that box. *)
+
+module Colour = Sep_model.Colour
+module Sue = Sep_core.Sue
+module Scenarios = Sep_core.Scenarios
+
+type outcome =
+  | Masked
+  | Detected_safe
+  | Violating
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type case = {
+  plan : Fault_plan.t;
+  target : Colour.t option;
+  outcome : outcome;
+  victim_perturbed : bool;  (** the target's own trace or final status changed *)
+  detections : Sue.kernel_fault list;  (** corruption detections (audit log) *)
+  watchdog_delta : int;  (** watchdog fires beyond the reference run's *)
+}
+
+type scenario_report = {
+  label : string;
+  seed : int;
+  steps : int;
+  watchdog : int option;  (** armed for both reference and faulty runs *)
+  cases : case list;
+}
+
+type report = {
+  rp_seed : int;
+  rp_scenarios : scenario_report list;
+}
+
+val subjects : Scenarios.instance list
+(** The scenario catalogue under test: {!Scenarios.all} plus
+    ["greedy-watchdog"], the preemptive instance re-hosted without a
+    quantum so only the watchdog keeps both regimes live. *)
+
+val run_scenario :
+  ?watchdog:int -> seed:int -> steps:int -> count:int -> Scenarios.instance -> scenario_report
+(** Generate [count] plans (from [seed], specialised to the scenario's
+    configuration) and classify each against the fault-free reference.
+    Each case runs on a fresh kernel build. *)
+
+val run : seed:int -> steps:int -> count:int -> report
+(** The full campaign over {!subjects} (each scenario's plans derive from
+    [seed] and its label, so scenarios are independently reproducible). *)
+
+val holds : report -> bool
+(** The headline theorem: no injected fault produced a
+    separation-violating outcome. *)
+
+val totals : report -> int * int * int
+(** (masked, detected-safe, violating) across all scenarios. *)
+
+val case_to_json : scenario_report -> case -> Sep_util.Json.t
+(** One JSONL line: [{"kind": "fault-case", "scenario", "seed", "steps",
+    "plan", "target", "outcome", "victim_perturbed", "detections",
+    "watchdog_delta"}]. *)
+
+val report_to_jsonl : report -> string
+(** One line per case, then one [{"kind": "campaign-summary", ...}] line
+    with the totals and the headline verdict. *)
+
+val summary_json : report -> Sep_util.Json.t
+(** The summary object alone (the bench snapshot section). *)
+
+(** {1 The distributed baseline}
+
+    The same argument on {!Sep_dist.Net}, where containment holds by
+    construction: tampering with a physical wire can reach only the boxes
+    that wire connects. *)
+
+type dist_report = {
+  dr_cases : int;
+  dr_affected : int;  (** messages altered or destroyed by tampering *)
+  dr_contained : bool;  (** unconnected boxes' traces all unchanged *)
+}
+
+val run_distributed : seed:int -> steps:int -> count:int -> dist_report
+(** A relay [A -> B] plus an isolated box [C]: each case corrupts or
+    destroys in-flight messages on the A-B wire at a seeded step and
+    checks that A's and C's observable traces equal the tamper-free
+    reference — the structural form of the containment the kernel has to
+    earn. *)
+
+val dist_to_json : dist_report -> Sep_util.Json.t

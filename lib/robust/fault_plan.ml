@@ -1,0 +1,178 @@
+module Colour = Sep_model.Colour
+module Config = Sep_core.Config
+module Machine = Sep_hw.Machine
+module Prng = Sep_util.Prng
+module J = Sep_util.Json
+
+type chan_end =
+  | Send_end
+  | Recv_end
+
+type fault =
+  | Mem_flip of { colour : Colour.t; offset : int; bit : int }
+  | Saved_reg_flip of { colour : Colour.t; slot : int; bit : int }
+  | Guard_smash of { index : int }
+  | Chan_flip of { chan : int; which : chan_end; word : int; bit : int }
+  | Rx_latch_flip of { device : int; bit : int }
+  | Drop_input of { device : int }
+  | Spurious_irq of { device : int }
+  | Duplicate_irq of { device : int }
+  | Stuck_device of { device : int }
+
+let pp_chan_end ppf = function
+  | Send_end -> Fmt.string ppf "send"
+  | Recv_end -> Fmt.string ppf "recv"
+
+let pp_fault ppf = function
+  | Mem_flip f -> Fmt.pf ppf "mem-flip %a+%d bit %d" Colour.pp f.colour f.offset f.bit
+  | Saved_reg_flip f -> Fmt.pf ppf "saved-reg-flip %a slot %d bit %d" Colour.pp f.colour f.slot f.bit
+  | Guard_smash f -> Fmt.pf ppf "guard-smash #%d" f.index
+  | Chan_flip f -> Fmt.pf ppf "chan-flip ch%d %a word %d bit %d" f.chan pp_chan_end f.which f.word f.bit
+  | Rx_latch_flip f -> Fmt.pf ppf "rx-latch-flip dev%d bit %d" f.device f.bit
+  | Drop_input f -> Fmt.pf ppf "drop-input dev%d" f.device
+  | Spurious_irq f -> Fmt.pf ppf "spurious-irq dev%d" f.device
+  | Duplicate_irq f -> Fmt.pf ppf "duplicate-irq dev%d" f.device
+  | Stuck_device f -> Fmt.pf ppf "stuck-device dev%d" f.device
+
+let fault_to_json f =
+  let colour c = ("colour", J.String (Colour.name c)) in
+  match f with
+  | Mem_flip f ->
+    J.Obj [ ("type", J.String "mem-flip"); colour f.colour; ("offset", J.Int f.offset); ("bit", J.Int f.bit) ]
+  | Saved_reg_flip f ->
+    J.Obj
+      [ ("type", J.String "saved-reg-flip"); colour f.colour; ("slot", J.Int f.slot); ("bit", J.Int f.bit) ]
+  | Guard_smash f -> J.Obj [ ("type", J.String "guard-smash"); ("index", J.Int f.index) ]
+  | Chan_flip f ->
+    J.Obj
+      [
+        ("type", J.String "chan-flip");
+        ("chan", J.Int f.chan);
+        ("end", J.String (Fmt.str "%a" pp_chan_end f.which));
+        ("word", J.Int f.word);
+        ("bit", J.Int f.bit);
+      ]
+  | Rx_latch_flip f ->
+    J.Obj [ ("type", J.String "rx-latch-flip"); ("device", J.Int f.device); ("bit", J.Int f.bit) ]
+  | Drop_input f -> J.Obj [ ("type", J.String "drop-input"); ("device", J.Int f.device) ]
+  | Spurious_irq f -> J.Obj [ ("type", J.String "spurious-irq"); ("device", J.Int f.device) ]
+  | Duplicate_irq f -> J.Obj [ ("type", J.String "duplicate-irq"); ("device", J.Int f.device) ]
+  | Stuck_device f -> J.Obj [ ("type", J.String "stuck-device"); ("device", J.Int f.device) ]
+
+type t = {
+  label : string;
+  faults : (int * fault) list;
+}
+
+let pp ppf p =
+  Fmt.pf ppf "@[<h>%s:%a@]" p.label
+    Fmt.(list ~sep:comma (fun ppf (at, f) -> Fmt.pf ppf " @%d %a" at pp_fault f))
+    p.faults
+
+let to_json p =
+  J.Obj
+    [
+      ("label", J.String p.label);
+      ( "faults",
+        J.List
+          (List.map (fun (at, f) -> J.Obj [ ("step", J.Int at); ("fault", fault_to_json f) ]) p.faults)
+      );
+    ]
+
+(* Global device ids are assigned in regime-declaration order, matching
+   Sue's layout. *)
+let global_devices cfg =
+  List.concat_map (fun r -> List.map (fun k -> (r.Config.colour, k)) r.Config.devices)
+    cfg.Config.regimes
+
+let device_owner cfg d =
+  match List.nth_opt (global_devices cfg) d with
+  | Some (c, _) -> c
+  | None -> invalid_arg "Fault_plan.target: no such device"
+
+let target cfg = function
+  | Mem_flip { colour; _ } | Saved_reg_flip { colour; _ } -> Some colour
+  | Guard_smash _ -> None
+  | Chan_flip { chan; which; _ } -> begin
+    match List.nth_opt cfg.Config.channels chan with
+    | Some ch -> Some (match which with Send_end -> ch.Config.sender | Recv_end -> ch.Config.receiver)
+    | None -> invalid_arg "Fault_plan.target: no such channel"
+  end
+  | Rx_latch_flip { device; _ }
+  | Drop_input { device }
+  | Spurious_irq { device }
+  | Duplicate_irq { device }
+  | Stuck_device { device } -> Some (device_owner cfg device)
+
+let kind_name = function
+  | Mem_flip _ -> "mem-flip"
+  | Saved_reg_flip _ -> "saved-reg-flip"
+  | Guard_smash _ -> "guard-smash"
+  | Chan_flip _ -> "chan-flip"
+  | Rx_latch_flip _ -> "rx-latch-flip"
+  | Drop_input _ -> "drop-input"
+  | Spurious_irq _ -> "spurious-irq"
+  | Duplicate_irq _ -> "duplicate-irq"
+  | Stuck_device _ -> "stuck-device"
+
+let generate ~seed ~steps ~count cfg =
+  if steps < 3 then invalid_arg "Fault_plan.generate: needs at least 3 steps";
+  if count < 0 then invalid_arg "Fault_plan.generate: negative count";
+  let rng = Prng.create seed in
+  let regimes = Array.of_list cfg.Config.regimes in
+  let nregs = Array.length regimes in
+  let channels = Array.of_list cfg.Config.channels in
+  let devices = Array.of_list (global_devices cfg) in
+  let rx_devices =
+    Array.of_list
+      (List.filter_map
+         (fun (d, (_, k)) -> if k = Machine.Rx then Some d else None)
+         (List.mapi (fun d x -> (d, x)) (Array.to_list devices)))
+  in
+  let pick_regime rng = regimes.(Prng.int rng nregs) in
+  let bit rng = Prng.int rng 16 in
+  let mem_flip rng =
+    let r = pick_regime rng in
+    Mem_flip { colour = r.Config.colour; offset = Prng.int rng r.Config.part_size; bit = bit rng }
+  in
+  let saved_reg_flip rng =
+    let r = pick_regime rng in
+    (* slots 0-7: registers; 8: flags *)
+    Saved_reg_flip { colour = r.Config.colour; slot = Prng.int rng 9; bit = bit rng }
+  in
+  let guard_smash rng = Guard_smash { index = Prng.int rng (nregs + 1) } in
+  let chan_flip rng =
+    let c = Prng.int rng (Array.length channels) in
+    let ch = channels.(c) in
+    Chan_flip
+      {
+        chan = c;
+        which = (if Prng.bool rng then Send_end else Recv_end);
+        word = Prng.int rng (ch.Config.capacity + 2);
+        bit = bit rng;
+      }
+  in
+  let rx_pick rng = rx_devices.(Prng.int rng (Array.length rx_devices)) in
+  let kinds =
+    List.concat
+      [
+        [ mem_flip; saved_reg_flip; guard_smash ];
+        (if Array.length channels > 0 then [ chan_flip ] else []);
+        (if Array.length rx_devices > 0 then
+           [
+             (fun rng -> Rx_latch_flip { device = rx_pick rng; bit = bit rng });
+             (fun rng -> Drop_input { device = rx_pick rng });
+             (fun rng -> Spurious_irq { device = rx_pick rng });
+             (fun rng -> Duplicate_irq { device = rx_pick rng });
+           ]
+         else []);
+        (if Array.length devices > 0 then
+           [ (fun rng -> Stuck_device { device = Prng.int rng (Array.length devices) }) ]
+         else []);
+      ]
+  in
+  let kinds = Array.of_list kinds in
+  List.init count (fun i ->
+      let at = 1 + Prng.int rng (steps - 2) in
+      let fault = (Prng.choose rng kinds) rng in
+      { label = Fmt.str "f%02d-%s@%d" i (kind_name fault) at; faults = [ (at, fault) ] })

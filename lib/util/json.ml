@@ -103,11 +103,35 @@ let parse s =
       Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  (* A \u escape in [0xD800, 0xDFFF] is a UTF-16 surrogate: a high one
+     must be immediately followed by an escaped low one, and the pair
+     decodes to a single supplementary-plane code point. Lone surrogates
+     encode no character and are rejected. *)
+  let unicode_escape () =
+    let hi = hex4 () in
+    if hi >= 0xD800 && hi <= 0xDBFF then begin
+      if not (!pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u') then
+        fail "lone high surrogate (expected a \\u-escaped low surrogate)";
+      pos := !pos + 2;
+      let lo = hex4 () in
+      if lo < 0xDC00 || lo > 0xDFFF then
+        fail "lone high surrogate (expected a \\u-escaped low surrogate)";
+      0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)
+    end
+    else if hi >= 0xDC00 && hi <= 0xDFFF then fail "lone low surrogate"
+    else hi
   in
   let parse_string () =
     expect '"';
@@ -130,7 +154,7 @@ let parse s =
          | 't' -> Buffer.add_char buf '\t'
          | 'b' -> Buffer.add_char buf '\b'
          | 'f' -> Buffer.add_char buf '\012'
-         | 'u' -> utf8_add buf (match hex4 () with v -> v)
+         | 'u' -> utf8_add buf (unicode_escape ())
          | _ -> fail "unknown escape");
         loop ()
       end

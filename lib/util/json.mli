@@ -29,7 +29,9 @@ val pp : Format.formatter -> t -> unit
 val parse : string -> (t, string) result
 (** Parse one JSON value (surrounding whitespace allowed; trailing
     non-space input is an error). Numbers without [.], [e] or [E] become
-    [Int]; others [Float]. [\u] escapes are decoded to UTF-8. *)
+    [Int]; others [Float]. [\u] escapes are decoded to UTF-8, including
+    UTF-16 surrogate {e pairs} (["\\uD83D\\uDE00" decodes to one supplementary
+    code point); a lone surrogate is an error. *)
 
 val member : string -> t -> t option
 (** [member k (Obj fields)] is the first binding of [k]; [None] on other

@@ -51,6 +51,33 @@ let test_json_parse_standard () =
 let test_json_nonfinite () =
   check Alcotest.string "nan renders null" "null" (Json.to_string (Json.Float Float.nan))
 
+(* Supplementary-plane escapes arrive as UTF-16 surrogate pairs; the
+   parser must combine them into one code point and reject lone halves. *)
+let test_json_surrogate_pairs () =
+  (match Json.parse {| "\uD83D\uDE00" |} with
+  | Ok (Json.String s) ->
+    check Alcotest.string "U+1F600 as 4-byte UTF-8" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.fail e);
+  (match Json.parse {| "\uD801\uDC37" |} with
+  | Ok (Json.String s) -> check Alcotest.string "U+10437" "\xf0\x90\x90\xb7" s
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.fail e);
+  (* the writer escapes nothing above ASCII, so the pair round-trips as
+     raw UTF-8 through to_string -> parse *)
+  (match Json.parse {| "\uD83D\uDE00" |} with
+  | Ok v -> Alcotest.(check bool) "round-trip" true (Json.equal v (roundtrip v))
+  | Error e -> Alcotest.fail e)
+
+let test_json_lone_surrogates_rejected () =
+  let rejected s = match Json.parse s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "lone high surrogate" true (rejected {| "\uD83D" |});
+  Alcotest.(check bool) "high surrogate then text" true (rejected {| "\uD83Dx" |});
+  Alcotest.(check bool) "high then non-surrogate escape" true (rejected {| "\uD83DA" |});
+  Alcotest.(check bool) "lone low surrogate" true (rejected {| "\uDE00" |});
+  Alcotest.(check bool) "low before high" true (rejected {| "\uDE00\uD83D" |});
+  Alcotest.(check bool) "BMP escape still fine" false (rejected {| "\u0041" |})
+
 let json_int_roundtrip =
   QCheck.Test.make ~name:"json int roundtrip" ~count:200 QCheck.int (fun n ->
       Json.equal (Json.Int n) (roundtrip (Json.Int n)))
@@ -324,6 +351,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse standard" `Quick test_json_parse_standard;
           Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+          Alcotest.test_case "surrogate pairs" `Quick test_json_surrogate_pairs;
+          Alcotest.test_case "lone surrogates rejected" `Quick test_json_lone_surrogates_rejected;
           qtest json_int_roundtrip;
         ] );
       ( "telemetry",

@@ -52,6 +52,49 @@ let test_kernel_relay () =
   Alcotest.(check bool) "context switches happened" true (Kernel.context_switches k > 0);
   Alcotest.(check bool) "messages were copied through the kernel" true (Kernel.messages_copied k >= 4)
 
+(* Sustained sends against a full wire: the surplus of every step is
+   dropped and counted, and the receiver still sees each surviving word
+   exactly once, in order. *)
+let test_net_backpressure_sustained () =
+  let net = Net.build (relay_topology ~capacity:1 ()) in
+  for n = 0 to 9 do
+    Net.step net ~externals:[ (a, Fmt.str "w%d" n); (a, Fmt.str "x%d" n) ]
+  done;
+  (* drain the pipeline *)
+  Net.run net ~steps:6 ~externals:(fun _ -> []);
+  Alcotest.(check bool) "sustained overflow counted" true (Net.drops net >= 10);
+  let seen = Net.outputs net c in
+  Alcotest.(check bool) "survivors delivered" true (List.length seen > 0);
+  let sorted = List.sort compare seen in
+  Alcotest.(check (list string)) "no duplication" (List.sort_uniq compare seen) sorted
+
+(* A cut wire accepts sends silently forever: no delivery, no drop
+   counter, no backpressure signal the sender could observe. *)
+let test_net_cut_wire_sustained () =
+  let topo = Sep_model.Topology.cut_wire (relay_topology ()) 0 in
+  let net = Net.build topo in
+  Net.run net ~steps:20 ~externals:(fun n -> [ (a, Fmt.str "m%d" n) ]);
+  Alcotest.(check (list string)) "nothing ever arrives" [] (Net.outputs net c);
+  Alcotest.(check int) "cut sends are not drops" 0 (Net.drops net);
+  Alcotest.(check int) "nothing in flight" 0 (Net.in_flight net)
+
+let test_net_tamper () =
+  let net = Net.build (relay_topology ()) in
+  Net.step net ~externals:[ (a, "keep"); (a, "mangle"); (a, "kill") ];
+  let touched =
+    Net.tamper net ~wire:0 (function
+      | "keep" -> Some "keep"
+      | "mangle" -> Some "MANGLED"
+      | _ -> None)
+  in
+  Alcotest.(check int) "altered + destroyed" 2 touched;
+  Alcotest.(check int) "destroyed counted as drop" 1 (Net.drops net);
+  Net.run net ~steps:6 ~externals:(fun _ -> []);
+  Alcotest.(check (list string)) "delivery reflects the tampering" [ "KEEP"; "MANGLED" ]
+    (Net.outputs net c);
+  Alcotest.check_raises "unknown wire" (Invalid_argument "Net.tamper: no such wire") (fun () ->
+      ignore (Net.tamper net ~wire:9 (fun m -> Some m)))
+
 let test_net_capacity_drops () =
   let net = Net.build (relay_topology ~capacity:1 ()) in
   (* two sends into a capacity-1 wire in one step: the second is dropped *)
@@ -186,6 +229,9 @@ let () =
         [
           Alcotest.test_case "relay" `Quick test_net_relay;
           Alcotest.test_case "capacity drops" `Quick test_net_capacity_drops;
+          Alcotest.test_case "sustained backpressure" `Quick test_net_backpressure_sustained;
+          Alcotest.test_case "cut wire under sustained sends" `Quick test_net_cut_wire_sustained;
+          Alcotest.test_case "wire tamper" `Quick test_net_tamper;
         ] );
       ( "regime kernel",
         [

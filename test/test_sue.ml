@@ -554,6 +554,34 @@ let test_copy_equal_hash () =
   ignore (Sue.step t [ (0, 1) ]);
   Alcotest.(check bool) "diverged" false (Sue.equal t t2)
 
+(* The mutant catalogue must stay in lockstep with the bug list: every
+   seeded bug has an expectation, and every one of the six conditions is
+   some mutant's predicted primary — otherwise a condition has no
+   demonstrated discriminating power (E4). *)
+let test_mutant_catalogue_covers_bugs_and_conditions () =
+  let module Mutants = Sep_core.Mutants in
+  List.iter
+    (fun bug ->
+      if
+        not
+          (List.exists (fun (e : Mutants.expectation) -> e.Mutants.bug = bug) Mutants.catalogue)
+      then Alcotest.failf "no mutant expectation for %a" Sue.pp_bug bug)
+    Sue.all_bugs;
+  let primaries =
+    List.sort_uniq compare (List.map (fun (e : Mutants.expectation) -> e.Mutants.primary) Mutants.catalogue)
+  in
+  List.iter
+    (fun cond ->
+      if not (List.mem cond primaries) then
+        Alcotest.failf "condition %d is no mutant's primary" cond)
+    [ 1; 2; 3; 4; 5; 6 ];
+  List.iter
+    (fun (e : Mutants.expectation) ->
+      if e.Mutants.primary < 1 || e.Mutants.primary > 6 then
+        Alcotest.failf "%a predicts out-of-range condition %d" Sue.pp_bug e.Mutants.bug
+          e.Mutants.primary)
+    Mutants.catalogue
+
 let () =
   Alcotest.run "sue"
     [
@@ -625,5 +653,7 @@ let () =
           Alcotest.test_case "device slot" `Quick test_device_slot;
           Alcotest.test_case "scenarios wellformed" `Quick test_scenarios_wellformed;
           Alcotest.test_case "copy equal hash" `Quick test_copy_equal_hash;
+          Alcotest.test_case "mutant catalogue coverage" `Quick
+            test_mutant_catalogue_covers_bugs_and_conditions;
         ] );
     ]

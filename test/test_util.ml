@@ -97,6 +97,26 @@ let test_fifo_clear_and_copy () =
   Alcotest.(check bool) "cleared" true (Fifo.is_empty q);
   check Alcotest.int "copy untouched" 1 (Fifo.length q2)
 
+(* Sustained pressure against a full FIFO: every surplus push is refused,
+   nothing already queued is disturbed, and a copy taken under pressure
+   stays an independent snapshot. *)
+let test_fifo_sustained_pressure () =
+  let q = Fifo.create ~capacity:3 in
+  List.iter (fun x -> assert (Fifo.push q x)) [ 1; 2; 3 ];
+  let refused = ref 0 in
+  for x = 4 to 103 do
+    if not (Fifo.push q x) then incr refused
+  done;
+  check Alcotest.int "every surplus push refused" 100 !refused;
+  check (Alcotest.list Alcotest.int) "contents undisturbed" [ 1; 2; 3 ] (Fifo.to_list q);
+  let snap = Fifo.copy q in
+  ignore (Fifo.pop q);
+  assert (Fifo.push q 99);
+  check (Alcotest.list Alcotest.int) "snapshot unaffected by later traffic" [ 1; 2; 3 ]
+    (Fifo.to_list snap);
+  check (Alcotest.list Alcotest.int) "original drained and refilled" [ 2; 3; 99 ] (Fifo.to_list q);
+  Alcotest.(check bool) "copy is full too" true (Fifo.is_full snap)
+
 let fifo_model =
   QCheck.Test.make ~name:"fifo behaves like a bounded list" ~count:300
     QCheck.(pair (int_range 1 5) (small_list (option small_int)))
@@ -208,6 +228,7 @@ let () =
           Alcotest.test_case "order" `Quick test_fifo_order;
           Alcotest.test_case "capacity" `Quick test_fifo_capacity;
           Alcotest.test_case "clear and copy" `Quick test_fifo_clear_and_copy;
+          Alcotest.test_case "sustained pressure" `Quick test_fifo_sustained_pressure;
           qtest fifo_model;
         ] );
       ( "bits",
