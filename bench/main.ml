@@ -1,13 +1,13 @@
 (* Benchmark and experiment harness.
 
-   One driver per reproduced claim of the paper (E1-E10, indexed in
+   One driver per reproduced claim of the paper (E1-E15, indexed in
    DESIGN.md and EXPERIMENTS.md), each printing the table that supports
    it, followed by bechamel timings of the core operations.
 
      dune exec bench/main.exe                 all experiments + timings
      dune exec bench/main.exe -- e3 e6        selected experiments
      dune exec bench/main.exe -- timings      only the timing benches
-     dune exec bench/main.exe -- snapshot     write BENCH_PR2.json (see EXPERIMENTS.md)
+     dune exec bench/main.exe -- snapshot     write BENCH_PR3.json (see EXPERIMENTS.md)
      dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing *)
 
 module Table = Sep_util.Table
@@ -25,6 +25,8 @@ module Snfe = Sep_snfe.Snfe
 module Substrate = Sep_snfe.Substrate
 module Spooler = Sep_conventional.Spooler
 module Sclass = Sep_lattice.Sclass
+module Fuzz = Sep_check.Fuzz
+module Score = Sep_check.Score
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -623,6 +625,66 @@ let e14 () =
     (masked + detected + violating) secs masked detected violating
     (C.holds report && dist.C.dr_contained)
 
+(* -- E15: property-based verification and coverage-guided fuzzing -------------------------- *)
+
+let kill_runs seed budget (e : Mutants.expectation) =
+  [
+    (Score.Exhaustive, fun () -> Score.exhaustive_kill e);
+    (Score.Randomized, fun () -> Score.randomized_kill ~seed e);
+    (Score.Coverage, fun () -> Score.coverage_kill ~seed ~budget e);
+  ]
+
+let e15 () =
+  claim
+    "the six conditions are a checkable specification, not just a proof outline: a coverage-guided \
+     fuzzer finds no violation in the correct kernel, and every seeded bug is killed — by its \
+     predicted condition — under exhaustive, randomized and coverage-guided checking alike.";
+  let seed = 42 and budget = 60 in
+  let t = Table.create
+      ~title:(Fmt.str "E15a: coverage-guided fuzz of the correct kernel (seed %d, budget %d)" seed budget)
+      ~columns:[ "scenario"; "execs"; "corpus"; "coverage keys"; "failures"; "seconds" ] in
+  List.iter
+    (fun (inst : Scenarios.instance) ->
+      let r, secs = timed (fun () -> Fuzz.fuzz_scenario ~seed ~budget inst) in
+      Table.add_row t
+        [
+          inst.Scenarios.label;
+          string_of_int r.Fuzz.sr_campaign.Fuzz.cp_execs;
+          string_of_int (List.length r.Fuzz.sr_campaign.Fuzz.cp_entries);
+          string_of_int (List.length r.Fuzz.sr_campaign.Fuzz.cp_keys);
+          string_of_int (List.length r.Fuzz.sr_failures);
+          Fmt.str "%.2f" secs;
+        ])
+    Scenarios.all;
+  Table.print t;
+  let t2 = Table.create
+      ~title:(Fmt.str "E15b: mutant kill rate per checking strategy (seed %d, budget %d)" seed budget)
+      ~columns:[ "bug"; "strategy"; "killed"; "cond"; "states"; "execs"; "instrs"; "seconds" ] in
+  let all_killed = ref true in
+  List.iter
+    (fun (e : Mutants.expectation) ->
+      List.iter
+        (fun (_, run) ->
+          let k, secs = timed run in
+          if not k.Score.kl_detected then all_killed := false;
+          Table.add_row t2
+            [
+              Score.bug_name k.Score.kl_bug;
+              Score.strategy_name k.Score.kl_strategy;
+              (if k.Score.kl_detected then "yes" else "NO");
+              string_of_int k.Score.kl_condition;
+              string_of_int k.Score.kl_states;
+              string_of_int k.Score.kl_execs;
+              (match k.Score.kl_workload with
+              | Some w -> string_of_int (Score.workload_instrs w)
+              | None -> "-");
+              Fmt.str "%.3f" secs;
+            ])
+        (kill_runs seed budget e))
+    Mutants.catalogue;
+  Table.print t2;
+  Fmt.pr "all mutants killed under every strategy: %b@.@." !all_killed
+
 (* -- bechamel timings -------------------------------------------------------------------- *)
 
 let timings () =
@@ -801,14 +863,52 @@ let snapshot_json () =
       Json.Obj (fields @ [ ("seconds", Json.Float secs); ("distributed", C.dist_to_json dist) ])
     | other -> other
   in
+  let fuzz =
+    let seed = 42 and budget = 60 in
+    let scenario_entries =
+      List.map
+        (fun (inst : Scenarios.instance) ->
+          let r, secs = timed (fun () -> Fuzz.fuzz_scenario ~seed ~budget inst) in
+          Json.Obj
+            [
+              ("label", Json.String inst.Scenarios.label);
+              ("execs", Json.Int r.Fuzz.sr_campaign.Fuzz.cp_execs);
+              ("corpus", Json.Int (List.length r.Fuzz.sr_campaign.Fuzz.cp_entries));
+              ("coverage_keys", Json.Int (List.length r.Fuzz.sr_campaign.Fuzz.cp_keys));
+              ("failures", Json.Int (List.length r.Fuzz.sr_failures));
+              ("seconds", Json.Float secs);
+            ])
+        Scenarios.all
+    in
+    let kill_entries =
+      List.concat_map
+        (fun (e : Mutants.expectation) ->
+          List.map
+            (fun (_, run) ->
+              let k, secs = timed run in
+              match Score.kill_to_json k with
+              | Json.Obj fields -> Json.Obj (fields @ [ ("seconds", Json.Float secs) ])
+              | other -> other)
+            (kill_runs seed budget e))
+        Mutants.catalogue
+    in
+    Json.Obj
+      [
+        ("seed", Json.Int seed);
+        ("budget", Json.Int budget);
+        ("scenarios", Json.List scenario_entries);
+        ("kills", Json.List kill_entries);
+      ]
+  in
   Json.Obj
     [
-      ("schema", Json.String "rushby-bench/2");
+      ("schema", Json.String "rushby-bench/3");
       ("generated_at_unix", Json.Float (Unix.time ()));
       ("ocaml_version", Json.String Sys.ocaml_version);
       ("experiments", Json.List check_experiments);
       ("kernel_runs", Json.List kernel_runs);
       ("fault_campaign", fault_campaign);
+      ("fuzz", fuzz);
       ("spans", Sep_obs.Span.to_json ());
     ]
 
@@ -817,7 +917,7 @@ let validate_snapshot json =
   let require_obj name v = match v with Some (Json.Obj _ as o) -> Ok o | _ -> fail ("missing object " ^ name) in
   let require_list name v = match v with Some (Json.List l) -> Ok l | _ -> fail ("missing list " ^ name) in
   match Json.member "schema" json with
-  | Some (Json.String "rushby-bench/2") -> (
+  | Some (Json.String "rushby-bench/3") -> (
     match require_list "experiments" (Json.member "experiments" json) with
     | Error e -> fail e
     | Ok experiments -> (
@@ -834,28 +934,52 @@ let validate_snapshot json =
               (fun k -> Json.member k campaign = None)
               [ "cases"; "masked"; "detected_safe"; "violating"; "holds"; "distributed" ] ->
           fail "malformed fault_campaign entry"
-        | Ok _ ->
-          let exp_ok e =
-            List.for_all
-              (fun k -> Json.member k e <> None)
-              [ "label"; "states"; "checks"; "verified"; "seconds"; "checks_per_sec" ]
-          in
-          let run_ok r =
-            List.for_all (fun k -> Json.member k r <> None)
-              [ "label"; "impl"; "steps"; "seconds"; "steps_per_sec"; "counters" ]
-            && (match Json.member "counters" r with
-               | Some c -> Json.member "counters" c <> None
-               | None -> false)
-          in
-          if not (List.for_all exp_ok experiments) then fail "malformed experiment entry"
-          else if not (List.for_all run_ok runs) then fail "malformed kernel_run entry"
-          else if experiments = [] || runs = [] then fail "empty snapshot"
-          else Ok (List.length experiments, List.length runs))))
+        | Ok _ -> (
+          match require_obj "fuzz" (Json.member "fuzz" json) with
+          | Error e -> fail e
+          | Ok fuzz -> (
+            match
+              Result.bind (require_list "fuzz.scenarios" (Json.member "scenarios" fuzz)) (fun ss ->
+                  Result.map (fun ks -> (ss, ks))
+                    (require_list "fuzz.kills" (Json.member "kills" fuzz)))
+            with
+            | Error e -> fail e
+            | Ok (fuzz_scenarios, fuzz_kills) ->
+              let exp_ok e =
+                List.for_all
+                  (fun k -> Json.member k e <> None)
+                  [ "label"; "states"; "checks"; "verified"; "seconds"; "checks_per_sec" ]
+              in
+              let run_ok r =
+                List.for_all (fun k -> Json.member k r <> None)
+                  [ "label"; "impl"; "steps"; "seconds"; "steps_per_sec"; "counters" ]
+                && (match Json.member "counters" r with
+                   | Some c -> Json.member "counters" c <> None
+                   | None -> false)
+              in
+              let fuzz_scenario_ok s =
+                List.for_all
+                  (fun k -> Json.member k s <> None)
+                  [ "label"; "execs"; "corpus"; "coverage_keys"; "failures"; "seconds" ]
+              in
+              let fuzz_kill_ok k =
+                List.for_all
+                  (fun key -> Json.member key k <> None)
+                  [ "bug"; "scenario"; "strategy"; "detected"; "condition"; "execs"; "seconds" ]
+              in
+              if not (List.for_all exp_ok experiments) then fail "malformed experiment entry"
+              else if not (List.for_all run_ok runs) then fail "malformed kernel_run entry"
+              else if not (List.for_all fuzz_scenario_ok fuzz_scenarios) then
+                fail "malformed fuzz scenario entry"
+              else if not (List.for_all fuzz_kill_ok fuzz_kills) then fail "malformed fuzz kill entry"
+              else if experiments = [] || runs = [] || fuzz_scenarios = [] || fuzz_kills = [] then
+                fail "empty snapshot"
+              else Ok (List.length experiments, List.length runs))))))
   | _ -> fail "missing or unexpected schema tag"
 
 let snapshot_main args =
   let check_only = ref false in
-  let out = ref "BENCH_PR2.json" in
+  let out = ref "BENCH_PR3.json" in
   let rec parse = function
     | [] -> Ok ()
     | "--check" :: rest ->
@@ -914,6 +1038,7 @@ let experiments =
     ("e12", e12);
     ("e13", e13);
     ("e14", e14);
+    ("e15", e15);
     ("timings", timings);
   ]
 

@@ -119,6 +119,55 @@ let verify_cmd =
 
 (* -- verify-random ---------------------------------------------------------- *)
 
+let walks_arg = Arg.(value & opt int 8 & info [ "walks" ] ~doc:"Random walks.")
+let walk_len_arg = Arg.(value & opt int 64 & info [ "len" ] ~doc:"Steps per walk.")
+
+let scrambles_arg =
+  Arg.(value & opt int 2 & info [ "scrambles" ] ~doc:"Scrambled partners per state per colour.")
+
+let pp_schedule ppf sched =
+  if sched = [] then Fmt.string ppf "(empty)"
+  else
+    Fmt.(
+      list ~sep:(any " | ") (fun ppf step ->
+          if step = [] then Fmt.string ppf "-"
+          else list ~sep:comma (fun ppf (d, w) -> Fmt.pf ppf "d%d<=%d" d w) ppf step))
+      ppf sched
+
+(* On a randomized failure, print standalone minimized counterexamples
+   instead of the raw sampled-run dump, plus the one-line replay. *)
+let print_minimized scenario bugs impl seed params conditions =
+  let minimized =
+    Sep_check.Score.minimize_randomized ~bugs ~impl ~params ~seed
+      ~inputs:scenario.Sep_core.Scenarios.alphabet ~conditions scenario.Sep_core.Scenarios.cfg
+  in
+  List.iter
+    (fun (m : Sep_check.Score.minimized) ->
+      Fmt.pr
+        "minimized counterexample (condition%s %s): %d-step schedule %a  [check seed %d, %d \
+         scrambles, %d shrink steps]@."
+        (if List.compare_length_with m.mz_conditions 1 > 0 then "s" else "")
+        (String.concat "," (List.map string_of_int m.mz_conditions))
+        (List.length m.mz_schedule) pp_schedule m.mz_schedule m.mz_seed m.mz_scrambles
+        m.mz_shrink_steps)
+    minimized;
+  let reproduced c =
+    List.exists (fun (m : Sep_check.Score.minimized) -> List.mem c m.mz_conditions) minimized
+  in
+  (match List.filter (fun c -> not (reproduced c)) conditions with
+  | [] -> ()
+  | missing ->
+    Fmt.pr "condition%s %s: no standalone schedule found; rerun with --trace-json for the full run@."
+      (if List.compare_length_with missing 1 > 0 then "s" else "")
+      (String.concat "," (List.map string_of_int missing)));
+  Fmt.pr "replay: rushby fuzz --replay %d --scenario %s%s%s --walks %d --len %d --scrambles %d@."
+    seed scenario.Sep_core.Scenarios.label
+    (String.concat ""
+       (List.map (fun b -> Fmt.str " --bug %a" Sep_core.Sue.pp_bug b) bugs))
+    (match impl with Sep_core.Sue.Assembly -> " --impl assembly" | Sep_core.Sue.Microcode -> "")
+    params.Sep_core.Randomized.walks params.Sep_core.Randomized.walk_len
+    params.Sep_core.Randomized.scrambles
+
 let verify_random_run scenario bugs seed walks walk_len scrambles impl trace_json =
   if trace_json <> None then Sep_obs.Span.set_enabled true;
   let params = { Sep_core.Randomized.walks; walk_len; scrambles } in
@@ -126,7 +175,12 @@ let verify_random_run scenario bugs seed walks walk_len scrambles impl trace_jso
     Sep_core.Randomized.check ~bugs ~impl ~params ~seed
       ~inputs:scenario.Sep_core.Scenarios.alphabet scenario.Sep_core.Scenarios.cfg
   in
-  Fmt.pr "%a@." Sep_core.Separability.pp_report report;
+  (if Sep_core.Separability.verified report then Fmt.pr "%a@." Sep_core.Separability.pp_report report
+   else begin
+     Fmt.pr "%a@." Sep_core.Separability.pp_summary report;
+     print_minimized scenario bugs impl seed params
+       (Sep_core.Separability.failing_conditions report)
+   end);
   (match trace_json with
   | None -> ()
   | Some file -> emit_json_record file ~kernel_counters:None report);
@@ -134,13 +188,10 @@ let verify_random_run scenario bugs seed walks walk_len scrambles impl trace_jso
 
 let verify_random_cmd =
   let doc = "Randomized Proof of Separability (random walks plus scrambled partners)." in
-  let walks = Arg.(value & opt int 8 & info [ "walks" ] ~doc:"Random walks.") in
-  let walk_len = Arg.(value & opt int 64 & info [ "len" ] ~doc:"Steps per walk.") in
-  let scrambles = Arg.(value & opt int 2 & info [ "scrambles" ] ~doc:"Scrambled partners per state per colour.") in
   Cmd.v (Cmd.info "verify-random" ~doc)
     Term.(
-      const verify_random_run $ scenario_arg $ bugs_arg $ seed_arg $ walks $ walk_len $ scrambles
-      $ impl_arg $ trace_json_arg)
+      const verify_random_run $ scenario_arg $ bugs_arg $ seed_arg $ walks_arg $ walk_len_arg
+      $ scrambles_arg $ impl_arg $ trace_json_arg)
 
 (* -- mutants ---------------------------------------------------------------- *)
 
@@ -475,6 +526,185 @@ let inject_cmd =
           masked, detected-safe or separation-violating by differential per-colour trace comparison.")
     Term.(const inject_run $ seed_arg $ steps $ count $ smoke $ json_file)
 
+(* -- fuzz -------------------------------------------------------------------- *)
+
+let fuzz_corpus_emit dir seed impl =
+  graceful_write @@ fun () ->
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let ok = ref true in
+  List.iter
+    (fun (e : Sep_core.Mutants.expectation) ->
+      match Sep_check.Score.corpus_case ~impl ~seed e with
+      | None ->
+        ok := false;
+        Fmt.epr "rushby: no corpus case found for %a@." Sep_core.Sue.pp_bug e.bug
+      | Some c -> (
+        match Sep_check.Score.replay_corpus_case ~impl c with
+        | Error msg ->
+          ok := false;
+          Fmt.epr "rushby: %s@." msg
+        | Ok () ->
+          let file = Filename.concat dir (Fmt.str "%a.json" Sep_core.Sue.pp_bug e.bug) in
+          let buf = Buffer.create 256 in
+          Sep_util.Json.to_buffer buf (Sep_check.Score.corpus_case_to_json c);
+          Buffer.add_char buf '\n';
+          let oc = open_out file in
+          output_string oc (Buffer.contents buf);
+          close_out oc;
+          Fmt.pr "wrote %s (condition %d, %d-step schedule)@." file c.Sep_check.Score.cc_condition
+            (List.length c.Sep_check.Score.cc_schedule)))
+    Sep_core.Mutants.catalogue;
+  if !ok then 0 else 1
+
+let fuzz_replay rseed scenario bugs impl walks walk_len scrambles =
+  let params = { Sep_core.Randomized.walks; walk_len; scrambles } in
+  let report =
+    Sep_core.Randomized.check ~bugs ~impl ~params ~seed:rseed
+      ~inputs:scenario.Sep_core.Scenarios.alphabet scenario.Sep_core.Scenarios.cfg
+  in
+  Fmt.pr "%a@." Sep_core.Separability.pp_summary report;
+  if Sep_core.Separability.verified report then 0
+  else begin
+    print_minimized scenario bugs impl rseed params
+      (Sep_core.Separability.failing_conditions report);
+    1
+  end
+
+let fuzz_full smoke seed budget impl json_file =
+  let budget = if smoke then 40 else budget in
+  let results =
+    List.map (fun sc -> Sep_check.Fuzz.fuzz_scenario ~impl ~seed ~budget sc) Sep_core.Scenarios.all
+  in
+  Fmt.pr "== coverage-guided fuzz: seed %d, budget %d execs/scenario, %a kernel ==@." seed budget
+    Sep_core.Sue.pp_impl impl;
+  List.iter
+    (fun (r : Sep_check.Fuzz.scenario_result) ->
+      Fmt.pr "  %-12s %3d execs  %2d corpus  %3d coverage keys  %d failure%s@." r.sr_label
+        r.sr_campaign.Sep_check.Fuzz.cp_execs
+        (List.length r.sr_campaign.Sep_check.Fuzz.cp_entries)
+        (List.length r.sr_campaign.Sep_check.Fuzz.cp_keys)
+        (List.length r.sr_failures)
+        (if List.compare_length_with r.sr_failures 1 = 0 then "" else "s"))
+    results;
+  let kills = Sep_check.Score.kill_table ~impl ~seed ~budget () in
+  let table =
+    Sep_util.Table.create ~title:"Mutant kill rate per strategy"
+      ~columns:[ "bug"; "scenario"; "strategy"; "killed"; "cond"; "states"; "checks"; "execs"; "instrs" ]
+  in
+  List.iter
+    (fun (k : Sep_check.Score.kill) ->
+      Sep_util.Table.add_row table
+        [
+          Sep_check.Score.bug_name k.kl_bug;
+          k.kl_scenario;
+          Sep_check.Score.strategy_name k.kl_strategy;
+          (if k.kl_detected then "yes" else "NO");
+          string_of_int k.kl_condition;
+          string_of_int k.kl_states;
+          string_of_int k.kl_checks;
+          string_of_int k.kl_execs;
+          (match k.kl_workload with
+          | None -> "-"
+          | Some w -> string_of_int (Sep_check.Score.workload_instrs w));
+        ])
+    kills;
+  Sep_util.Table.print table;
+  let clean = List.for_all (fun r -> r.Sep_check.Fuzz.sr_failures = []) results in
+  let all_killed = List.for_all (fun k -> k.Sep_check.Score.kl_detected) kills in
+  let minimal =
+    List.for_all
+      (fun (k : Sep_check.Score.kill) ->
+        match k.kl_workload with
+        | None -> true
+        | Some w -> Sep_check.Score.workload_instrs w <= 10)
+      kills
+  in
+  let ok = clean && all_killed && minimal in
+  Fmt.pr "@.correct kernel: %s;  mutants: %s;  counterexamples: %s@."
+    (if clean then "all conditions and solo isolation hold on every corpus member"
+     else "CONDITION OR ISOLATION FAILURES FOUND")
+    (if all_killed then "all killed under every strategy" else "SOME SURVIVED")
+    (if minimal then "all killing workloads within 10 instructions" else "SOME ABOVE 10 INSTRUCTIONS");
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    graceful_write @@ fun () ->
+    let oc = open_out file in
+    List.iter (fun r -> output_string oc (Sep_check.Fuzz.scenario_result_to_jsonl r)) results;
+    let line j =
+      let buf = Buffer.create 256 in
+      Sep_util.Json.to_buffer buf j;
+      Buffer.add_char buf '\n';
+      output_string oc (Buffer.contents buf)
+    in
+    List.iter
+      (fun k ->
+        match Sep_check.Score.kill_to_json k with
+        | Sep_util.Json.Obj kvs ->
+          line (Sep_util.Json.Obj (("kind", Sep_util.Json.String "fuzz-kill") :: kvs))
+        | other -> line other)
+      kills;
+    line
+      (Sep_util.Json.Obj
+         [
+           ("kind", Sep_util.Json.String "fuzz-summary");
+           ("seed", Sep_util.Json.Int seed);
+           ("budget", Sep_util.Json.Int budget);
+           ("scenarios", Sep_util.Json.Int (List.length results));
+           ( "corpus",
+             Sep_util.Json.Int
+               (List.fold_left
+                  (fun n (r : Sep_check.Fuzz.scenario_result) ->
+                    n + List.length r.sr_campaign.Sep_check.Fuzz.cp_entries)
+                  0 results) );
+           ("kills", Sep_util.Json.Int (List.length kills));
+           ("ok", Sep_util.Json.Bool ok);
+         ]);
+    close_out oc;
+    Fmt.pr "wrote %s@." file);
+  if ok then 0 else 1
+
+let fuzz_run smoke seed budget json_file replay scenario bugs impl walks walk_len scrambles
+    emit_corpus =
+  match (emit_corpus, replay) with
+  | Some dir, _ -> fuzz_corpus_emit dir seed impl
+  | None, Some rseed -> fuzz_replay rseed scenario bugs impl walks walk_len scrambles
+  | None, None -> fuzz_full smoke seed budget impl json_file
+
+let fuzz_cmd =
+  let budget =
+    Arg.(value & opt int 120 & info [ "budget" ] ~doc:"Fuzz executions per scenario and per mutant.")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Small deterministic budget (40 execs) for CI.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write corpus, kill table and summary as JSONL to $(docv).")
+  in
+  let replay =
+    Arg.(value & opt (some int) None
+         & info [ "replay" ] ~docv:"SEED"
+             ~doc:"Replay a failing randomized run (with --scenario/--bug/--walks/--len/--scrambles) \
+                   and print its minimized counterexamples.")
+  in
+  let emit_corpus =
+    Arg.(value & opt (some string) None
+         & info [ "emit-corpus" ] ~docv:"DIR"
+             ~doc:"Regenerate the per-bug regression corpus (test/corpus) into $(docv) and exit.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided fuzzing of the six conditions: fuzz every scenario on the correct kernel \
+          (kstats counters and trace events as coverage signal, solo isolation on each corpus \
+          member), then score how fast exhaustive, randomized and coverage-guided checking kill \
+          each seeded kernel bug, shrinking killing workloads to minimal programs.")
+    Term.(
+      const fuzz_run $ smoke $ seed_arg $ budget $ json_file $ replay $ scenario_arg $ bugs_arg
+      $ impl_arg $ walks_arg $ walk_len_arg $ scrambles_arg $ emit_corpus)
+
 let main_cmd =
   let doc = "reproduction of Rushby's separation kernel and Proof of Separability (SOSP 1981)" in
   Cmd.group (Cmd.info "rushby" ~version:"1.0.0" ~doc)
@@ -493,6 +723,7 @@ let main_cmd =
       stats_cmd;
       metrics_cmd;
       inject_cmd;
+      fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,178 @@
+module Prng = Sep_util.Prng
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Machine = Sep_hw.Machine
+module Isa = Sep_hw.Isa
+module Config = Sep_core.Config
+module Sue = Sep_core.Sue
+module Regime_kernel = Sep_core.Regime_kernel
+module Net = Sep_distributed.Net
+
+let inert_program = [ Isa.Label "loop"; Isa.Instr (Isa.Trap 0); Isa.Branch "loop" ]
+
+let solo_config (cfg : Isa.stmt list Config.t) keep =
+  {
+    cfg with
+    Config.regimes =
+      List.map
+        (fun (r : _ Config.regime) ->
+          if Colour.equal r.Config.colour keep then r else { r with Config.program = inert_program })
+        cfg.Config.regimes;
+  }
+
+(* Flow-controlled drive, as in the fault campaign: a scheduled word
+   queues until its Rx latch is free, so every regime consumes the same
+   word sequence however the processor is shared — without the handshake
+   the external world doubles as a clock and re-imports the timing
+   channel the paper excludes. *)
+let observed_tx ?(bugs = []) ?(impl = Sue.Microcode) ?(settle = 48) cfg ~schedule =
+  let t = Sue.build ~bugs ~impl cfg in
+  let m = Sue.machine t in
+  let ndev = Machine.num_devices m in
+  let queues = Array.init ndev (fun _ -> Queue.create ()) in
+  let sched = Array.of_list schedule in
+  let flat = ref [] in
+  let steps = Array.length sched + settle in
+  for n = 0 to steps - 1 do
+    if n < Array.length sched then
+      List.iter
+        (fun (d, w) ->
+          if d >= 0 && d < ndev && Machine.device_kind m d = Machine.Rx then Queue.add w queues.(d))
+        sched.(n);
+    let input =
+      List.concat
+        (List.init ndev (fun d ->
+             if (not (Queue.is_empty queues.(d))) && snd (Machine.device_regs m d) = 0 then
+               [ (d, Queue.pop queues.(d)) ]
+             else []))
+    in
+    List.iter (fun o -> flat := o :: !flat) (Sue.step t input)
+  done;
+  (* [flat] holds emissions newest-first, so pushing in that order leaves
+     each device's list oldest-first already *)
+  let per_dev = Array.make ndev [] in
+  List.iter (fun (d, w) -> per_dev.(d) <- w :: per_dev.(d)) !flat;
+  List.concat
+    (List.init ndev (fun d ->
+         if Machine.device_kind m d = Machine.Tx then [ (d, per_dev.(d)) ] else []))
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> x = y && is_prefix a' b'
+
+let prefix_compatible a b = is_prefix a b || is_prefix b a
+
+let solo_check ?impl ?settle cfg ~schedule =
+  let whole = observed_tx ?impl ?settle cfg ~schedule in
+  (* device ownership is part of the static configuration, so any build
+     answers for all runs *)
+  let probe = Sue.build cfg in
+  List.concat_map
+    (fun colour ->
+      let solo = observed_tx ?impl ?settle (solo_config cfg colour) ~schedule in
+      List.filter_map
+        (fun (d, whole_words) ->
+          if not (Colour.equal (Sue.device_owner probe d) colour) then None
+          else
+            let solo_words = try List.assoc d solo with Not_found -> [] in
+            if prefix_compatible whole_words solo_words then None
+            else
+              Some
+                ( colour,
+                  d,
+                  Fmt.str "device %d: whole run says %a, solo run says %a" d
+                    Fmt.(Dump.list int)
+                    whole_words
+                    Fmt.(Dump.list int)
+                    solo_words ))
+        whole)
+    (Config.colours cfg)
+
+(* -- Kernel vs. the distributed substrate ------------------------------------ *)
+
+(* Stateless component archetypes, parameterized by their outgoing wires. *)
+let fan_out ~name outgoing =
+  Component.stateless ~name (fun ev ->
+      let m = match ev with Component.Recv (_, m) | Component.External m -> m in
+      Component.Output m :: List.map (fun w -> Component.Send (w, name ^ ":" ^ m)) outgoing)
+
+let relay ~name outgoing =
+  Component.stateless ~name (function
+    | Component.External m -> List.map (fun w -> Component.Send (w, m)) outgoing
+    | Component.Recv (_, m) -> [ Component.Output ("got:" ^ m) ])
+
+let sink ~name _outgoing =
+  Component.stateless ~name (function
+    | Component.External m -> [ Component.Output ("ext:" ^ m) ]
+    | Component.Recv (w, m) -> [ Component.Output (Fmt.str "w%d:%s" w m) ])
+
+let gen_case rng =
+  let n = Prng.int_in rng 2 4 in
+  let colours = List.init n Colour.of_index in
+  let wire_specs =
+    List.filter_map
+      (fun _ ->
+        let s = Prng.int rng n in
+        let d = Prng.int rng n in
+        if s = d then None else Some (List.nth colours s, List.nth colours d, Prng.int_in rng 1 3))
+      (List.init (Prng.int_in rng 1 4) (fun i -> i))
+  in
+  let outgoing_of c =
+    List.concat
+      (List.mapi (fun i (s, _, _) -> if Colour.equal s c then [ i ] else []) wire_specs)
+  in
+  let parts =
+    List.map
+      (fun c ->
+        let name = Colour.name c in
+        let make = Prng.choose rng [| fan_out; relay; sink |] in
+        (c, make ~name (outgoing_of c)))
+      colours
+  in
+  let topo = Topology.make ~parts ~wires:wire_specs in
+  let colour_arr = Array.of_list colours in
+  let externals_table =
+    Array.init 24 (fun _ ->
+        List.init (Prng.int rng 3) (fun _ ->
+            (Prng.choose rng colour_arr, Fmt.str "m%d" (Prng.int rng 8))))
+  in
+  let externals n = if n < Array.length externals_table then externals_table.(n) else [] in
+  (topo, externals)
+
+let kernel_vs_net_case ?(kernel_bugs = []) ~seed ~steps () =
+  let rng = Prng.create seed in
+  let topo, externals = gen_case rng in
+  let net = Net.build topo in
+  let kern = Regime_kernel.build ~bugs:kernel_bugs topo in
+  Net.run net ~steps ~externals;
+  Regime_kernel.run kern ~steps ~externals;
+  let mismatches =
+    List.filter_map
+      (fun c ->
+        let a = Net.trace net c in
+        let b = Regime_kernel.trace kern c in
+        if List.length a = List.length b && List.for_all2 Component.equal_obs a b then None
+        else
+          Some
+            (Fmt.str "%s: net trace %a, kernel trace %a (seed %d)" (Colour.name c)
+               Fmt.(Dump.list Component.pp_obs)
+               a
+               Fmt.(Dump.list Component.pp_obs)
+               b seed))
+      (Topology.colours topo)
+  in
+  match mismatches with [] -> Ok () | m :: _ -> Error m
+
+let kernel_vs_net ~seed ~cases ~steps =
+  let rng = Prng.create seed in
+  let mismatches = ref [] in
+  for _ = 1 to cases do
+    let case_seed = Int64.to_int (Prng.bits64 rng) land 0x3fffffff in
+    match kernel_vs_net_case ~seed:case_seed ~steps () with
+    | Ok () -> ()
+    | Error m -> mismatches := m :: !mismatches
+  done;
+  (cases, List.rev !mismatches)

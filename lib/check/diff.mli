@@ -1,0 +1,63 @@
+(** Differential properties: SUE against the distributed ideal.
+
+    Two executable forms of the paper's central claim ("the system as a
+    whole is indistinguishable from one in which each regime has a machine
+    of its own"):
+
+    - {b solo isolation} at machine level: run a cut configuration whole,
+      then once per colour with every {e other} regime replaced by an
+      inert yield loop — the closest a shared {!Sue} machine gets to
+      giving a regime a processor of its own. A colour's observable trace
+      (per-Tx-device word sequences, delivered flow-controlled so the
+      external world cannot double as a clock) must agree up to prefix:
+      sharing the processor may slow a regime, never change what it says.
+    - {b kernel vs. net} at behavioural level: the same components and
+      topology hosted on {!Sep_core.Regime_kernel} and on
+      {!Sep_distributed.Net} must produce {e identical} per-colour
+      observable traces on generated workloads. *)
+
+module Colour = Sep_model.Colour
+module Config = Sep_core.Config
+module Sue = Sep_core.Sue
+module Isa = Sep_hw.Isa
+
+val inert_program : Isa.stmt list
+(** [loop: Trap 0; branch loop] — the regime that does nothing but
+    yield. *)
+
+val solo_config : Isa.stmt list Config.t -> Colour.t -> Isa.stmt list Config.t
+(** The same topology with every regime but one running {!inert_program}. *)
+
+val observed_tx :
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?settle:int -> Isa.stmt list Config.t ->
+  schedule:Sue.input list -> (int * int list) list
+(** Run the configuration under flow-controlled delivery of [schedule]
+    (step [n]'s arrivals queue until their Rx latch is free) for
+    [length schedule + settle] steps (settle defaults to 48) and collect,
+    per Tx device id, the word sequence observed on its wire. *)
+
+val solo_check :
+  ?impl:Sue.impl -> ?settle:int -> Isa.stmt list Config.t -> schedule:Sue.input list ->
+  (Colour.t * int * string) list
+(** Empty when solo isolation holds: for every colour and every Tx device
+    it owns, the whole-system sequence and the solo-run sequence must be
+    prefix-compatible. Each violation reports (owner, device id, detail). *)
+
+(** {1 Kernel vs. the distributed substrate} *)
+
+val gen_case :
+  Sep_util.Prng.t -> Sep_model.Topology.t * (int -> (Colour.t * string) list)
+(** A generated differential case: 2–4 stateless components (fan-out,
+    relay, sink) over random wires, plus an external-input schedule. *)
+
+val kernel_vs_net_case :
+  ?kernel_bugs:Sep_core.Regime_kernel.bug list -> seed:int -> steps:int -> unit ->
+  (unit, string) result
+(** Host one generated case on both substrates and compare every colour's
+    observable trace for exact equality. [kernel_bugs] seed the kernel
+    substrate (to show the differential detects a kernel that fails at
+    its one job). *)
+
+val kernel_vs_net : seed:int -> cases:int -> steps:int -> int * string list
+(** Run [cases] independent cases; returns (cases run, mismatch
+    messages — empty when the kernel is indistinguishable). *)

@@ -1,0 +1,342 @@
+module Prng = Sep_util.Prng
+module Colour = Sep_model.Colour
+module Isa = Sep_hw.Isa
+module Config = Sep_core.Config
+module Sue = Sep_core.Sue
+module Ktrace = Sep_core.Ktrace
+module Scenarios = Sep_core.Scenarios
+module Separability = Sep_core.Separability
+module Abstract_regime = Sep_core.Abstract_regime
+module J = Sep_util.Json
+
+type schedule = Sue.input list
+
+let schedule_to_json s =
+  J.List
+    (List.map
+       (fun step -> J.List (List.map (fun (d, w) -> J.List [ J.Int d; J.Int w ]) step))
+       s)
+
+let schedule_of_json j =
+  let pair = function
+    | J.List [ J.Int d; J.Int w ] -> Ok (d, w)
+    | other -> Error ("expected [device, word], got " ^ J.to_string other)
+  in
+  let step = function
+    | J.List pairs ->
+      List.fold_right
+        (fun p acc -> Result.bind acc (fun acc -> Result.map (fun p -> p :: acc) (pair p)))
+        pairs (Ok [])
+    | other -> Error ("expected a step list, got " ^ J.to_string other)
+  in
+  match j with
+  | J.List steps ->
+    List.fold_right
+      (fun s acc -> Result.bind acc (fun acc -> Result.map (fun s -> s :: acc) (step s)))
+      steps (Ok [])
+  | other -> Error ("expected a schedule list, got " ^ J.to_string other)
+
+(* -- Coverage keys ------------------------------------------------------------ *)
+
+(* binary order of magnitude: 0, then 1 + floor(log2 v) *)
+let bucket v =
+  let rec go b v = if v <= 0 then b else go (b + 1) (v lsr 1) in
+  go 0 v
+
+let opcode_name (i : Isa.t) =
+  match i with
+  | Isa.Nop -> "nop"
+  | Isa.Halt -> "halt"
+  | Isa.Trap _ -> "trap"
+  | Isa.Rti -> "rti"
+  | Isa.Loadi _ -> "loadi"
+  | Isa.Load _ -> "load"
+  | Isa.Store _ -> "store"
+  | Isa.Mov _ -> "mov"
+  | Isa.Add _ -> "add"
+  | Isa.Sub _ -> "sub"
+  | Isa.And_ _ -> "and"
+  | Isa.Or_ _ -> "or"
+  | Isa.Xor _ -> "xor"
+  | Isa.Cmp _ -> "cmp"
+  | Isa.Shl _ -> "shl"
+  | Isa.Shr _ -> "shr"
+  | Isa.Beq _ -> "beq"
+  | Isa.Bne _ -> "bne"
+  | Isa.Br _ -> "br"
+
+let event_key (e : Ktrace.event) =
+  match e with
+  | Ktrace.Executed { colour; instr; _ } -> Fmt.str "e:op:%s:%s" (Colour.name colour) (opcode_name instr)
+  | Ktrace.Trapped { colour; number } -> Fmt.str "e:trap:%s:%d" (Colour.name colour) number
+  | Ktrace.Switched { from_; to_ } -> Fmt.str "e:switch:%s>%s" (Colour.name from_) (Colour.name to_)
+  | Ktrace.Blocked c -> "e:blocked:" ^ Colour.name c
+  | Ktrace.Parked c -> "e:parked:" ^ Colour.name c
+  | Ktrace.Woken c -> "e:woken:" ^ Colour.name c
+  | Ktrace.Arrived { device; _ } -> Fmt.str "e:arrived:%d" device
+  | Ktrace.Emitted { device; _ } -> Fmt.str "e:emitted:%d" device
+  | Ktrace.Stalled -> "e:stall"
+  | Ktrace.Save_corrupt c -> "e:save-corrupt:" ^ Colour.name c
+  | Ktrace.Guard_breached _ -> "e:guard-breach"
+  | Ktrace.Watchdog_fired c -> "e:watchdog:" ^ Colour.name c
+  | Ktrace.Kernel_panicked _ -> "e:panic"
+
+let kstat_keys (ks : Sue.kstats) =
+  let per name pairs =
+    List.filter_map
+      (fun (c, v) -> if v > 0 then Some (Fmt.str "k:%s:%s:%d" name (Colour.name c) (bucket v)) else None)
+      pairs
+  in
+  let flat name v = if v > 0 then [ Fmt.str "k:%s:%d" name (bucket v) ] else [] in
+  per "instrs" ks.Sue.ks_instrs
+  @ per "traps" ks.Sue.ks_traps
+  @ per "swaps" ks.Sue.ks_swaps
+  @ per "sent" ks.Sue.ks_sent
+  @ per "recvd" ks.Sue.ks_recvd
+  @ flat "switches" ks.Sue.ks_switches
+  @ flat "irqs" ks.Sue.ks_irqs_forwarded
+  @ flat "wakes" ks.Sue.ks_wakes
+  @ flat "stalls" ks.Sue.ks_stalls
+  @ flat "inputs" ks.Sue.ks_inputs_latched
+  @ flat "outputs" ks.Sue.ks_outputs_observed
+  @ flat "fault_parks" ks.Sue.ks_fault_parks
+  @ flat "guard_breaches" ks.Sue.ks_guard_breaches
+  @ flat "watchdog" ks.Sue.ks_watchdog_fires
+  @ flat "panics" ks.Sue.ks_panics
+
+let status_keys t colours =
+  List.map
+    (fun c ->
+      let s =
+        match Sue.regime_status t c with
+        | Abstract_regime.Running -> "running"
+        | Abstract_regime.Waiting -> "waiting"
+        | Abstract_regime.Parked -> "parked"
+      in
+      Fmt.str "s:%s:%s" (Colour.name c) s)
+    colours
+
+(* -- One execution ------------------------------------------------------------ *)
+
+type exec = {
+  ex_keys : string list;
+  ex_report : Separability.report;
+}
+
+let run_once ?(bugs = []) ?(impl = Sue.Microcode) ~scrambles ~settle ~seed cfg sched =
+  let rng = Prng.create seed in
+  let t = Sue.build ~bugs ~impl cfg in
+  let colours = Config.colours cfg in
+  let states = ref [] in
+  let events = ref [] in
+  let add s =
+    states := s :: !states;
+    List.iter
+      (fun c ->
+        for _ = 1 to scrambles do
+          states := Sue.scramble_others rng s c :: !states
+        done)
+      colours
+  in
+  add (Sue.copy t);
+  List.iter
+    (fun input ->
+      events := Ktrace.step t input :: !events;
+      add (Sue.copy t))
+    sched;
+  for _ = 1 to settle do
+    events := Ktrace.step t [] :: !events;
+    add (Sue.copy t)
+  done;
+  (t, List.rev !states, List.concat (List.rev !events))
+
+let states_of_schedule ?bugs ?impl ?(scrambles = 2) ?(settle = 24) ~seed cfg sched =
+  let _, states, _ = run_once ?bugs ?impl ~scrambles ~settle ~seed cfg sched in
+  states
+
+let execute ?(bugs = []) ?(impl = Sue.Microcode) ?(scrambles = 2) ?(settle = 24) ~seed ~alphabet cfg
+    sched =
+  let t, states, events = run_once ~bugs ~impl ~scrambles ~settle ~seed cfg sched in
+  let keys =
+    List.map event_key events
+    @ kstat_keys (Sue.kstats t)
+    @ status_keys t (Config.colours cfg)
+  in
+  let keys = List.sort_uniq compare keys in
+  let sys = Sue.to_system ~bugs ~impl ~inputs:alphabet cfg in
+  { ex_keys = keys; ex_report = Separability.check_states sys states }
+
+let check_schedule ?bugs ?impl ?scrambles ?settle ~seed ~alphabet cfg sched =
+  (execute ?bugs ?impl ?scrambles ?settle ~seed ~alphabet cfg sched).ex_report
+
+(* -- Mutation ----------------------------------------------------------------- *)
+
+let mutate_schedule ~alphabet ~max_len rng sched =
+  let arr = Array.of_list alphabet in
+  let elt () = if Array.length arr = 0 then [] else Prng.choose rng arr in
+  let n = List.length sched in
+  let clip l = List.filteri (fun i _ -> i < max_len) l in
+  let mutated =
+    match Prng.int rng 5 with
+    | 0 -> sched @ List.init (Prng.int_in rng 1 4) (fun _ -> elt ())
+    | 1 when n > 0 ->
+      let i = Prng.int rng n in
+      List.filteri (fun j _ -> j <> i) sched
+    | 2 when n > 0 ->
+      let i = Prng.int rng n in
+      List.mapi (fun j x -> if j = i then elt () else x) sched
+    | 3 when n > 0 ->
+      let i = Prng.int rng (n + 1) in
+      let x = elt () in
+      List.concat [ List.filteri (fun j _ -> j < i) sched; [ x ]; List.filteri (fun j _ -> j >= i) sched ]
+    | 4 when n > 1 ->
+      let i = Prng.int rng n in
+      sched @ List.filteri (fun j _ -> j >= i) sched
+    | _ -> sched @ [ elt () ]
+  in
+  clip mutated
+
+(* -- The corpus engine -------------------------------------------------------- *)
+
+type 'a entry = {
+  en_id : int;
+  en_input : 'a;
+  en_new_keys : string list;
+}
+
+type 'a campaign = {
+  cp_seed : int;
+  cp_budget : int;
+  cp_execs : int;
+  cp_entries : 'a entry list;
+  cp_keys : string list;
+  cp_stopped : bool;
+}
+
+let engine ~seed ~budget ~seeds ~mutate ~coverage ?(stop = fun _ -> false) () =
+  let rng = Prng.create seed in
+  let seen = Hashtbl.create 64 in
+  let entries = ref [] in
+  let nentries = ref 0 in
+  let execs = ref 0 in
+  let run_one input =
+    incr execs;
+    let keys = coverage input in
+    let fresh = List.filter (fun k -> not (Hashtbl.mem seen k)) keys in
+    List.iter (fun k -> Hashtbl.replace seen k ()) keys;
+    let is_stop = stop input in
+    if fresh <> [] || is_stop then begin
+      entries := { en_id = !execs; en_input = input; en_new_keys = List.sort compare fresh } :: !entries;
+      incr nentries
+    end;
+    is_stop
+  in
+  let rec seed_loop = function
+    | [] -> false
+    | s :: rest -> if !execs >= budget then false else if run_one s then true else seed_loop rest
+  in
+  let stopped = ref (seed_loop seeds) in
+  while (not !stopped) && !execs < budget && !nentries > 0 do
+    (* newest-first list; the min of two uniform draws biases toward
+       recent admissions without starving the rest of the corpus *)
+    let arr = Array.of_list !entries in
+    let idx = min (Prng.int rng (Array.length arr)) (Prng.int rng (Array.length arr)) in
+    let child = mutate rng arr.(idx).en_input in
+    if run_one child then stopped := true
+  done;
+  {
+    cp_seed = seed;
+    cp_budget = budget;
+    cp_execs = !execs;
+    cp_entries = List.rev !entries;
+    cp_keys = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []);
+    cp_stopped = !stopped;
+  }
+
+(* -- Fuzzing a scenario ------------------------------------------------------- *)
+
+type failure = {
+  fl_schedule : schedule;
+  fl_conditions : int list;
+  fl_isolation : (Colour.t * int * string) list;
+}
+
+type scenario_result = {
+  sr_label : string;
+  sr_seed : int;
+  sr_campaign : schedule campaign;
+  sr_failures : failure list;
+}
+
+let drip_schedule alphabet len =
+  let nonempty = Array.of_list (List.filter (fun i -> i <> []) alphabet) in
+  if Array.length nonempty = 0 then []
+  else List.init len (fun n -> if n mod 3 = 0 then nonempty.((n / 3) mod Array.length nonempty) else [])
+
+let max_failures_kept = 10
+
+let fuzz_scenario ?(bugs = []) ?(impl = Sue.Microcode) ?(check_isolation = true) ~seed ~budget
+    (sc : Scenarios.instance) =
+  let alphabet = sc.Scenarios.alphabet in
+  let cfg = sc.Scenarios.cfg in
+  let failures = ref [] in
+  let coverage sched =
+    let e = execute ~bugs ~impl ~seed:(seed + 1) ~alphabet cfg sched in
+    let conds = Separability.failing_conditions e.ex_report in
+    if conds <> [] && List.length !failures < max_failures_kept then
+      failures := { fl_schedule = sched; fl_conditions = conds; fl_isolation = [] } :: !failures;
+    e.ex_keys
+  in
+  let seeds =
+    ([] :: List.map (fun i -> [ i ]) (List.filter (fun i -> i <> []) alphabet))
+    @ [ drip_schedule alphabet 12 ]
+  in
+  let campaign =
+    engine ~seed ~budget ~seeds ~mutate:(mutate_schedule ~alphabet ~max_len:32) ~coverage ()
+  in
+  (* cut-wire solo isolation over the corpus: meaningful only when every
+     channel is cut (an uncut channel makes regimes legitimately
+     interdependent, so solo traces may differ) *)
+  let isolable = List.for_all (fun (ch : Config.channel) -> ch.Config.cut) cfg.Config.channels in
+  if check_isolation && isolable then
+    List.iter
+      (fun e ->
+        if List.length !failures < max_failures_kept then
+          match Diff.solo_check ~impl cfg ~schedule:e.en_input with
+          | [] -> ()
+          | divergences ->
+            failures := { fl_schedule = e.en_input; fl_conditions = []; fl_isolation = divergences } :: !failures)
+      campaign.cp_entries;
+  { sr_label = sc.Scenarios.label; sr_seed = seed; sr_campaign = campaign; sr_failures = List.rev !failures }
+
+let scenario_result_to_jsonl r =
+  let buf = Buffer.create 1024 in
+  let line j =
+    J.to_buffer buf j;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun e ->
+      line
+        (J.Obj
+           [
+             ("kind", J.String "fuzz-corpus");
+             ("scenario", J.String r.sr_label);
+             ("id", J.Int e.en_id);
+             ("new_keys", J.List (List.map (fun k -> J.String k) e.en_new_keys));
+             ("schedule", schedule_to_json e.en_input);
+           ]))
+    r.sr_campaign.cp_entries;
+  line
+    (J.Obj
+       [
+         ("kind", J.String "fuzz-scenario");
+         ("scenario", J.String r.sr_label);
+         ("seed", J.Int r.sr_seed);
+         ("budget", J.Int r.sr_campaign.cp_budget);
+         ("execs", J.Int r.sr_campaign.cp_execs);
+         ("corpus", J.Int (List.length r.sr_campaign.cp_entries));
+         ("keys", J.Int (List.length r.sr_campaign.cp_keys));
+         ("failures", J.Int (List.length r.sr_failures));
+       ]);
+  Buffer.contents buf

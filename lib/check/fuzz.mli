@@ -1,0 +1,111 @@
+(** Coverage-guided fuzzing of the SUE kernel.
+
+    The coverage signal is the PR-1 telemetry vocabulary: the {!Sue.kstats}
+    counters (bucketed by binary order of magnitude) and the
+    {!Sep_core.Ktrace} event kinds observed during a run, enriched with the
+    colour / device / trap number they concern, plus each regime's final
+    status. An input schedule that lights a {e new} key joins the corpus;
+    mutation draws from corpus members. Every executed schedule is also
+    checked against the six Proof-of-Separability conditions over its
+    sampled states (walk states plus scrambled Phi-partners), and every
+    corpus member additionally against cut-wire solo isolation
+    ({!Diff.solo_check}).
+
+    Everything is seeded: the same seed reproduces the same corpus, the
+    same keys and the same JSONL report, byte for byte. *)
+
+module Colour = Sep_model.Colour
+module Config = Sep_core.Config
+module Sue = Sep_core.Sue
+module Isa = Sep_hw.Isa
+module Separability = Sep_core.Separability
+
+type schedule = Sue.input list
+(** One external-input schedule: step [n] delivers element [n] (the kernel
+    then settles on empty input). *)
+
+val schedule_to_json : schedule -> Sep_util.Json.t
+val schedule_of_json : Sep_util.Json.t -> (schedule, string) result
+
+(** {1 One execution} *)
+
+type exec = {
+  ex_keys : string list;  (** sorted, duplicate-free coverage keys *)
+  ex_report : Separability.report;  (** the six conditions over the sampled states *)
+}
+
+val states_of_schedule :
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?scrambles:int -> ?settle:int -> seed:int ->
+  Isa.stmt list Config.t -> schedule -> Sue.t list
+(** The state sample of one schedule-driven run: a snapshot after every
+    step (including [settle], default 24, trailing empty-input steps),
+    each paired per colour with [scrambles] (default 2) scrambled
+    Phi-partners drawn from a generator seeded by [seed]. *)
+
+val execute :
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?scrambles:int -> ?settle:int -> seed:int ->
+  alphabet:Sue.input list -> Isa.stmt list Config.t -> schedule -> exec
+(** Run once, collecting coverage keys and the six-condition report over
+    the run's sampled states. *)
+
+val check_schedule :
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?scrambles:int -> ?settle:int -> seed:int ->
+  alphabet:Sue.input list -> Isa.stmt list Config.t -> schedule -> Separability.report
+(** Just the condition report of {!execute}. *)
+
+val mutate_schedule : alphabet:Sue.input list -> max_len:int -> Sep_util.Prng.t -> schedule -> schedule
+(** One corpus mutation: append, insert, delete, replace or duplicate a
+    tail of alphabet elements. *)
+
+(** {1 The corpus engine} *)
+
+type 'a entry = {
+  en_id : int;  (** execution index that admitted this input *)
+  en_input : 'a;
+  en_new_keys : string list;  (** the keys this input lit first *)
+}
+
+type 'a campaign = {
+  cp_seed : int;
+  cp_budget : int;
+  cp_execs : int;  (** executions actually performed *)
+  cp_entries : 'a entry list;  (** the corpus, admission order *)
+  cp_keys : string list;  (** all keys lit, sorted *)
+  cp_stopped : bool;  (** the [stop] predicate ended the campaign early *)
+}
+
+val engine :
+  seed:int -> budget:int -> seeds:'a list -> mutate:(Sep_util.Prng.t -> 'a -> 'a) ->
+  coverage:('a -> string list) -> ?stop:('a -> bool) -> unit -> 'a campaign
+(** The generic corpus loop: execute the seed inputs, then mutate corpus
+    members (round-robin biased toward recent admissions) until [budget]
+    executions are spent. An input whose coverage includes an unseen key
+    is admitted. [stop], checked after each execution, ends the campaign
+    early (the triggering input is recorded in the corpus). *)
+
+(** {1 Fuzzing a scenario} *)
+
+type failure = {
+  fl_schedule : schedule;
+  fl_conditions : int list;  (** failing conditions, when the report failed *)
+  fl_isolation : (Colour.t * int * string) list;  (** solo-isolation divergences *)
+}
+
+type scenario_result = {
+  sr_label : string;
+  sr_seed : int;
+  sr_campaign : schedule campaign;
+  sr_failures : failure list;  (** empty on a correct kernel *)
+}
+
+val fuzz_scenario :
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?check_isolation:bool -> seed:int -> budget:int ->
+  Sep_core.Scenarios.instance -> scenario_result
+(** Coverage-guided fuzz of one scenario: seeds are the empty schedule,
+    each single alphabet element and a cycling drip; every execution is
+    condition-checked, every corpus member isolation-checked (unless
+    [check_isolation] is false). *)
+
+val scenario_result_to_jsonl : scenario_result -> string
+(** One [fuzz-corpus] line per corpus entry, then one [fuzz-scenario]
+    summary line. Deterministic for a fixed seed. *)

@@ -1,0 +1,85 @@
+type 'a t = 'a -> 'a Seq.t
+
+let nothing _ = Seq.empty
+
+(* 0 first, then magnitudes climbing back toward n, then the predecessor. *)
+let int n =
+  if n = 0 then Seq.empty
+  else
+    let halvings =
+      let rec go acc cur =
+        let next = cur / 2 in
+        if next = cur then acc else go (next :: acc) next
+      in
+      go [] n
+    in
+    List.to_seq (halvings @ [ (if n > 0 then n - 1 else n + 1) ])
+
+let pair sa sb (a, b) =
+  Seq.append (Seq.map (fun a' -> (a', b)) (sa a)) (Seq.map (fun b' -> (a, b')) (sb b))
+
+(* Drop chunks of size len/2, len/4, ..., 1 from every position, then
+   shrink elements in place. *)
+let list ?(elem = nothing) xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let without start len =
+    List.filteri (fun i _ -> i < start || i >= start + len) xs
+  in
+  let rec chunk_sizes k acc = if k < 1 then List.rev acc else chunk_sizes (k / 2) (k :: acc) in
+  let drops =
+    if n = 0 then Seq.empty
+    else
+      List.to_seq (List.rev (chunk_sizes (n / 2) [ 1 ]))
+      |> Seq.concat_map (fun len ->
+             Seq.init (n - len + 1) (fun start -> without start len))
+  in
+  let shrunk_elems =
+    Seq.concat_map
+      (fun i ->
+        Seq.map
+          (fun e -> List.mapi (fun j x -> if j = i then e else x) xs)
+          (elem arr.(i)))
+      (Seq.init n (fun i -> i))
+  in
+  Seq.append drops shrunk_elems
+
+let action (a : Gen.action) =
+  match a with
+  | Gen.Set (r, v) ->
+    Seq.append
+      (Seq.map (fun v' -> Gen.Set (r, v')) (int v))
+      (Seq.map (fun r' -> Gen.Set (r', v)) (int r))
+  | Gen.Arith (op, rd, rs) ->
+    Seq.append
+      (Seq.map (fun rd' -> Gen.Arith (op, rd', rs)) (int rd))
+      (Seq.map (fun rs' -> Gen.Arith (op, rd, rs')) (int rs))
+  | Gen.Emit (slot, r) -> Seq.map (fun r' -> Gen.Emit (slot, r')) (int r)
+  | Gen.Poll _ | Gen.Recv _ | Gen.Wait -> Seq.return Gen.Yield
+  | Gen.Send (ch, r) -> Seq.map (fun r' -> Gen.Send (ch, r')) (int r)
+  | Gen.Yield -> Seq.empty
+
+let input (i : Sep_core.Sue.input) = list ~elem:(fun (d, w) -> Seq.map (fun w' -> (d, w')) (int w)) i
+let schedule s = list ~elem:input s
+
+let minimize ?(max_steps = 1000) ~still_failing shrinker value =
+  let steps = ref 0 in
+  let budget = ref max_steps in
+  let rec descend v =
+    let rec try_candidates seq =
+      if !budget <= 0 then v
+      else
+        match Seq.uncons seq with
+        | None -> v
+        | Some (candidate, rest) ->
+          decr budget;
+          if still_failing candidate then begin
+            incr steps;
+            descend candidate
+          end
+          else try_candidates rest
+    in
+    try_candidates (shrinker v)
+  in
+  let result = descend value in
+  (result, !steps)

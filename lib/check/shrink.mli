@@ -1,0 +1,36 @@
+(** Shrinkers: lazy streams of smaller candidates, and greedy minimization.
+
+    A shrinker maps a value to candidates that are strictly "smaller" —
+    fewer elements, smaller numbers — ordered most-aggressive first.
+    {!minimize} drives a shrinker to a fixpoint against a failure
+    predicate, yielding the minimal failing instance that property-based
+    counterexamples are reported as. *)
+
+type 'a t = 'a -> 'a Seq.t
+
+val nothing : 'a t
+val int : int t
+(** Toward 0: [0], then halvings, then the predecessor. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+(** Shrink the left component, then the right. *)
+
+val list : ?elem:'a t -> 'a list t
+(** QuickCheck-style: drop chunks of half, quarter, ... down to single
+    elements, then shrink elements in place with [elem]. *)
+
+val action : Gen.action t
+(** Shrink a workload action's immediates and registers toward 0. *)
+
+val input : Sep_core.Sue.input t
+(** Shrink one step's arrivals: drop pairs, shrink the words. *)
+
+val schedule : Sep_core.Sue.input list t
+(** [list ~elem:input]. *)
+
+val minimize : ?max_steps:int -> still_failing:('a -> bool) -> 'a t -> 'a -> 'a * int
+(** Greedy descent: repeatedly replace the value by its first shrink
+    candidate that still fails, until none does (or [max_steps], default
+    1000, candidate evaluations are spent). Returns the minimal failing
+    value and the number of successful shrink steps taken. The input is
+    assumed to satisfy [still_failing]. *)

@@ -71,3 +71,5 @@ let run ?state_limit e =
   Separability.check ?state_limit sys
 
 let detected e report = List.mem e.primary (Separability.failing_conditions report)
+
+let for_bug bug = List.find_opt (fun e -> e.bug = bug) catalogue

@@ -22,3 +22,8 @@ val run : ?state_limit:int -> expectation -> Separability.report
 
 val detected : expectation -> Separability.report -> bool
 (** The predicted condition is among the failures. *)
+
+val for_bug : Sue.bug -> expectation option
+(** The catalogue entry seeding [bug], if any — used by the fuzzing
+    kill-rate scorer ({!Sep_check}) to pair each bug with the scenario
+    where it is observable. *)

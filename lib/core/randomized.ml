@@ -12,11 +12,17 @@ let span_walk = Sep_obs.Span.make "randomized.walk"
 let span_scramble = Sep_obs.Span.make "randomized.scramble"
 let span_check_states = Sep_obs.Span.make "randomized.check_states"
 
-let sample_states ?(bugs = []) ?(impl = Sue.Microcode) ~params ~seed ~inputs cfg =
+(* The walk loop, collecting both the state sample and the input schedule
+   each walk followed. The PRNG consumption order (initial scrambles, then
+   input choice and scrambles per step) is part of the reproducibility
+   contract: seeds recorded in tests and experiments replay byte for
+   byte. *)
+let sample ?(bugs = []) ?(impl = Sue.Microcode) ~params ~seed ~inputs cfg =
   let rng = Prng.create seed in
   let alphabet = Array.of_list inputs in
   let colours = Config.colours cfg in
   let out = ref [] in
+  let walks = ref [] in
   let add s =
     out := s :: !out;
     Sep_obs.Span.time span_scramble (fun () ->
@@ -31,13 +37,22 @@ let sample_states ?(bugs = []) ?(impl = Sue.Microcode) ~params ~seed ~inputs cfg
     Sep_obs.Span.time span_walk (fun () ->
         let t = Sue.build ~bugs ~impl cfg in
         add (Sue.copy t);
+        let sched = ref [] in
         for _ = 1 to params.walk_len do
           let input = if Array.length alphabet = 0 then [] else Prng.choose rng alphabet in
+          sched := input :: !sched;
           ignore (Sue.step t input);
           add (Sue.copy t)
-        done)
+        done;
+        walks := List.rev !sched :: !walks)
   done;
-  List.rev !out
+  (List.rev !out, List.rev !walks)
+
+let sample_states ?bugs ?impl ~params ~seed ~inputs cfg =
+  fst (sample ?bugs ?impl ~params ~seed ~inputs cfg)
+
+let sampled_walks ?bugs ?impl ~params ~seed ~inputs cfg =
+  snd (sample ?bugs ?impl ~params ~seed ~inputs cfg)
 
 let check ?(bugs = []) ?(impl = Sue.Microcode) ?(params = default_params) ?max_failures ~seed
     ~inputs cfg =

@@ -33,3 +33,13 @@ val sample_states :
   Sep_hw.Isa.stmt list Config.t -> Sue.t list
 (** Just the sampled state set (walk states plus scrambled partners), for
     callers that want to time or inspect the sampling separately. *)
+
+val sampled_walks :
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> params:params -> seed:int -> inputs:Sue.input list ->
+  Sep_hw.Isa.stmt list Config.t -> Sue.input list list
+(** The input schedule each walk followed, in walk order — what a failing
+    {!check} actually executed, so counterexample minimization
+    ({!Sep_check}) can re-drive and shrink the offending walk. Drawn from
+    the same PRNG stream as {!sample_states}: for equal parameters and
+    seed, walk [i] here is the schedule that produced walk [i]'s states
+    there. *)

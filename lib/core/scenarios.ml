@@ -250,3 +250,5 @@ let scaled ~regimes ~counter_bits =
   in
   let cfg = Config.make ~regimes:(List.init regimes regime) ~channels:[] () in
   { label = Fmt.str "scaled-%dx%db" regimes counter_bits; cfg; alphabet = [ [] ] }
+
+let find label = List.find_opt (fun i -> i.label = label) all

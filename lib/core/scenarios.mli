@@ -52,3 +52,7 @@ val scaled : regimes:int -> counter_bits:int -> instance
     each cycle a [2^counter_bits]-valued counter in private memory and
     yield; no devices or channels, so the reachable state count is
     controlled by the two parameters. *)
+
+val find : string -> instance option
+(** Look an instance up by [label] among {!all} — the CLI and the fuzzing
+    engine ({!Sep_check}) address scenarios by name. *)

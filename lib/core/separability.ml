@@ -24,6 +24,16 @@ let pp_report ppf r =
     r.failures;
   Fmt.pf ppf "@]"
 
+let pp_summary ppf r =
+  Fmt.pf ppf "instance %s: %d states, %d checks: %s" r.instance r.states r.checks
+    (if verified r then "VERIFIED (all six conditions hold)"
+     else
+       Fmt.str "FAILED (condition%s %s, %d counterexample%s)"
+         (if List.compare_length_with (failing_conditions r) 1 > 0 then "s" else "")
+         (String.concat ", " (List.map string_of_int (failing_conditions r)))
+         (List.length r.failures)
+         (if List.compare_length_with r.failures 1 > 0 then "s" else ""))
+
 exception Enough
 
 (* Mutable accumulation shared by one checking run. *)

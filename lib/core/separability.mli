@@ -50,6 +50,11 @@ val failing_conditions : report -> int list
 
 val pp_report : Format.formatter -> report -> unit
 
+val pp_summary : Format.formatter -> report -> unit
+(** One line: the header of {!pp_report} plus the failing conditions —
+    without the rendered per-failure counterexamples, for callers (like
+    the randomized CLI) that print minimized counterexamples instead. *)
+
 val report_to_json : report -> Sep_util.Json.t
 (** Stable machine-readable rendering: [{"instance", "states", "checks",
     "cond_checks": {"1": n, ...}, "verified", "failing_conditions",

@@ -1,0 +1,510 @@
+(* Tests for the property-based verification engine: generators and
+   shrinking, the property runner, model-based checks of Sep_util via the
+   engine, coverage-guided fuzzing, the differential properties and the
+   mutant kill-rate scorer (including the checked-in regression corpus). *)
+
+module Colour = Sep_model.Colour
+module Isa = Sep_hw.Isa
+module Config = Sep_core.Config
+module Sue = Sep_core.Sue
+module Scenarios = Sep_core.Scenarios
+module Mutants = Sep_core.Mutants
+module Separability = Sep_core.Separability
+module Prng = Sep_util.Prng
+module Json = Sep_util.Json
+module Fifo = Sep_util.Fifo
+module Bits = Sep_util.Bits
+module Gen = Sep_check.Gen
+module Shrink = Sep_check.Shrink
+module Prop = Sep_check.Prop
+module Fuzz = Sep_check.Fuzz
+module Diff = Sep_check.Diff
+module Score = Sep_check.Score
+
+let check = Alcotest.check
+
+let pipeline = Scenarios.pipeline
+let pipeline_cfg = pipeline.Scenarios.cfg
+
+(* -- Generators ------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  let draw () = Gen.generate ~seed:5 ~count:50 Gen.int_any in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" (draw ()) (draw ());
+  Alcotest.(check bool) "different seed differs" false
+    (draw () = Gen.generate ~seed:6 ~count:50 Gen.int_any)
+
+let test_gen_bounds () =
+  List.iter
+    (fun n -> Alcotest.(check bool) "int in [0,10)" true (n >= 0 && n < 10))
+    (Gen.generate ~seed:1 ~count:200 (Gen.int 10));
+  List.iter
+    (fun n -> Alcotest.(check bool) "int_in in [3,7]" true (n >= 3 && n <= 7))
+    (Gen.generate ~seed:2 ~count:200 (Gen.int_in 3 7))
+
+let test_gen_config_valid () =
+  List.iter
+    (fun cfg ->
+      (match Config.validate cfg with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "generated config invalid: %s" m);
+      let t = Sue.build cfg in
+      for _ = 1 to 5 do
+        ignore (Sue.step t [])
+      done)
+    (Gen.generate ~seed:11 ~count:25 (Gen.config ()))
+
+let test_gen_schedule_in_alphabet () =
+  let alphabet = pipeline.Scenarios.alphabet in
+  List.iter
+    (fun sched ->
+      List.iter
+        (fun step -> Alcotest.(check bool) "step from alphabet" true (List.mem step alphabet))
+        sched)
+    (Gen.generate ~seed:3 ~count:30 (Gen.schedule ~alphabet ~max_len:12))
+
+let test_gen_actions_capable () =
+  let caps = Gen.caps_of_regime pipeline_cfg Colour.red in
+  List.iter
+    (fun acts ->
+      List.iter
+        (fun a ->
+          let ok =
+            match a with
+            | Gen.Set _ | Gen.Arith _ | Gen.Wait | Gen.Yield -> true
+            | Gen.Emit (s, _) -> List.mem s caps.Gen.tx_slots
+            | Gen.Poll s -> List.mem s caps.Gen.rx_slots
+            | Gen.Send (ch, _) -> List.mem ch caps.Gen.send_chans
+            | Gen.Recv ch -> List.mem ch caps.Gen.recv_chans
+          in
+          Alcotest.(check bool) "action within capabilities" true ok)
+        acts)
+    (Gen.generate ~seed:4 ~count:40 (Gen.actions caps ~max:8))
+
+let test_gen_render_assembles () =
+  let caps = Gen.caps_of_regime pipeline_cfg Colour.red in
+  List.iter
+    (fun acts ->
+      let words = Isa.assemble (Gen.render acts) in
+      check Alcotest.int "instr_count is the assembled length" (Array.length words)
+        (Gen.instr_count acts))
+    (Gen.generate ~seed:9 ~count:40 (Gen.actions caps ~max:8))
+
+let test_gen_isa_roundtrip () =
+  List.iter
+    (fun i ->
+      match Isa.decode (Isa.encode i) with
+      | Some i' -> check Alcotest.bool "decode(encode i) = i" true (i = i')
+      | None -> Alcotest.failf "generated instruction does not decode: %a" Isa.pp i)
+    (Gen.generate ~seed:21 ~count:300 Gen.isa_instr)
+
+(* -- Shrinking ------------------------------------------------------------- *)
+
+let test_shrink_int () =
+  let candidates = List.of_seq (Shrink.int 37) in
+  Alcotest.(check bool) "0 comes first" true (List.hd candidates = 0);
+  List.iter
+    (fun c -> Alcotest.(check bool) "candidates are strictly smaller" true (abs c < 37))
+    candidates;
+  check Alcotest.(list int) "no candidates for 0" [] (List.of_seq (Shrink.int 0))
+
+let test_shrink_list () =
+  let l = [ 1; 2; 3; 4; 5; 6 ] in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "candidate no longer than original" true
+        (List.length c <= List.length l))
+    (List.of_seq (Shrink.list ~elem:Shrink.int l))
+
+let test_shrink_minimize () =
+  (* elements only shrink downward and all start below 10, so the true
+     minimum for sum >= 10 is two elements *)
+  let still_failing l = List.fold_left ( + ) 0 l >= 10 in
+  let minimal, steps =
+    Shrink.minimize ~still_failing (Shrink.list ~elem:Shrink.int) [ 9; 4; 8; 3; 7 ]
+  in
+  Alcotest.(check bool) "still failing" true (still_failing minimal);
+  check Alcotest.int "two elements suffice" 2 (List.length minimal);
+  Alcotest.(check bool) "took some steps" true (steps > 0)
+
+let test_shrink_budget () =
+  let calls = ref 0 in
+  let still_failing l =
+    incr calls;
+    List.length l >= 1
+  in
+  let _, _ =
+    Shrink.minimize ~max_steps:5 ~still_failing (Shrink.list ~elem:Shrink.int)
+      (List.init 100 Fun.id)
+  in
+  Alcotest.(check bool) "evaluations bounded by budget" true (!calls <= 6)
+
+(* -- The property runner --------------------------------------------------- *)
+
+let test_prop_passes () =
+  let prop n = if n >= 0 then Ok () else Error "negative" in
+  match Prop.run ~seed:1 (Gen.int 100) prop with
+  | Prop.Passed n -> check Alcotest.int "all runs pass" 200 n
+  | Prop.Failed _ -> Alcotest.fail "property should hold"
+
+let short l = if List.length l < 3 then Ok () else Error "too long"
+
+let test_prop_minimizes () =
+  let gen = Gen.list ~max_len:20 (Gen.int 50) in
+  match Prop.run ~seed:2 ~shrink:(Shrink.list ~elem:Shrink.int) gen short with
+  | Prop.Passed _ -> Alcotest.fail "property should fail"
+  | Prop.Failed cx ->
+    check Alcotest.int "shrunk to the boundary" 3 (List.length cx.Prop.cx_minimized);
+    Alcotest.(check bool) "shrinking did work" true (cx.Prop.cx_shrink_steps > 0)
+
+let test_prop_replay () =
+  let gen = Gen.list ~max_len:20 (Gen.int 50) in
+  let run () = Prop.run ~seed:2 ~shrink:(Shrink.list ~elem:Shrink.int) gen short in
+  match (run (), run ()) with
+  | Prop.Failed a, Prop.Failed b ->
+    check
+      Alcotest.(list int)
+      "same seed, same counterexample" a.Prop.cx_minimized b.Prop.cx_minimized;
+    check Alcotest.int "same run index" a.Prop.cx_run b.Prop.cx_run
+  | _ -> Alcotest.fail "both runs should fail"
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_prop_check_raises () =
+  match Prop.check ~name:"lists are short" ~seed:2 (Gen.list ~max_len:20 (Gen.int 50)) short with
+  | () -> Alcotest.fail "check should raise"
+  | exception Failure msg ->
+    Alcotest.(check bool) "message names the property" true (contains ~needle:"lists are short" msg);
+    Alcotest.(check bool) "message carries the replay seed" true (contains ~needle:"seed" msg)
+
+(* -- Sep_util through the engine ------------------------------------------- *)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' ->
+        if not (Json.equal j j') then
+          Alcotest.failf "round trip changed %s into %s" (Json.to_string j) (Json.to_string j')
+      | Error m -> Alcotest.failf "round trip of %s failed: %s" (Json.to_string j) m)
+    (Gen.generate ~seed:13 ~count:100 (Gen.json ()))
+
+let test_json_surrogates () =
+  List.iter
+    (fun s ->
+      let j = Json.String s in
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> Alcotest.(check bool) "utf8 string round-trips" true (Json.equal j j')
+      | Error m -> Alcotest.failf "string %S failed to round trip: %s" s m)
+    (Gen.generate ~seed:14 ~count:100 (Gen.utf8_string ~max_len:24));
+  (* an astral code point must travel as a surrogate pair *)
+  (match Json.parse "\"\\ud83d\\ude00\"" with
+  | Ok (Json.String s) -> check Alcotest.string "surrogate pair decodes" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair should parse");
+  match Json.parse "\"\\ud800\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lone surrogate should be rejected"
+
+(* Model-based check: Fifo against a plain functional queue. *)
+let test_fifo_model () =
+  let ops =
+    Gen.list ~max_len:40
+      (Gen.frequency
+         [
+           (4, Gen.map (fun n -> `Push n) (Gen.int 100));
+           (3, Gen.return `Pop);
+           (2, Gen.return `Peek);
+           (1, Gen.return `Clear);
+         ])
+  in
+  List.iter
+    (fun (cap, ops) ->
+      let fifo = Fifo.create ~capacity:cap in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push n ->
+            let accepted = Fifo.push fifo n in
+            let expect = List.length !model < cap in
+            Alcotest.(check bool) "push accepted iff not full" expect accepted;
+            if expect then model := !model @ [ n ]
+          | `Pop ->
+            let got = Fifo.pop fifo in
+            let expect = match !model with [] -> None | x :: rest -> model := rest; Some x in
+            check Alcotest.(option int) "pop agrees with model" expect got
+          | `Peek ->
+            check
+              Alcotest.(option int)
+              "peek agrees with model"
+              (match !model with [] -> None | x :: _ -> Some x)
+              (Fifo.peek fifo)
+          | `Clear ->
+            Fifo.clear fifo;
+            model := [])
+        ops;
+      check Alcotest.(list int) "contents agree with model" !model (Fifo.to_list fifo))
+    (Gen.generate ~seed:15 ~count:30 (Gen.pair (Gen.int_in 1 8) ops))
+
+let test_fifo_copy_independent () =
+  let fifo = Fifo.create ~capacity:4 in
+  ignore (Fifo.push fifo 1);
+  ignore (Fifo.push fifo 2);
+  let snapshot = Fifo.copy fifo in
+  ignore (Fifo.pop fifo);
+  ignore (Fifo.push fifo 3);
+  check Alcotest.(list int) "copy unaffected by later ops" [ 1; 2 ] (Fifo.to_list snapshot);
+  check Alcotest.(list int) "original moved on" [ 2; 3 ] (Fifo.to_list fifo)
+
+let test_bits_roundtrip () =
+  List.iter
+    (fun (width, n) ->
+      let n = n land ((1 lsl width) - 1) in
+      check Alcotest.int "int_to_bits/bits_to_int round trip" n
+        (Bits.bits_to_int (Bits.int_to_bits ~width n)))
+    (Gen.generate ~seed:16 ~count:200 (Gen.pair (Gen.int_in 1 30) (Gen.int max_int)));
+  List.iter
+    (fun b ->
+      check Alcotest.string "bytes/bits round trip" (Bytes.to_string b)
+        (Bytes.to_string (Bits.bytes_of_bits (Bits.bits_of_bytes b))))
+    (List.map
+       (fun s -> Bytes.of_string s)
+       (Gen.generate ~seed:17 ~count:50 (Gen.utf8_string ~max_len:12)))
+
+let test_prng_streams () =
+  let a = Prng.create 42 in
+  let b = Prng.copy a in
+  let draws g = List.init 50 (fun _ -> Prng.int g 1000) in
+  check (Alcotest.list Alcotest.int) "copy replays the stream" (draws a) (draws b);
+  let parent = Prng.create 7 in
+  let child = Prng.split parent in
+  Alcotest.(check bool) "split stream differs from parent stream" false
+    (draws parent = draws child)
+
+(* -- Fuzzing --------------------------------------------------------------- *)
+
+let test_fuzz_execute_deterministic () =
+  let sched = [ []; [ (0, 1) ]; [] ] in
+  let run () =
+    let e =
+      Fuzz.execute ~seed:8 ~alphabet:pipeline.Scenarios.alphabet pipeline_cfg sched
+    in
+    (e.Fuzz.ex_keys, Json.to_string (Separability.report_to_json e.Fuzz.ex_report))
+  in
+  let k1, r1 = run () and k2, r2 = run () in
+  check (Alcotest.list Alcotest.string) "same keys" k1 k2;
+  check Alcotest.string "same report" r1 r2;
+  Alcotest.(check bool) "keys observed" true (k1 <> []);
+  check (Alcotest.list Alcotest.string) "keys sorted and unique" (List.sort_uniq compare k1) k1
+
+let test_fuzz_clean_kernel () =
+  let r = Fuzz.fuzz_scenario ~seed:7 ~budget:20 pipeline in
+  check Alcotest.int "no failures on the correct kernel" 0 (List.length r.Fuzz.sr_failures);
+  Alcotest.(check bool) "corpus grew beyond one seed" true
+    (List.length r.Fuzz.sr_campaign.Fuzz.cp_entries > 1)
+
+let test_fuzz_deterministic_jsonl () =
+  let jsonl () = Fuzz.scenario_result_to_jsonl (Fuzz.fuzz_scenario ~seed:7 ~budget:15 pipeline) in
+  check Alcotest.string "byte-identical JSONL for a fixed seed" (jsonl ()) (jsonl ())
+
+let test_fuzz_detects_mutant () =
+  let report =
+    Fuzz.check_schedule ~bugs:[ Sue.Partition_hole ] ~seed:8
+      ~alphabet:pipeline.Scenarios.alphabet pipeline_cfg []
+  in
+  Alcotest.(check bool) "partition hole fails condition 2" true
+    (List.mem 2 (Separability.failing_conditions report))
+
+let test_fuzz_schedule_json () =
+  List.iter
+    (fun sched ->
+      match Fuzz.schedule_of_json (Fuzz.schedule_to_json sched) with
+      | Ok sched' ->
+        Alcotest.(check bool) "schedule round-trips through JSON" true (sched = sched')
+      | Error m -> Alcotest.failf "schedule failed to round trip: %s" m)
+    (Gen.generate ~seed:19 ~count:30
+       (Gen.schedule ~alphabet:pipeline.Scenarios.alphabet ~max_len:10))
+
+(* -- Differential properties ------------------------------------------------ *)
+
+let drip n =
+  let alphabet = Array.of_list pipeline.Scenarios.alphabet in
+  List.init n (fun i -> alphabet.(i mod Array.length alphabet))
+
+let test_solo_isolation_holds () =
+  check
+    Alcotest.(list (triple string int string))
+    "solo isolation holds on the correct pipeline" []
+    (List.map
+       (fun (c, d, m) -> (Colour.name c, d, m))
+       (Diff.solo_check pipeline_cfg ~schedule:(drip 12)))
+
+let test_observed_tx_sees_leak () =
+  let sched = drip 12 in
+  let clean = Diff.observed_tx pipeline_cfg ~schedule:sched in
+  let leaky = Diff.observed_tx ~bugs:[ Sue.Output_leak ] pipeline_cfg ~schedule:sched in
+  Alcotest.(check bool) "the output leak changes some Tx wire" false (clean = leaky)
+
+let test_kernel_vs_net_equal () =
+  let cases, mismatches = Diff.kernel_vs_net ~seed:11 ~cases:5 ~steps:24 in
+  check Alcotest.int "five cases run" 5 cases;
+  check (Alcotest.list Alcotest.string) "kernel is indistinguishable from the net" [] mismatches
+
+let test_kernel_vs_net_detects_bug () =
+  let rec find seed tries =
+    if tries = 0 then None
+    else
+      match
+        Diff.kernel_vs_net_case ~kernel_bugs:[ Sep_core.Regime_kernel.Duplicate_delivery ]
+          ~seed ~steps:24 ()
+      with
+      | Error m -> Some m
+      | Ok () -> find (seed + 1) (tries - 1)
+  in
+  match find 11 10 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "duplicate delivery should diverge from the net on some case"
+
+(* -- The kill-rate scorer and the regression corpus ------------------------- *)
+
+let expectation bug =
+  match Mutants.for_bug bug with
+  | Some e -> e
+  | None -> Alcotest.failf "no catalogue entry for %a" Sue.pp_bug bug
+
+let test_coverage_kill () =
+  let k = Score.coverage_kill ~seed:42 ~budget:60 (expectation Sue.Partition_hole) in
+  Alcotest.(check bool) "killed" true k.Score.kl_detected;
+  match k.Score.kl_workload with
+  | None -> Alcotest.fail "a killing workload should be recorded"
+  | Some w ->
+    Alcotest.(check bool) "minimized to at most 10 instructions" true
+      (Score.workload_instrs w <= 10)
+
+let test_kill_deterministic () =
+  let run () =
+    Json.to_string (Score.kill_to_json (Score.coverage_kill ~seed:42 ~budget:60 (expectation Sue.Output_leak)))
+  in
+  check Alcotest.string "same seed, same kill record" (run ()) (run ())
+
+let corpus_dir () =
+  (* cwd is the build test directory under [dune runtest], the repo root
+     under [dune exec] *)
+  if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+
+let test_corpus_files_replay () =
+  let dir = corpus_dir () in
+  let files = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  check Alcotest.int "one corpus case per seeded bug" (List.length Sue.all_bugs)
+    (List.length files);
+  List.iter
+    (fun file ->
+      let path = Filename.concat dir file in
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.parse text with
+      | Error m -> Alcotest.failf "%s: bad JSON: %s" file m
+      | Ok json -> (
+        match Score.corpus_case_of_json json with
+        | Error m -> Alcotest.failf "%s: %s" file m
+        | Ok case -> (
+          match Score.replay_corpus_case case with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "%s: %s" file m)))
+    files
+
+let test_corpus_json_roundtrip () =
+  match Score.corpus_case ~seed:42 (expectation Sue.Input_crosstalk) with
+  | None -> Alcotest.fail "a corpus case should exist for input-crosstalk"
+  | Some case -> (
+    match Score.corpus_case_of_json (Score.corpus_case_to_json case) with
+    | Ok case' -> Alcotest.(check bool) "corpus case round-trips" true (case = case')
+    | Error m -> Alcotest.failf "round trip failed: %s" m)
+
+let test_minimize_randomized () =
+  let e = expectation Sue.Forget_register_save in
+  let cfg = e.Mutants.scenario.Scenarios.cfg in
+  let inputs = e.Mutants.scenario.Scenarios.alphabet in
+  let report = Sep_core.Randomized.check ~bugs:[ e.Mutants.bug ] ~seed:99 ~inputs cfg in
+  let conditions = Separability.failing_conditions report in
+  Alcotest.(check bool) "the sampled run fails" true (conditions <> []);
+  let minimized =
+    Score.minimize_randomized ~bugs:[ e.Mutants.bug ] ~seed:99 ~inputs ~conditions cfg
+  in
+  Alcotest.(check bool) "a standalone counterexample was recovered" true (minimized <> []);
+  List.iter
+    (fun m ->
+      let replayed =
+        Separability.failing_conditions
+          (Fuzz.check_schedule ~bugs:[ e.Mutants.bug ] ~scrambles:m.Score.mz_scrambles
+             ~seed:m.Score.mz_seed ~alphabet:inputs cfg m.Score.mz_schedule)
+      in
+      List.iter
+        (fun c -> Alcotest.(check bool) "replay reproduces each condition" true (List.mem c replayed))
+        m.Score.mz_conditions)
+    minimized
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "bounds" `Quick test_gen_bounds;
+          Alcotest.test_case "configs validate and build" `Quick test_gen_config_valid;
+          Alcotest.test_case "schedules stay in the alphabet" `Quick test_gen_schedule_in_alphabet;
+          Alcotest.test_case "actions respect capabilities" `Quick test_gen_actions_capable;
+          Alcotest.test_case "renderings assemble" `Quick test_gen_render_assembles;
+          Alcotest.test_case "isa instructions round-trip" `Quick test_gen_isa_roundtrip;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "int candidates" `Quick test_shrink_int;
+          Alcotest.test_case "list candidates" `Quick test_shrink_list;
+          Alcotest.test_case "minimize reaches a fixpoint" `Quick test_shrink_minimize;
+          Alcotest.test_case "minimize honours its budget" `Quick test_shrink_budget;
+        ] );
+      ( "prop",
+        [
+          Alcotest.test_case "passing property" `Quick test_prop_passes;
+          Alcotest.test_case "failures are minimized" `Quick test_prop_minimizes;
+          Alcotest.test_case "seeded replay" `Quick test_prop_replay;
+          Alcotest.test_case "check raises with context" `Quick test_prop_check_raises;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "json round-trips" `Quick test_json_roundtrip;
+          Alcotest.test_case "surrogate pairs" `Quick test_json_surrogates;
+          Alcotest.test_case "fifo against the list model" `Quick test_fifo_model;
+          Alcotest.test_case "fifo copies are independent" `Quick test_fifo_copy_independent;
+          Alcotest.test_case "bits round-trips" `Quick test_bits_roundtrip;
+          Alcotest.test_case "prng stream independence" `Quick test_prng_streams;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "execution is deterministic" `Quick test_fuzz_execute_deterministic;
+          Alcotest.test_case "correct kernel fuzzes clean" `Quick test_fuzz_clean_kernel;
+          Alcotest.test_case "jsonl is byte-deterministic" `Quick test_fuzz_deterministic_jsonl;
+          Alcotest.test_case "mutants fail their condition" `Quick test_fuzz_detects_mutant;
+          Alcotest.test_case "schedules round-trip as json" `Quick test_fuzz_schedule_json;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "solo isolation holds" `Quick test_solo_isolation_holds;
+          Alcotest.test_case "output leak is observable" `Quick test_observed_tx_sees_leak;
+          Alcotest.test_case "kernel equals the net" `Quick test_kernel_vs_net_equal;
+          Alcotest.test_case "kernel bugs diverge from the net" `Quick test_kernel_vs_net_detects_bug;
+        ] );
+      ( "score",
+        [
+          Alcotest.test_case "coverage kill within 10 instructions" `Quick test_coverage_kill;
+          Alcotest.test_case "kill records are deterministic" `Quick test_kill_deterministic;
+          Alcotest.test_case "corpus replays" `Quick test_corpus_files_replay;
+          Alcotest.test_case "corpus cases round-trip" `Quick test_corpus_json_roundtrip;
+          Alcotest.test_case "randomized failures minimize" `Quick test_minimize_randomized;
+        ] );
+    ]
