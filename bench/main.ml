@@ -1,13 +1,13 @@
 (* Benchmark and experiment harness.
 
-   One driver per reproduced claim of the paper (E1-E15, indexed in
+   One driver per reproduced claim of the paper (E1-E16, indexed in
    DESIGN.md and EXPERIMENTS.md), each printing the table that supports
    it, followed by bechamel timings of the core operations.
 
      dune exec bench/main.exe                 all experiments + timings
      dune exec bench/main.exe -- e3 e6        selected experiments
      dune exec bench/main.exe -- timings      only the timing benches
-     dune exec bench/main.exe -- snapshot     write BENCH_PR3.json (see EXPERIMENTS.md)
+     dune exec bench/main.exe -- snapshot     write BENCH_PR4.json (see EXPERIMENTS.md)
      dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing *)
 
 module Table = Sep_util.Table
@@ -598,6 +598,7 @@ let e14 () =
             match c.C.outcome with
             | C.Masked -> (m + 1, d, v)
             | C.Detected_safe -> (m, d + 1, v)
+            | C.Recovered_safe -> (m, d, v)  (* E14 runs without a supervisor *)
             | C.Violating -> (m, d, v + 1))
           (0, 0, 0) sr.C.cases
       in
@@ -620,7 +621,7 @@ let e14 () =
       "-";
     ];
   Table.print t;
-  let masked, detected, violating = C.totals report in
+  let masked, detected, _, violating = C.totals report in
   Fmt.pr "%d cases in %.2fs: %d masked, %d detected-safe, %d violating; containment holds: %b@.@."
     (masked + detected + violating) secs masked detected violating
     (C.holds report && dist.C.dr_contained)
@@ -684,6 +685,73 @@ let e15 () =
     Mutants.catalogue;
   Table.print t2;
   Fmt.pr "all mutants killed under every strategy: %b@.@." !all_killed
+
+(* -- E16: fail-operational recovery --------------------------------------------------------- *)
+
+let e16 () =
+  claim
+    "recovery preserves separability: a supervisor that restarts parked regimes from checkpoints \
+     and warm-reboots a panicked kernel turns every detected fault into a recovered-safe outcome \
+     without ever perturbing another colour's observable trace across the restart boundary — and \
+     the kernel still pins against the distributed ideal when the ideal's wires drop, duplicate \
+     and reorder frames under the reliable-channel protocol.";
+  let module C = Sep_robust.Campaign in
+  let seed = 42 and steps = 200 and count = 40 in
+  let report, secs = timed (fun () -> C.run_recovery ~seed ~steps ~count ()) in
+  let t = Table.create
+      ~title:"E16a: recovery campaign (seed 42, 200 steps, 40 single- + 20 multi-fault plans/scenario)"
+      ~columns:[ "scenario"; "masked"; "detected-safe"; "recovered-safe"; "violating"; "watchdog" ] in
+  List.iter
+    (fun (sr : C.scenario_report) ->
+      let m, d, r, v =
+        List.fold_left
+          (fun (m, d, r, v) (c : C.case) ->
+            match c.C.outcome with
+            | C.Masked -> (m + 1, d, r, v)
+            | C.Detected_safe -> (m, d + 1, r, v)
+            | C.Recovered_safe -> (m, d, r + 1, v)
+            | C.Violating -> (m, d, r, v + 1))
+          (0, 0, 0, 0) sr.C.cases
+      in
+      Table.add_row t
+        [
+          sr.C.label;
+          string_of_int m;
+          string_of_int d;
+          string_of_int r;
+          string_of_int v;
+          (match sr.C.watchdog with Some w -> string_of_int w | None -> "-");
+        ])
+    report.C.rp_scenarios;
+  Table.print t;
+  let masked, detected, recovered, violating = C.totals report in
+  Fmt.pr "%d cases in %.2fs: %d masked, %d detected-safe, %d recovered-safe, %d violating; holds: %b@.@."
+    (masked + detected + recovered + violating) secs masked detected recovered violating
+    (C.holds report);
+  let t2 = Table.create ~title:"E16b: kernel vs. reliable net over a lossy link (seed 42, 150 steps)"
+      ~columns:[ "drop %"; "cases"; "delivered"; "retransmits"; "acks"; "backoff hits"; "mismatches"; "seconds" ] in
+  List.iter
+    (fun drop ->
+      let link = { Sep_distributed.Net.default_link_model with Sep_distributed.Net.lm_drop = drop } in
+      let rel, rsecs =
+        timed (fun () -> Sep_check.Diff.kernel_vs_reliable_net ~link ~seed ~cases:4 ~steps:150 ())
+      in
+      let sum f = List.fold_left (fun n rc -> n + f rc) 0 rel in
+      Table.add_row t2
+        [
+          string_of_int drop;
+          string_of_int (List.length rel);
+          string_of_int (sum (fun rc -> rc.Sep_check.Diff.rc_delivered));
+          string_of_int
+            (sum (fun rc -> rc.Sep_check.Diff.rc_stats.Sep_distributed.Net.ls_retransmits));
+          string_of_int (sum (fun rc -> rc.Sep_check.Diff.rc_stats.Sep_distributed.Net.ls_acks));
+          string_of_int
+            (sum (fun rc -> rc.Sep_check.Diff.rc_stats.Sep_distributed.Net.ls_backoff_ceiling));
+          string_of_int (sum (fun rc -> List.length rc.Sep_check.Diff.rc_mismatches));
+          Fmt.str "%.2f" rsecs;
+        ])
+    [ 10; 25 ];
+  Table.print t2
 
 (* -- bechamel timings -------------------------------------------------------------------- *)
 
@@ -900,15 +968,49 @@ let snapshot_json () =
         ("kills", Json.List kill_entries);
       ]
   in
+  let recovery =
+    let module C = Sep_robust.Campaign in
+    let report, secs = timed (fun () -> C.run_recovery ~seed:42 ~steps:200 ~count:40 ()) in
+    let rel, rel_secs =
+      timed (fun () -> Sep_check.Diff.kernel_vs_reliable_net ~seed:42 ~cases:4 ~steps:150 ())
+    in
+    let rel_entries =
+      List.mapi
+        (fun i (rc : Sep_check.Diff.reliable_case) ->
+          let s = rc.Sep_check.Diff.rc_stats in
+          Json.Obj
+            [
+              ("case", Json.Int i);
+              ("delivered", Json.Int rc.Sep_check.Diff.rc_delivered);
+              ("mismatches", Json.Int (List.length rc.Sep_check.Diff.rc_mismatches));
+              ("lossy_drops", Json.Int s.Sep_distributed.Net.ls_lossy_drops);
+              ("retransmits", Json.Int s.Sep_distributed.Net.ls_retransmits);
+              ("acks", Json.Int s.Sep_distributed.Net.ls_acks);
+              ("backoff_ceiling", Json.Int s.Sep_distributed.Net.ls_backoff_ceiling);
+            ])
+        rel
+    in
+    match C.summary_json report with
+    | Json.Obj fields ->
+      Json.Obj
+        (fields
+        @ [
+            ("seconds", Json.Float secs);
+            ("reliable_net", Json.List rel_entries);
+            ("reliable_net_seconds", Json.Float rel_secs);
+          ])
+    | other -> other
+  in
   Json.Obj
     [
-      ("schema", Json.String "rushby-bench/3");
+      ("schema", Json.String "rushby-bench/4");
       ("generated_at_unix", Json.Float (Unix.time ()));
       ("ocaml_version", Json.String Sys.ocaml_version);
       ("experiments", Json.List check_experiments);
       ("kernel_runs", Json.List kernel_runs);
       ("fault_campaign", fault_campaign);
       ("fuzz", fuzz);
+      ("recovery", recovery);
       ("spans", Sep_obs.Span.to_json ());
     ]
 
@@ -917,7 +1019,7 @@ let validate_snapshot json =
   let require_obj name v = match v with Some (Json.Obj _ as o) -> Ok o | _ -> fail ("missing object " ^ name) in
   let require_list name v = match v with Some (Json.List l) -> Ok l | _ -> fail ("missing list " ^ name) in
   match Json.member "schema" json with
-  | Some (Json.String "rushby-bench/3") -> (
+  | Some (Json.String "rushby-bench/4") -> (
     match require_list "experiments" (Json.member "experiments" json) with
     | Error e -> fail e
     | Ok experiments -> (
@@ -935,6 +1037,15 @@ let validate_snapshot json =
               [ "cases"; "masked"; "detected_safe"; "violating"; "holds"; "distributed" ] ->
           fail "malformed fault_campaign entry"
         | Ok _ -> (
+          match require_obj "recovery" (Json.member "recovery" json) with
+          | Error e -> fail e
+          | Ok recovery when
+              List.exists
+                (fun k -> Json.member k recovery = None)
+                [ "cases"; "masked"; "detected_safe"; "recovered_safe"; "violating"; "holds";
+                  "reliable_net" ] ->
+            fail "malformed recovery entry"
+          | Ok _ -> (
           match require_obj "fuzz" (Json.member "fuzz" json) with
           | Error e -> fail e
           | Ok fuzz -> (
@@ -974,12 +1085,12 @@ let validate_snapshot json =
               else if not (List.for_all fuzz_kill_ok fuzz_kills) then fail "malformed fuzz kill entry"
               else if experiments = [] || runs = [] || fuzz_scenarios = [] || fuzz_kills = [] then
                 fail "empty snapshot"
-              else Ok (List.length experiments, List.length runs))))))
+              else Ok (List.length experiments, List.length runs)))))))
   | _ -> fail "missing or unexpected schema tag"
 
 let snapshot_main args =
   let check_only = ref false in
-  let out = ref "BENCH_PR3.json" in
+  let out = ref "BENCH_PR4.json" in
   let rec parse = function
     | [] -> Ok ()
     | "--check" :: rest ->
@@ -1039,6 +1150,7 @@ let experiments =
     ("e13", e13);
     ("e14", e14);
     ("e15", e15);
+    ("e16", e16);
     ("timings", timings);
   ]
 

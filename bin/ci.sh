@@ -2,9 +2,11 @@
 # CI check: full build, the whole test suite, a self-validating bench
 # snapshot (exercises the telemetry/JSON pipeline without writing files),
 # a deterministic fault-injection smoke campaign (exit 1 on any
-# separation-violating outcome), a coverage-guided fuzz smoke run (exit 1
-# on any condition/isolation failure or surviving mutant), and the
-# example programs.
+# separation-violating outcome), a recovery smoke campaign (exit 1 on any
+# violating or non-recovered outcome, or on a reliable-channel
+# differential mismatch), a coverage-guided fuzz smoke run (exit 1 on any
+# condition/isolation failure or surviving mutant), a replay of every
+# checked-in regression corpus case, and the example programs.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -13,7 +15,12 @@ dune build @all
 dune runtest
 dune exec bench/main.exe -- snapshot --check
 dune exec bin/rushby.exe -- inject --smoke
+dune exec bin/rushby.exe -- recover --smoke
 dune exec bin/rushby.exe -- fuzz --smoke
+
+for case in test/corpus/*.json; do
+  dune exec bin/rushby.exe -- fuzz --replay-corpus "$case"
+done
 
 for ex in quickstart snfe_demo guard_demo mls_demo machine_snfe; do
   dune exec "examples/$ex.exe" > /dev/null

@@ -38,6 +38,9 @@ let bugs_arg =
 let uncut_arg =
   Arg.(value & flag & info [ "uncut" ] ~doc:"Skip the wire-cutting transformation (channels left shared).")
 
+(* the one seed flag: every randomized subcommand (verify-random,
+   bandwidth, inject, fuzz, recover) shares this definition, so --seed
+   means the same thing, with the same default, everywhere *)
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
 
 let impl_arg =
@@ -410,7 +413,22 @@ let trace_cmd =
 
 (* -- stats ------------------------------------------------------------------- *)
 
-let stats_run scenario bugs steps impl json_file =
+let link_stats_json (s : Sep_distributed.Net.link_stats) =
+  Sep_util.Json.Obj
+    [
+      ("in_flight", Sep_util.Json.Int s.ls_in_flight);
+      ("drops", Sep_util.Json.Int s.ls_drops);
+      ("lossy_drops", Sep_util.Json.Int s.ls_lossy_drops);
+      ("retransmits", Sep_util.Json.Int s.ls_retransmits);
+      ("acks", Sep_util.Json.Int s.ls_acks);
+      ("backoff_ceiling", Sep_util.Json.Int s.ls_backoff_ceiling);
+    ]
+
+let pp_link_stats ppf (s : Sep_distributed.Net.link_stats) =
+  Fmt.pf ppf "in-flight %d  drops %d  lossy-drops %d  retransmits %d  acks %d  backoff-ceiling %d"
+    s.ls_in_flight s.ls_drops s.ls_lossy_drops s.ls_retransmits s.ls_acks s.ls_backoff_ceiling
+
+let stats_run scenario bugs seed steps impl json_file =
   Sep_obs.Span.set_enabled true;
   let t = Sep_core.Sue.build ~bugs ~impl scenario.Sep_core.Scenarios.cfg in
   let inputs = drip_inputs scenario in
@@ -420,6 +438,12 @@ let stats_run scenario bugs steps impl json_file =
   let tel = Sep_core.Sue.telemetry t in
   Fmt.pr "== kernel counters: %s, %d steps, %a kernel ==@.%a@."
     scenario.Sep_core.Scenarios.label steps Sep_core.Sue.pp_impl impl Sep_obs.Telemetry.pp tel;
+  (* the distributed substrate's line counters alongside the kernel's: one
+     reliable-net pipeline under the default lossy link model *)
+  let net_steps = min steps 200 in
+  let rc = Sep_check.Diff.kernel_vs_reliable_net_case ~seed ~steps:net_steps () in
+  Fmt.pr "@.== reliable net (lossy link, %d steps) ==@.  %a@." net_steps pp_link_stats
+    rc.Sep_check.Diff.rc_stats;
   Fmt.pr "@.== span profile (seconds) ==@.%a@." Sep_obs.Telemetry.pp Sep_obs.Span.registry;
   (match json_file with
   | None -> ()
@@ -436,6 +460,14 @@ let stats_run scenario bugs steps impl json_file =
              ]);
         Sep_obs.Sink.emit sink
           (Sep_util.Json.Obj
+             [
+               ("kind", Sep_util.Json.String "net_link");
+               ("steps", Sep_util.Json.Int net_steps);
+               ("delivered", Sep_util.Json.Int rc.Sep_check.Diff.rc_delivered);
+               ("stats", link_stats_json rc.Sep_check.Diff.rc_stats);
+             ]);
+        Sep_obs.Sink.emit sink
+          (Sep_util.Json.Obj
              [ ("kind", Sep_util.Json.String "spans"); ("telemetry", Sep_obs.Span.to_json ()) ])));
   0
 
@@ -447,8 +479,10 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Run a scenario and print the kernel's telemetry: per-regime counters and a span profile.")
-    Term.(const stats_run $ scenario_arg $ bugs_arg $ steps $ impl_arg $ json_file)
+       ~doc:
+         "Run a scenario and print the kernel's telemetry (per-regime counters, span profile) plus \
+          the reliable net's link statistics.")
+    Term.(const stats_run $ scenario_arg $ bugs_arg $ seed_arg $ steps $ impl_arg $ json_file)
 
 (* -- metrics ----------------------------------------------------------------- *)
 
@@ -476,6 +510,7 @@ let inject_run seed steps count smoke json_file =
             match c.C.outcome with
             | C.Masked -> (m + 1, d, v)
             | C.Detected_safe -> (m, d + 1, v)
+            | C.Recovered_safe -> (m, d, v)  (* never produced without a supervisor *)
             | C.Violating -> (m, d, v + 1))
           (0, 0, 0) sr.C.cases
       in
@@ -487,7 +522,7 @@ let inject_run seed steps count smoke json_file =
             Fmt.pr "    VIOLATION %a@." Sep_robust.Fault_plan.pp c.C.plan)
         sr.C.cases)
     report.C.rp_scenarios;
-  let masked, detected, violating = C.totals report in
+  let masked, detected, _, violating = C.totals report in
   let dist = C.run_distributed ~seed ~steps:40 ~count:20 in
   Fmt.pr "  %-16s %3d wire-tamper cases, %d messages hit, contained by construction: %b@."
     "distributed" dist.C.dr_cases dist.C.dr_affected dist.C.dr_contained;
@@ -525,6 +560,127 @@ let inject_cmd =
          "Run seeded fault-injection campaigns against every scenario and classify each outcome as \
           masked, detected-safe or separation-violating by differential per-colour trace comparison.")
     Term.(const inject_run $ seed_arg $ steps $ count $ smoke $ json_file)
+
+(* -- recover ----------------------------------------------------------------- *)
+
+let recover_run seed steps count smoke drop json_file =
+  let steps, count = if smoke then (60, 12) else (steps, count) in
+  let module C = Sep_robust.Campaign in
+  let report = C.run_recovery ~seed ~steps ~count () in
+  Fmt.pr "== recovery campaign: seed %d, %d steps, %d fault plans/scenario (plus multi-fault) ==@."
+    seed steps count;
+  List.iter
+    (fun (sr : C.scenario_report) ->
+      let m, d, r, v =
+        List.fold_left
+          (fun (m, d, r, v) (c : C.case) ->
+            match c.C.outcome with
+            | C.Masked -> (m + 1, d, r, v)
+            | C.Detected_safe -> (m, d + 1, r, v)
+            | C.Recovered_safe -> (m, d, r + 1, v)
+            | C.Violating -> (m, d, r, v + 1))
+          (0, 0, 0, 0) sr.C.cases
+      in
+      Fmt.pr "  %-16s %3d masked  %3d detected-safe  %3d recovered-safe  %3d violating%s@."
+        sr.C.label m d r v
+        (match sr.C.watchdog with Some w -> Fmt.str "  (watchdog %d)" w | None -> "");
+      List.iter
+        (fun (c : C.case) ->
+          if c.C.outcome = C.Violating then
+            Fmt.pr "    VIOLATION %a@." Sep_robust.Fault_plan.pp c.C.plan)
+        sr.C.cases)
+    report.C.rp_scenarios;
+  let masked, detected, recovered, violating = C.totals report in
+  (* the reliable-channel differential: the kernel must still pin against
+     the distributed ideal when the ideal's wires drop, duplicate and
+     reorder frames under the reliable protocol *)
+  let link = { Sep_distributed.Net.default_link_model with Sep_distributed.Net.lm_drop = drop } in
+  let rel_cases, rel_steps = if smoke then (3, 90) else (6, 150) in
+  let rel = Sep_check.Diff.kernel_vs_reliable_net ~link ~seed ~cases:rel_cases ~steps:rel_steps () in
+  let mismatches = List.concat_map (fun rc -> rc.Sep_check.Diff.rc_mismatches) rel in
+  let sum f = List.fold_left (fun n rc -> n + f rc) 0 rel in
+  Fmt.pr "  %-16s %d cases at %d%% drop: %d delivered, %d retransmits, %d acks, %d mismatch%s@."
+    "reliable-net" rel_cases drop
+    (sum (fun rc -> rc.Sep_check.Diff.rc_delivered))
+    (sum (fun rc -> rc.Sep_check.Diff.rc_stats.Sep_distributed.Net.ls_retransmits))
+    (sum (fun rc -> rc.Sep_check.Diff.rc_stats.Sep_distributed.Net.ls_acks))
+    (List.length mismatches)
+    (if List.compare_length_with mismatches 1 = 0 then "" else "es");
+  List.iter (fun m -> Fmt.pr "    MISMATCH %s@." m) mismatches;
+  Fmt.pr "@.totals: %d masked, %d detected-safe, %d recovered-safe, %d separation-violating@." masked
+    detected recovered violating;
+  let ok = C.holds report && recovered > 0 && mismatches = [] in
+  Fmt.pr "fail-operational %s@."
+    (if ok then "HOLDS"
+     else if violating > 0 then "VIOLATED"
+     else if recovered = 0 then "DEGRADED (no fault recovered)"
+     else "VIOLATED (reliable-channel differential failed)");
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    graceful_write @@ fun () ->
+    let oc = open_out file in
+    output_string oc (C.report_to_jsonl report);
+    let line j =
+      let buf = Buffer.create 256 in
+      Sep_util.Json.to_buffer buf j;
+      Buffer.add_char buf '\n';
+      output_string oc (Buffer.contents buf)
+    in
+    List.iteri
+      (fun i (rc : Sep_check.Diff.reliable_case) ->
+        line
+          (Sep_util.Json.Obj
+             [
+               ("kind", Sep_util.Json.String "reliable-net");
+               ("case", Sep_util.Json.Int i);
+               ("drop", Sep_util.Json.Int drop);
+               ("delivered", Sep_util.Json.Int rc.Sep_check.Diff.rc_delivered);
+               ("stats", link_stats_json rc.Sep_check.Diff.rc_stats);
+               ( "mismatches",
+                 Sep_util.Json.List
+                   (List.map (fun m -> Sep_util.Json.String m) rc.Sep_check.Diff.rc_mismatches) );
+             ]))
+      rel;
+    line
+      (Sep_util.Json.Obj
+         [
+           ("kind", Sep_util.Json.String "recover-summary");
+           ("seed", Sep_util.Json.Int seed);
+           ("masked", Sep_util.Json.Int masked);
+           ("detected_safe", Sep_util.Json.Int detected);
+           ("recovered_safe", Sep_util.Json.Int recovered);
+           ("violating", Sep_util.Json.Int violating);
+           ("ok", Sep_util.Json.Bool ok);
+         ]);
+    close_out oc;
+    Fmt.pr "wrote %s@." file);
+  if ok then 0 else 1
+
+let recover_cmd =
+  let steps = Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Steps per run.") in
+  let count = Arg.(value & opt int 40 & info [ "count" ] ~doc:"Fault plans per scenario.") in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ] ~doc:"Small deterministic campaign (60 steps, 12 plans/scenario) for CI.")
+  in
+  let drop =
+    Arg.(value & opt int 10
+         & info [ "drop" ] ~doc:"Lossy-link drop rate (percent) for the reliable-net differential.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the campaign report as JSONL to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Run the fail-operational campaign: fault-injection (single- and multi-fault plans) under \
+          a recovery supervisor that restarts parked regimes from checkpoints and warm-reboots a \
+          panicked kernel, classifying each outcome as masked, detected-safe, recovered-safe or \
+          separation-violating; then pin the kernel against the reliable-channel distributed ideal \
+          over a lossy link.")
+    Term.(const recover_run $ seed_arg $ steps $ count $ smoke $ drop $ json_file)
 
 (* -- fuzz -------------------------------------------------------------------- *)
 
@@ -664,12 +820,42 @@ let fuzz_full smoke seed budget impl json_file =
     Fmt.pr "wrote %s@." file);
   if ok then 0 else 1
 
-let fuzz_run smoke seed budget json_file replay scenario bugs impl walks walk_len scrambles
-    emit_corpus =
-  match (emit_corpus, replay) with
-  | Some dir, _ -> fuzz_corpus_emit dir seed impl
-  | None, Some rseed -> fuzz_replay rseed scenario bugs impl walks walk_len scrambles
-  | None, None -> fuzz_full smoke seed budget impl json_file
+(* replay one checked-in test/corpus case: the fixed kernel must verify
+   under its schedule AND the seeded bug must still fail the recorded
+   condition — the CI regression step *)
+let fuzz_replay_corpus impl file =
+  graceful_write @@ fun () ->
+  let ic = open_in file in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let outcome =
+    match Sep_util.Json.parse (String.trim contents) with
+    | Error msg -> Error msg
+    | Ok j -> (
+      match Sep_check.Score.corpus_case_of_json j with
+      | Error msg -> Error msg
+      | Ok c -> (
+        match Sep_check.Score.replay_corpus_case ~impl c with
+        | Error msg -> Error msg
+        | Ok () ->
+          Ok (Fmt.str "%a condition %d still killed" Sep_core.Sue.pp_bug c.Sep_check.Score.cc_bug
+                c.Sep_check.Score.cc_condition)))
+  in
+  match outcome with
+  | Ok msg ->
+    Fmt.pr "%s: %s@." file msg;
+    0
+  | Error msg ->
+    Fmt.epr "rushby: %s: %s@." file msg;
+    1
+
+let fuzz_run smoke seed budget json_file replay replay_corpus scenario bugs impl walks walk_len
+    scrambles emit_corpus =
+  match (emit_corpus, replay, replay_corpus) with
+  | Some dir, _, _ -> fuzz_corpus_emit dir seed impl
+  | None, Some rseed, _ -> fuzz_replay rseed scenario bugs impl walks walk_len scrambles
+  | None, None, Some file -> fuzz_replay_corpus impl file
+  | None, None, None -> fuzz_full smoke seed budget impl json_file
 
 let fuzz_cmd =
   let budget =
@@ -694,6 +880,13 @@ let fuzz_cmd =
          & info [ "emit-corpus" ] ~docv:"DIR"
              ~doc:"Regenerate the per-bug regression corpus (test/corpus) into $(docv) and exit.")
   in
+  let replay_corpus =
+    Arg.(value & opt (some string) None
+         & info [ "replay-corpus" ] ~docv:"FILE"
+             ~doc:"Replay one checked-in corpus case (a test/corpus JSON file): verify the fixed \
+                   kernel under its schedule and confirm the seeded bug still fails the recorded \
+                   condition.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -702,8 +895,8 @@ let fuzz_cmd =
           member), then score how fast exhaustive, randomized and coverage-guided checking kill \
           each seeded kernel bug, shrinking killing workloads to minimal programs.")
     Term.(
-      const fuzz_run $ smoke $ seed_arg $ budget $ json_file $ replay $ scenario_arg $ bugs_arg
-      $ impl_arg $ walks_arg $ walk_len_arg $ scrambles_arg $ emit_corpus)
+      const fuzz_run $ smoke $ seed_arg $ budget $ json_file $ replay $ replay_corpus $ scenario_arg
+      $ bugs_arg $ impl_arg $ walks_arg $ walk_len_arg $ scrambles_arg $ emit_corpus)
 
 let main_cmd =
   let doc = "reproduction of Rushby's separation kernel and Proof of Separability (SOSP 1981)" in
@@ -723,6 +916,7 @@ let main_cmd =
       stats_cmd;
       metrics_cmd;
       inject_cmd;
+      recover_cmd;
       fuzz_cmd;
     ]
 

@@ -176,3 +176,76 @@ let kernel_vs_net ~seed ~cases ~steps =
     | Error m -> mismatches := m :: !mismatches
   done;
   (cases, List.rev !mismatches)
+
+(* -- Kernel vs. the reliable net over a lossy link ---------------------------- *)
+
+type reliable_case = {
+  rc_mismatches : string list;
+  rc_stats : Net.link_stats;
+  rc_delivered : int;  (* words received across the lossy run *)
+}
+
+(* A relay pipeline A -> B -> C, driven at one word every three steps: slow
+   enough that the lossless substrates never drop on a full wire. That
+   throttle matters — the reliable protocol queues without bound while a
+   bare wire sheds load, and backpressure drops are a legitimate
+   difference between the two, not the separation failure this oracle
+   hunts. *)
+let reliable_topology () =
+  let a = Colour.make "A" and b = Colour.make "B" and c = Colour.make "C" in
+  let parts =
+    [ (a, relay ~name:"A" [ 0 ]); (b, fan_out ~name:"B" [ 1 ]); (c, sink ~name:"C" []) ]
+  in
+  (Topology.make ~parts ~wires:[ (a, b, 2); (b, c, 2) ], a)
+
+let recvs trace =
+  List.filter_map
+    (function Component.Saw (Component.Recv (w, m)) -> Some (w, m) | _ -> None)
+    trace
+
+let per_wire pairs =
+  List.fold_left
+    (fun acc (w, m) ->
+      let cur = try List.assoc w acc with Not_found -> [] in
+      (w, cur @ [ m ]) :: List.remove_assoc w acc)
+    [] pairs
+
+let kernel_vs_reliable_net_case ?(link = Net.default_link_model) ~seed ~steps () =
+  let topo, a = reliable_topology () in
+  let net = Net.build ~link:{ link with Net.lm_seed = seed } topo in
+  let kern = Regime_kernel.build topo in
+  let externals n = if n mod 3 = 0 then [ (a, Fmt.str "m%d" (n / 3)) ] else [] in
+  Net.run net ~steps ~externals;
+  Regime_kernel.run kern ~steps ~externals;
+  (* The reliable channel preserves content and order but not timing, and
+     the run may end with frames still in flight — so each wire's lossy
+     delivery must be a prefix of the ideal's, never something else. *)
+  let delivered = ref 0 in
+  let mismatches =
+    List.concat_map
+      (fun c ->
+        let ideal = per_wire (recvs (Regime_kernel.trace kern c)) in
+        let got = per_wire (recvs (Net.trace net c)) in
+        List.filter_map
+          (fun (w, got_words) ->
+            delivered := !delivered + List.length got_words;
+            let ideal_words = try List.assoc w ideal with Not_found -> [] in
+            if is_prefix got_words ideal_words then None
+            else
+              Some
+                (Fmt.str "%s wire %d: lossy run says %a, ideal says %a (seed %d)" (Colour.name c)
+                   w
+                   Fmt.(Dump.list string)
+                   got_words
+                   Fmt.(Dump.list string)
+                   ideal_words seed))
+          got)
+      (Topology.colours topo)
+  in
+  { rc_mismatches = mismatches; rc_stats = Net.link_stats net; rc_delivered = !delivered }
+
+let kernel_vs_reliable_net ?link ~seed ~cases ~steps () =
+  let rng = Prng.create seed in
+  List.init cases (fun _ ->
+      let case_seed = Int64.to_int (Prng.bits64 rng) land 0x3fffffff in
+      kernel_vs_reliable_net_case ?link ~seed:case_seed ~steps ())

@@ -61,3 +61,34 @@ val kernel_vs_net_case :
 val kernel_vs_net : seed:int -> cases:int -> steps:int -> int * string list
 (** Run [cases] independent cases; returns (cases run, mismatch
     messages — empty when the kernel is indistinguishable). *)
+
+(** {1 Kernel vs. the reliable net over a lossy link}
+
+    The same pinning with the physical ideal degraded: the wire drops,
+    duplicates and reorders, and {!Sep_distributed.Net}'s reliable
+    channel protocol (sequence numbers, acks, retransmission with capped
+    backoff) must hide all of it. Content and order survive; timing does
+    not, and the run may end with frames still in flight — so each wire's
+    lossy delivery must be a {e prefix} of the lossless ideal's, never
+    different words. *)
+
+type reliable_case = {
+  rc_mismatches : string list;  (** empty when the oracle held *)
+  rc_stats : Sep_distributed.Net.link_stats;
+  rc_delivered : int;  (** words received across the lossy run *)
+}
+
+val kernel_vs_reliable_net_case :
+  ?link:Sep_distributed.Net.link_model -> seed:int -> steps:int -> unit -> reliable_case
+(** One case: a relay pipeline [A -> B -> C] driven at one word every
+    three steps (throttled so the lossless substrates never shed load —
+    backpressure drops are a legitimate difference from an unboundedly
+    queueing reliable channel, not a separation failure), hosted on
+    {!Sep_core.Regime_kernel} and on the reliable net under [link]
+    (default {!Sep_distributed.Net.default_link_model}; its [lm_seed] is
+    replaced by [seed]). *)
+
+val kernel_vs_reliable_net :
+  ?link:Sep_distributed.Net.link_model ->
+  seed:int -> cases:int -> steps:int -> unit -> reliable_case list
+(** [cases] independent cases, link seeds drawn from [seed]. *)

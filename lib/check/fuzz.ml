@@ -1,8 +1,10 @@
 module Prng = Sep_util.Prng
 module Colour = Sep_model.Colour
 module Isa = Sep_hw.Isa
+module Machine = Sep_hw.Machine
 module Config = Sep_core.Config
 module Sue = Sep_core.Sue
+module Recover = Sep_recover.Recover
 module Ktrace = Sep_core.Ktrace
 module Scenarios = Sep_core.Scenarios
 module Separability = Sep_core.Separability
@@ -80,6 +82,9 @@ let event_key (e : Ktrace.event) =
   | Ktrace.Guard_breached _ -> "e:guard-breach"
   | Ktrace.Watchdog_fired c -> "e:watchdog:" ^ Colour.name c
   | Ktrace.Kernel_panicked _ -> "e:panic"
+  | Ktrace.Restarted c -> "e:restarted:" ^ Colour.name c
+  | Ktrace.Checkpoint_corrupt c -> "e:ckpt-corrupt:" ^ Colour.name c
+  | Ktrace.Warm_rebooted -> "e:warm-reboot"
 
 let kstat_keys (ks : Sue.kstats) =
   let per name pairs =
@@ -103,6 +108,9 @@ let kstat_keys (ks : Sue.kstats) =
   @ flat "guard_breaches" ks.Sue.ks_guard_breaches
   @ flat "watchdog" ks.Sue.ks_watchdog_fires
   @ flat "panics" ks.Sue.ks_panics
+  @ flat "checkpoints" ks.Sue.ks_checkpoints
+  @ flat "restarts" ks.Sue.ks_restarts
+  @ flat "warm_reboots" ks.Sue.ks_warm_reboots
 
 let status_keys t colours =
   List.map
@@ -308,6 +316,152 @@ let fuzz_scenario ?(bugs = []) ?(impl = Sue.Microcode) ?(check_isolation = true)
             failures := { fl_schedule = e.en_input; fl_conditions = []; fl_isolation = divergences } :: !failures)
       campaign.cp_entries;
   { sr_label = sc.Scenarios.label; sr_seed = seed; sr_campaign = campaign; sr_failures = List.rev !failures }
+
+(* -- Crash-restart exploration ------------------------------------------------ *)
+
+type crash = int * Colour.t
+
+type recovery_input = {
+  ri_sched : schedule;
+  ri_crashes : crash list;
+}
+
+(* The crash: corrupt one save-area slot of the victim before the step.
+   Off-processor victims park at the next switch-to attempt and the
+   supervisor restarts them; a currently-running victim's save area is
+   overwritten at its next save, masking the crash — both are legitimate
+   interleavings for the fuzzer to explore. *)
+let crash_victim t c =
+  let m = Sue.machine t in
+  let a = Sue.save_area_base t c + 2 in
+  Machine.write_phys m a (Machine.read_phys m a lxor 0x40)
+
+(* Like {!execute} but under a recovery supervisor, with states sampled on
+   both sides of every crash-restart boundary: after each step (catching
+   parked states) and again after each supervision round that acted
+   (catching the restored states). The separability check then quantifies
+   over pre-crash, parked and post-restart states alike.
+
+   One window is deliberately NOT sampled: crashed-but-undetected. A
+   corrupted save area with a stale checksum is not a state of the
+   fault-free system the conditions are stated over — stepping it parks
+   the victim on another colour's behalf, which conditions 2 and 3
+   correctly flag. The conditions' claim is about the states recovery
+   leads {e through} (clean, parked, restored), not about the transient
+   the fault itself created; that transient is the campaign's
+   differential-trace territory. A victim crashed while it holds the
+   processor is never dirty: its save area is rewritten (and resealed) at
+   its next swap-out, before any validation can see the corruption. Note
+   that {!Sue.regime_status} returning [Running] only means {e runnable}
+   — only {!Sue.current_colour} identifies the regime whose live context
+   shadows its save area. *)
+let execute_recovery ?(policy = Recover.default_policy) ?(scrambles = 2) ?(settle = 24) ~seed
+    ~alphabet cfg input =
+  let rng = Prng.create seed in
+  let t = Sue.build cfg in
+  let sup = Recover.create ~policy t in
+  let colours = Config.colours cfg in
+  let states = ref [] in
+  let events = ref [] in
+  let add s =
+    states := s :: !states;
+    List.iter
+      (fun c ->
+        for _ = 1 to scrambles do
+          states := Sue.scramble_others rng s c :: !states
+        done)
+      colours
+  in
+  add (Sue.copy t);
+  let dirty = ref [] in
+  let sched = Array.of_list input.ri_sched in
+  let total = Array.length sched + settle in
+  for n = 0 to total - 1 do
+    List.iter
+      (fun (at, c) ->
+        if at = n then begin
+          crash_victim t c;
+          if Sue.current_colour t <> c then dirty := c :: !dirty
+        end)
+      input.ri_crashes;
+    let inp = if n < Array.length sched then sched.(n) else [] in
+    events := Ktrace.step t inp :: !events;
+    (* detection resolves the dirty window: the park is a consistent state *)
+    dirty := List.filter (fun c -> Sue.regime_status t c <> Abstract_regime.Parked) !dirty;
+    if !dirty = [] then add (Sue.copy t);
+    if Recover.tick sup <> [] && !dirty = [] then add (Sue.copy t)
+  done;
+  let keys =
+    List.map event_key (List.concat (List.rev !events))
+    @ kstat_keys (Sue.kstats t)
+    @ status_keys t colours
+  in
+  let keys = List.sort_uniq compare keys in
+  let sys = Sue.to_system ~inputs:alphabet cfg in
+  { ex_keys = keys; ex_report = Separability.check_states sys (List.rev !states) }
+
+let mutate_crashes ~colours ~max_steps rng crashes =
+  let arr = Array.of_list colours in
+  let fresh () = (Prng.int rng max_steps, Prng.choose rng arr) in
+  let n = List.length crashes in
+  match Prng.int rng 4 with
+  | 0 when n < 3 -> fresh () :: crashes
+  | 1 when n > 1 ->
+    let i = Prng.int rng n in
+    List.filteri (fun j _ -> j <> i) crashes
+  | 2 when n > 0 ->
+    let i = Prng.int rng n in
+    List.mapi (fun j (at, c) -> if j = i then (Prng.int rng max_steps, c) else (at, c)) crashes
+  | 3 when n > 0 ->
+    let i = Prng.int rng n in
+    List.mapi (fun j (at, c) -> if j = i then (at, Prng.choose rng arr) else (at, c)) crashes
+  | _ -> [ fresh () ]
+
+type recovery_failure = {
+  rf_schedule : schedule;
+  rf_crashes : crash list;
+  rf_conditions : int list;
+}
+
+type recovery_result = {
+  rv_label : string;
+  rv_seed : int;
+  rv_campaign : recovery_input campaign;
+  rv_failures : recovery_failure list;
+}
+
+let fuzz_recovery ?policy ~seed ~budget (sc : Scenarios.instance) =
+  let alphabet = sc.Scenarios.alphabet in
+  let cfg = sc.Scenarios.cfg in
+  let colours = Config.colours cfg in
+  let failures = ref [] in
+  let coverage input =
+    let e = execute_recovery ?policy ~seed:(seed + 1) ~alphabet cfg input in
+    let conds = Separability.failing_conditions e.ex_report in
+    if conds <> [] && List.length !failures < max_failures_kept then
+      failures :=
+        { rf_schedule = input.ri_sched; rf_crashes = input.ri_crashes; rf_conditions = conds }
+        :: !failures;
+    e.ex_keys
+  in
+  let drip = drip_schedule alphabet 12 in
+  let seeds =
+    List.mapi (fun i c -> { ri_sched = drip; ri_crashes = [ (2 + (3 * i), c) ] }) colours
+    @ [ { ri_sched = drip; ri_crashes = List.mapi (fun i c -> (4 + i, c)) colours } ]
+  in
+  let max_steps = 12 + 24 in
+  let mutate rng input =
+    if input.ri_crashes <> [] && Prng.bool rng then
+      { input with ri_crashes = mutate_crashes ~colours ~max_steps rng input.ri_crashes }
+    else { input with ri_sched = mutate_schedule ~alphabet ~max_len:32 rng input.ri_sched }
+  in
+  let campaign = engine ~seed ~budget ~seeds ~mutate ~coverage () in
+  {
+    rv_label = sc.Scenarios.label;
+    rv_seed = seed;
+    rv_campaign = campaign;
+    rv_failures = List.rev !failures;
+  }
 
 let scenario_result_to_jsonl r =
   let buf = Buffer.create 1024 in

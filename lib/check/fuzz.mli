@@ -109,3 +109,57 @@ val fuzz_scenario :
 val scenario_result_to_jsonl : scenario_result -> string
 (** One [fuzz-corpus] line per corpus entry, then one [fuzz-scenario]
     summary line. Deterministic for a fixed seed. *)
+
+(** {1 Crash-restart exploration}
+
+    The recovery subsystem widens the state space the six conditions must
+    cover: parked states, restored states, and everything a supervisor
+    does in between. This fuzzer explores that space: inputs pair an
+    external schedule with {e crash points} (step, victim) — a save-area
+    corruption that parks the victim at its next switch — and every run
+    executes under a {!Sep_recover.Recover} supervisor, so coverage keys
+    like [e:restarted:*] and [k:restarts:*] pull the corpus toward
+    interesting crash-restart interleavings. *)
+
+type crash = int * Colour.t
+(** Corrupt the victim's save area immediately before this step. *)
+
+type recovery_input = {
+  ri_sched : schedule;
+  ri_crashes : crash list;
+}
+
+val execute_recovery :
+  ?policy:Sep_recover.Recover.policy -> ?scrambles:int -> ?settle:int -> seed:int ->
+  alphabet:Sue.input list -> Isa.stmt list Config.t -> recovery_input -> exec
+(** One run under a recovery supervisor ({!Sep_recover.Recover.tick}
+    after every step). States are sampled on both sides of every
+    crash-restart boundary — after each step (catching parked states) and
+    after each supervision round that acted (catching restored states) —
+    so the condition check quantifies over the full recovery cycle. *)
+
+val mutate_crashes :
+  colours:Colour.t list -> max_steps:int -> Sep_util.Prng.t -> crash list -> crash list
+(** Add, drop, move or re-target a crash point (at most three per
+    input). *)
+
+type recovery_failure = {
+  rf_schedule : schedule;
+  rf_crashes : crash list;
+  rf_conditions : int list;
+}
+
+type recovery_result = {
+  rv_label : string;
+  rv_seed : int;
+  rv_campaign : recovery_input campaign;
+  rv_failures : recovery_failure list;  (** empty when recovery preserves separability *)
+}
+
+val fuzz_recovery :
+  ?policy:Sep_recover.Recover.policy -> seed:int -> budget:int ->
+  Sep_core.Scenarios.instance -> recovery_result
+(** Coverage-guided crash-restart fuzz of one scenario: seeds crash each
+    colour alone and all colours together over a drip schedule; mutation
+    flips between perturbing the schedule and perturbing the crash
+    points. *)

@@ -341,3 +341,15 @@ let schedule ~alphabet ~max_len rng =
 let fault_plans ~steps ~count cfg rng =
   let seed = Int64.to_int (Prng.bits64 rng) land 0x3fffffff in
   Sep_robust.Fault_plan.generate ~seed ~steps ~count cfg
+
+let recovery_plans ?(faults_per_plan = 3) ~steps ~count cfg rng =
+  let seed = Int64.to_int (Prng.bits64 rng) land 0x3fffffff in
+  Sep_robust.Fault_plan.generate_multi ~seed ~steps ~count ~faults_per_plan cfg
+
+let crashes ~colours ~max_steps ~max_crashes rng =
+  let arr = Array.of_list colours in
+  if Array.length arr = 0 then []
+  else
+    List.init
+      (Prng.int_in rng 1 (max 1 max_crashes))
+      (fun _ -> (Prng.int rng max_steps, Prng.choose rng arr))

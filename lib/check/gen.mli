@@ -134,3 +134,16 @@ val schedule : alphabet:Sue.input list -> max_len:int -> Sue.input list t
 val fault_plans : steps:int -> count:int -> 'p Config.t -> Sep_robust.Fault_plan.t list t
 (** Seeded fault plans via {!Sep_robust.Fault_plan.generate}, the seed
     drawn from the generator state. *)
+
+val recovery_plans :
+  ?faults_per_plan:int -> steps:int -> count:int -> 'p Config.t -> Sep_robust.Fault_plan.t list t
+(** Multi-fault stress plans via {!Sep_robust.Fault_plan.generate_multi}
+    (default 3 faults per plan) — the schedules that park several regimes
+    at once and force the recovery paths, the seed drawn from the
+    generator state. *)
+
+val crashes :
+  colours:Sep_model.Colour.t list -> max_steps:int -> max_crashes:int ->
+  (int * Sep_model.Colour.t) list t
+(** 1–[max_crashes] crash points (step, victim) for
+    {!Fuzz.execute_recovery}-style runs. *)

@@ -15,6 +15,9 @@ type event =
   | Guard_breached of { addr : int }
   | Watchdog_fired of Colour.t
   | Kernel_panicked of { reason : string }
+  | Restarted of Colour.t
+  | Checkpoint_corrupt of Colour.t
+  | Warm_rebooted
 
 (* The audit constructors mirror Sue.kernel_fault one-for-one, so a new
    fault kind cannot compile without a trace event (and, below, a JSON
@@ -24,6 +27,9 @@ let event_of_fault = function
   | Sue.Guard_breach addr -> Guard_breached { addr }
   | Sue.Watchdog_expired c -> Watchdog_fired c
   | Sue.Kernel_panic reason -> Kernel_panicked { reason }
+  | Sue.Regime_restart c -> Restarted c
+  | Sue.Checkpoint_corrupt c -> Checkpoint_corrupt c
+  | Sue.Warm_reboot -> Warm_rebooted
 
 let pp_event ppf = function
   | Executed e -> Fmt.pf ppf "%a@%04x  %a" Colour.pp e.colour e.pc Isa.pp e.instr
@@ -39,6 +45,9 @@ let pp_event ppf = function
   | Guard_breached g -> Fmt.pf ppf "AUDIT guard %04x breached; repaired" g.addr
   | Watchdog_fired c -> Fmt.pf ppf "AUDIT watchdog forced %a off the processor" Colour.pp c
   | Kernel_panicked k -> Fmt.pf ppf "AUDIT KERNEL PANIC: %s" k.reason
+  | Restarted c -> Fmt.pf ppf "AUDIT %a restarted from its checkpoint" Colour.pp c
+  | Checkpoint_corrupt c -> Fmt.pf ppf "AUDIT checkpoint of %a corrupt; left parked" Colour.pp c
+  | Warm_rebooted -> Fmt.string ppf "AUDIT kernel warm reboot"
 
 type entry = { step : int; events : event list }
 
@@ -159,6 +168,9 @@ let event_to_json ev =
   | Watchdog_fired c -> J.Obj [ ("type", J.String "watchdog-fired"); colour c ]
   | Kernel_panicked k ->
     J.Obj [ ("type", J.String "kernel-panicked"); ("reason", J.String k.reason) ]
+  | Restarted c -> J.Obj [ ("type", J.String "restarted"); colour c ]
+  | Checkpoint_corrupt c -> J.Obj [ ("type", J.String "checkpoint-corrupt"); colour c ]
+  | Warm_rebooted -> J.Obj [ ("type", J.String "warm-rebooted") ]
 
 let entry_to_json e =
   let module J = Sep_util.Json in

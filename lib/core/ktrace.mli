@@ -25,6 +25,11 @@ type event =
   | Guard_breached of { addr : int }  (** audit: a guard word was overwritten (and repaired) *)
   | Watchdog_fired of Sep_model.Colour.t  (** audit: the watchdog forced this regime off *)
   | Kernel_panicked of { reason : string }  (** audit: fault inside the kernel; everything parked *)
+  | Restarted of Sep_model.Colour.t
+      (** audit: this regime was restored from its checkpoint *)
+  | Checkpoint_corrupt of Sep_model.Colour.t
+      (** audit: a restart found its checkpoint corrupt; regime left parked *)
+  | Warm_rebooted  (** audit: the kernel warm-rebooted out of an all-parked halt *)
 
 val event_of_fault : Sue.kernel_fault -> event
 (** The audit event of a {!Sue.kernel_fault} — total, so a new fault kind
@@ -52,7 +57,8 @@ val event_to_json : event -> Sep_util.Json.t
 (** One event as a JSON object, discriminated by a ["type"] field
     ([executed], [trapped], [switched], [blocked], [parked], [woken],
     [arrived], [emitted], [stalled], [save-corrupt], [guard-breached],
-    [watchdog-fired], [kernel-panicked]). Exhaustive over the constructors
+    [watchdog-fired], [kernel-panicked], [restarted], [checkpoint-corrupt],
+    [warm-rebooted]). Exhaustive over the constructors
     by construction: a new event cannot compile without a schema entry. *)
 
 val entry_to_json : entry -> Sep_util.Json.t

@@ -110,12 +110,18 @@ type kernel_fault =
   | Guard_breach of int
   | Watchdog_expired of Colour.t
   | Kernel_panic of string
+  | Regime_restart of Colour.t
+  | Checkpoint_corrupt of Colour.t
+  | Warm_reboot
 
 let pp_kernel_fault ppf = function
   | Save_area_corrupt c -> Fmt.pf ppf "save area of %a corrupt" Colour.pp c
   | Guard_breach a -> Fmt.pf ppf "guard word at %04x breached" a
   | Watchdog_expired c -> Fmt.pf ppf "watchdog expired on %a" Colour.pp c
   | Kernel_panic reason -> Fmt.pf ppf "kernel panic: %s" reason
+  | Regime_restart c -> Fmt.pf ppf "%a restarted from its checkpoint" Colour.pp c
+  | Checkpoint_corrupt c -> Fmt.pf ppf "checkpoint of %a corrupt; not restored" Colour.pp c
+  | Warm_reboot -> Fmt.string ppf "kernel warm reboot"
 
 (* Per-instance kernel counters. Arrays are indexed by regime; the record
    is shared by [copy], so one build's whole family of snapshots (e.g. a
@@ -137,8 +143,29 @@ type counts = {
   mutable ct_guard_breaches : int;
   mutable ct_watchdog_fires : int;
   mutable ct_panics : int;
+  mutable ct_checkpoints : int;
+  mutable ct_restarts : int;
+  mutable ct_warm_reboots : int;
   mutable ct_fault_log : kernel_fault list;  (* newest first *)
   mutable ct_fault_log_len : int;
+}
+
+(* A regime checkpoint: the save-area image (registers and flags as the
+   regime would resume them) plus the partition contents, sealed by the
+   same rotate-and-xor checksum the save areas use. Checkpoints live in a
+   store shared across [copy] — the model of stable storage that survives
+   the crash being recovered from — and, like [counts], sit outside
+   [equal]/[hash]/[phi]: they are the recovery mechanism's private state,
+   not part of the machine being verified. *)
+type checkpoint = {
+  ck_save : int array;  (* save-area slots 0 .. off_flags *)
+  ck_part : int array;  (* partition contents *)
+  ck_sum : int;
+}
+
+type ckstore = {
+  ck_init : checkpoint array;  (* as-built image, always available *)
+  ck_last : checkpoint option array;  (* latest effect-boundary capture *)
 }
 
 type kstats = {
@@ -158,6 +185,9 @@ type kstats = {
   ks_guard_breaches : int;
   ks_watchdog_fires : int;
   ks_panics : int;
+  ks_checkpoints : int;
+  ks_restarts : int;
+  ks_warm_reboots : int;
 }
 
 type t = {
@@ -171,6 +201,7 @@ type t = {
   code_len : int;
   watchdog : int option;
   counts : counts;
+  ckstore : ckstore;
 }
 
 type input = (int * int) list
@@ -243,6 +274,13 @@ let set_current_index t r = write_kw t 0 r
 
 let quantum_addr = 1
 
+(* Re-arm the preemption quantum (or watchdog) countdown. *)
+let reset_countdown t =
+  match (t.cfg.Config.quantum, t.watchdog) with
+  | Some q, _ -> write_kw t quantum_addr q
+  | None, Some w -> write_kw t quantum_addr w
+  | None, None -> ()
+
 let get_status t r = read_kw t (t.layout.save_base.(r) + off_status)
 let set_status t r v = write_kw t (t.layout.save_base.(r) + off_status) v
 
@@ -299,6 +337,42 @@ let guard_sweep t =
     t.layout.guards;
   !breaches
 
+let flags_word (z, n) = (if z then 1 else 0) lor (if n then 2 else 0)
+let flags_of_word w = (w land 1 <> 0, w land 2 <> 0)
+
+(* -- Checkpoints ----------------------------------------------------------- *)
+
+let checkpoint_sum ~save ~part =
+  let acc = ref checksum_salt in
+  let feed w =
+    let rotated = ((!acc lsl 1) lor (!acc lsr 15)) land 0xffff in
+    acc := rotated lxor (w land 0xffff)
+  in
+  Array.iter feed save;
+  Array.iter feed part;
+  !acc
+
+(* Capture regime [r]. [~live] reads the processor registers (the regime is
+   current and running); otherwise the save area is the authority. The
+   partition is always read from memory. *)
+let capture_checkpoint t r ~live =
+  let base = t.layout.save_base.(r) in
+  let save =
+    Array.init (off_flags + 1) (fun i ->
+        if live then
+          if i < Isa.num_regs then Machine.get_reg t.m i
+          else flags_word (Machine.get_flags t.m)
+        else read_kw t (base + i))
+  in
+  let pb = t.layout.part_base.(r) and ps = t.layout.part_size.(r) in
+  let part = Array.init ps (fun i -> Machine.read_phys t.m (pb + i)) in
+  { ck_save = save; ck_part = part; ck_sum = checkpoint_sum ~save ~part }
+
+let take_checkpoint t r ~live =
+  t.ckstore.ck_last.(r) <- Some (capture_checkpoint t r ~live);
+  t.counts.ct_checkpoints <- t.counts.ct_checkpoints + 1
+
+let checkpoint_ok ck = ck.ck_sum = checkpoint_sum ~save:ck.ck_save ~part:ck.ck_part
 
 (* -- The kernel as machine code ------------------------------------------- *)
 
@@ -561,8 +635,16 @@ let build ?(bugs = []) ?(impl = Microcode) ?watchdog cfg =
           ct_guard_breaches = 0;
           ct_watchdog_fires = 0;
           ct_panics = 0;
+          ct_checkpoints = 0;
+          ct_restarts = 0;
+          ct_warm_reboots = 0;
           ct_fault_log = [];
           ct_fault_log_len = 0;
+        };
+      ckstore =
+        {
+          ck_init = Array.make nregs { ck_save = [||]; ck_part = [||]; ck_sum = 0 };
+          ck_last = Array.make nregs None;
         };
     }
   in
@@ -588,14 +670,16 @@ let build ?(bugs = []) ?(impl = Microcode) ?watchdog cfg =
   end;
   (* Regime 0 runs first. *)
   set_current_index t 0;
-  (match (cfg.Config.quantum, watchdog) with
-  | Some q, _ -> write_kw t quantum_addr q
-  | None, Some w -> write_kw t quantum_addr w
-  | None, None -> ());
+  reset_countdown t;
   (* Arm the hardening: fence the partitions and seal every save area. *)
   Array.iter (fun a -> Machine.write_phys m a guard_pattern) layout.guards;
   for r = 0 to nregs - 1 do
     refresh_save_checksum t r
+  done;
+  (* Seed the checkpoint store with the as-built image of every regime, so
+     a regime that parks before its first effect can still be restarted. *)
+  for r = 0 to nregs - 1 do
+    t.ckstore.ck_init.(r) <- capture_checkpoint t r ~live:false
   done;
   Machine.set_mmu m ~base:layout.part_base.(0) ~limit:layout.part_size.(0)
     ~dev_slots:layout.dev_slots.(0);
@@ -629,6 +713,9 @@ let kstats t =
     ks_guard_breaches = t.counts.ct_guard_breaches;
     ks_watchdog_fires = t.counts.ct_watchdog_fires;
     ks_panics = t.counts.ct_panics;
+    ks_checkpoints = t.counts.ct_checkpoints;
+    ks_restarts = t.counts.ct_restarts;
+    ks_warm_reboots = t.counts.ct_warm_reboots;
   }
 
 let reset_kstats t =
@@ -649,6 +736,9 @@ let reset_kstats t =
   c.ct_guard_breaches <- 0;
   c.ct_watchdog_fires <- 0;
   c.ct_panics <- 0;
+  c.ct_checkpoints <- 0;
+  c.ct_restarts <- 0;
+  c.ct_warm_reboots <- 0;
   c.ct_fault_log <- [];
   c.ct_fault_log_len <- 0
 
@@ -675,6 +765,9 @@ let telemetry t =
   set "sue.guard_breaches" s.ks_guard_breaches;
   set "sue.watchdog_fires" s.ks_watchdog_fires;
   set "sue.panics" s.ks_panics;
+  set "sue.checkpoints" s.ks_checkpoints;
+  set "sue.restarts" s.ks_restarts;
+  set "sue.warm_reboots" s.ks_warm_reboots;
   reg
 
 let current_colour t = t.layout.colours.(current_index t)
@@ -715,9 +808,6 @@ let channel_area t id =
 let kernel_code_region t = (t.code_base, t.code_len)
 
 (* -- Context switching ---------------------------------------------------- *)
-
-let flags_word (z, n) = (if z then 1 else 0) lor (if n then 2 else 0)
-let flags_of_word w = (w land 1 <> 0, w land 2 <> 0)
 
 let save_context t r =
   let base = t.layout.save_base.(r) in
@@ -760,6 +850,11 @@ let switch_to t r =
   if r <> cur then begin
     ignore (guard_sweep t);
     save_context t cur;
+    (* SWAP-boundary checkpoint: the context just saved is exactly the
+       state the regime would resume from, so it is the natural capture
+       point. A parked regime is excluded — its live context is garbage
+       from the instruction that parked it, not a state worth reviving. *)
+    if get_status t cur <> status_parked then take_checkpoint t cur ~live:false;
     if has_bug t Partition_hole then
       Machine.write_phys t.m t.layout.part_base.(r) (Machine.get_reg t.m 0);
     let rec settle r =
@@ -768,10 +863,7 @@ let switch_to t r =
         t.counts.ct_switches <- t.counts.ct_switches + 1;
         set_current_index t r;
         load_context t r;
-        match (t.cfg.Config.quantum, t.watchdog) with
-        | Some q, _ -> write_kw t quantum_addr q
-        | None, Some w -> write_kw t quantum_addr w
-        | None, None -> ()
+        reset_countdown t
       end
       else begin
         record_fault t (Save_area_corrupt t.layout.colours.(r));
@@ -790,6 +882,113 @@ let swap_away t =
   match next_runnable t cur with
   | Some r when r <> cur -> switch_to t r
   | Some _ | None -> ()
+
+(* -- Recovery: regime restart and kernel warm reboot ------------------------ *)
+
+type restart_result =
+  | Restarted
+  | Not_parked
+  | Bad_checkpoint
+
+let require_microcode t what =
+  if t.impl <> Microcode then
+    invalid_arg (Fmt.str "Sue.%s: requires the microcode kernel" what)
+
+let best_checkpoint t r =
+  match t.ckstore.ck_last.(r) with Some ck -> ck | None -> t.ckstore.ck_init.(r)
+
+let restore_checkpoint t r ck =
+  let base = t.layout.save_base.(r) in
+  Array.iteri (fun i w -> write_kw t (base + i) w) ck.ck_save;
+  let pb = t.layout.part_base.(r) in
+  Array.iteri (fun i w -> Machine.write_phys t.m (pb + i) w) ck.ck_part;
+  set_status t r status_runnable;
+  refresh_save_checksum t r
+
+(* Restore a parked regime from its last good checkpoint. Only the
+   regime's own save area, partition and status are touched — channel
+   contents and device registers are external to the "node" being
+   rebooted, exactly as wires and peripherals survive a machine reboot in
+   the distributed analogue — so a restart of one colour commutes with a
+   restart of any other and is invisible to every other colour's Phi. *)
+let restart t c =
+  require_microcode t "restart";
+  let r = Config.regime_index t.cfg c in
+  if get_status t r <> status_parked then Not_parked
+  else begin
+    let ck = best_checkpoint t r in
+    if not (checkpoint_ok ck) then begin
+      record_fault t (Checkpoint_corrupt c);
+      Bad_checkpoint
+    end
+    else begin
+      restore_checkpoint t r ck;
+      t.counts.ct_restarts <- t.counts.ct_restarts + 1;
+      record_fault t (Regime_restart c);
+      if current_index t = r then begin
+        load_context t r;
+        reset_countdown t
+      end;
+      Restarted
+    end
+  end
+
+let all_parked t =
+  let rec go r = r >= t.layout.nregs || (get_status t r = status_parked && go (r + 1)) in
+  go 0
+
+(* Warm reboot: recover from the all-parked halt a panic (or a park
+   cascade) leaves behind. Every parked regime is restored from its
+   checkpoint; the audit log is deliberately preserved — it is the record
+   of why the reboot happened. Regimes whose checkpoints fail their
+   checksum stay parked and are audited. Returns the restored colours. *)
+let warm_reboot t =
+  require_microcode t "warm_reboot";
+  t.counts.ct_warm_reboots <- t.counts.ct_warm_reboots + 1;
+  record_fault t Warm_reboot;
+  (* re-establish the kernel's own fences before reviving anyone *)
+  Array.iter (fun a -> Machine.write_phys t.m a guard_pattern) t.layout.guards;
+  let cur = current_index t in
+  let cur_was_runnable = get_status t cur = status_runnable in
+  let restored = ref [] in
+  for r = 0 to t.layout.nregs - 1 do
+    if get_status t r = status_parked then begin
+      let c = t.layout.colours.(r) in
+      let ck = best_checkpoint t r in
+      if checkpoint_ok ck then begin
+        restore_checkpoint t r ck;
+        t.counts.ct_restarts <- t.counts.ct_restarts + 1;
+        record_fault t (Regime_restart c);
+        restored := c :: !restored
+      end
+      else record_fault t (Checkpoint_corrupt c)
+    end
+  done;
+  (* Hand the processor over: if the current regime was revived, resume
+     it; if it stayed parked, offer the processor to the next runnable
+     regime. A regime that was live all along keeps its live context. *)
+  if not cur_was_runnable then begin
+    if get_status t cur = status_runnable then begin
+      load_context t cur;
+      reset_countdown t
+    end
+    else begin
+      match next_runnable t cur with
+      | Some r ->
+        set_current_index t r;
+        load_context t r;
+        reset_countdown t
+      | None -> ()
+    end
+  end;
+  List.rev !restored
+
+(* Test hook: damage the checkpoint [restart] would use, to exercise the
+   Bad_checkpoint path. *)
+let corrupt_checkpoint t c =
+  let r = Config.regime_index t.cfg c in
+  let ck = best_checkpoint t r in
+  if Array.length ck.ck_save > 0 then ck.ck_save.(0) <- ck.ck_save.(0) lxor 0x40
 
 (* -- Channels ------------------------------------------------------------- *)
 
@@ -969,8 +1168,25 @@ let exec_op_microcode t =
     t.counts.ct_stalls <- t.counts.ct_stalls + 1
   else begin
     t.counts.ct_instrs.(cur) <- t.counts.ct_instrs.(cur) + 1;
+    (* Output-commit fence: any instruction whose effect escapes the regime
+       — a device register changing (a Tx write arming a transmission, an
+       Rx read consuming a latched word) or a successful channel transfer —
+       is followed by a checkpoint. A later restart then replays only pure
+       local computation, never duplicating or losing an observable effect. *)
+    let dev_regs_before =
+      Array.map (fun d -> Machine.device_regs t.m d) t.layout.dev_slots.(cur)
+    in
+    let checkpoint_if_device_effect () =
+      let changed =
+        Array.exists
+          (fun i -> Machine.device_regs t.m t.layout.dev_slots.(cur).(i) <> dev_regs_before.(i))
+          (Array.init (Array.length dev_regs_before) Fun.id)
+      in
+      if changed then take_checkpoint t cur ~live:true
+    in
     match Machine.step_user t.m with
     | Machine.Stepped -> begin
+      checkpoint_if_device_effect ();
       (* preemptive configurations: charge the quantum and, when it is
          spent, take the processor back *)
       match (t.cfg.Config.quantum, t.watchdog) with
@@ -1009,10 +1225,12 @@ let exec_op_microcode t =
       swap_away t
     | Machine.Trapped 1 ->
       t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
-      do_send t cur
+      do_send t cur;
+      if Machine.get_reg t.m 2 = 1 then take_checkpoint t cur ~live:true
     | Machine.Trapped 2 ->
       t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
-      do_recv t cur
+      do_recv t cur;
+      if Machine.get_reg t.m 2 = 1 then take_checkpoint t cur ~live:true
     | Machine.Trapped _ | Machine.Returned | Machine.Faulted _ ->
       (* Returned cannot occur in user mode (Rti faults there); treat it
          like any other illegal action *)

@@ -126,6 +126,13 @@ type kernel_fault =
   | Kernel_panic of string
       (** a trap, machine fault or non-termination {e inside} the kernel:
           every regime is parked and the machine halts *)
+  | Regime_restart of Colour.t
+      (** this regime was restored from its checkpoint by {!restart} or
+          {!warm_reboot} *)
+  | Checkpoint_corrupt of Colour.t
+      (** the checkpoint a restart needed failed its checksum; the regime
+          stays parked *)
+  | Warm_reboot  (** {!warm_reboot} ran (the audit log survives it) *)
 
 val pp_kernel_fault : Format.formatter -> kernel_fault -> unit
 
@@ -138,6 +145,59 @@ val guard_sweep : t -> int
 (** Verify every guard word now (they are otherwise swept at context
     switches), repairing and auditing each breach; returns the number of
     breaches found. *)
+
+(** {1 Recovery: checkpoints, restart, warm reboot}
+
+    The fail-operational layer on top of the fail-safe transitions above.
+    The [Microcode] kernel checkpoints each regime — save-area image plus
+    partition contents, sealed by a checksum — into a store modelling
+    stable storage: at build time, at every SWAP boundary (as part of the
+    context save), and after every instruction whose effect escapes the
+    regime (a successful SEND or RECV, a Tx write arming a transmission,
+    an Rx read consuming a latched word). The last rule is the classic
+    output-commit fence: a restart replays only pure local computation,
+    so no observable effect is ever duplicated or lost, and the restart
+    is invisible to every other colour up to timing — which the paper's
+    security argument already excludes.
+
+    The checkpoint store is shared by {!copy} (like the counters and the
+    audit log) and sits outside {!equal}, {!hash} and every {!phi}.
+    Restart restores only the regime's save area, partition and status;
+    channel contents and device registers are external to the rebooted
+    "node", exactly as wires survive a machine reboot in the distributed
+    analogue. Both operations require the [Microcode] kernel and raise
+    [Invalid_argument] under [Assembly], like the watchdog. *)
+
+type restart_result =
+  | Restarted
+  | Not_parked  (** only a parked regime can be restarted *)
+  | Bad_checkpoint
+      (** the checkpoint failed its checksum: audited as
+          {!Checkpoint_corrupt}, regime left parked *)
+
+val restart : t -> Colour.t -> restart_result
+(** Restore a parked regime from its last good checkpoint (the as-built
+    image if it never reached an effect boundary), mark it runnable, and
+    audit a {!Regime_restart}. If the restarted regime is current the
+    processor context is reloaded and the quantum/watchdog re-armed. *)
+
+val all_parked : t -> bool
+(** The halt state a panic (or a park cascade) leaves behind: nothing will
+    ever run again without a {!warm_reboot}. *)
+
+val warm_reboot : t -> Colour.t list
+(** Recover the whole kernel from an all-parked halt: re-fence the guard
+    words, restore every parked regime from its checkpoint (regimes whose
+    checkpoints fail their checksums stay parked, audited as
+    {!Checkpoint_corrupt}), hand the processor to a runnable regime, and
+    re-arm the countdown. The audit log is preserved across the reboot —
+    it records why the reboot happened, including the {!Warm_reboot} event
+    itself and one {!Regime_restart} per revived regime. Returns the
+    colours restored. *)
+
+val corrupt_checkpoint : t -> Colour.t -> unit
+(** Test hook: damage the checkpoint {!restart} would use, to exercise the
+    [Bad_checkpoint] path. *)
 
 (** {1 Kernel telemetry}
 
@@ -167,6 +227,9 @@ type kstats = {
   ks_guard_breaches : int;  (** guard words found overwritten (and repaired) *)
   ks_watchdog_fires : int;  (** forced yields by the watchdog *)
   ks_panics : int;  (** kernel panics (faults inside the kernel) *)
+  ks_checkpoints : int;  (** regime checkpoints captured *)
+  ks_restarts : int;  (** regimes restored from checkpoints *)
+  ks_warm_reboots : int;  (** whole-kernel warm reboots *)
 }
 
 val kstats : t -> kstats
@@ -183,7 +246,8 @@ val telemetry : t -> Sep_obs.Telemetry.t
     ones [sue.switches], [sue.irqs_forwarded], [sue.wakes], [sue.stalls],
     [sue.inputs_latched], [sue.outputs_observed], [sue.kernel_instrs],
     [sue.fault_parks], [sue.guard_breaches], [sue.watchdog_fires],
-    [sue.panics]. *)
+    [sue.panics], [sue.checkpoints], [sue.restarts],
+    [sue.warm_reboots]. *)
 
 val current_colour : t -> Colour.t
 val regime_status : t -> Colour.t -> Abstract_regime.status

@@ -2,6 +2,48 @@ module Colour = Sep_model.Colour
 module Component = Sep_model.Component
 module Topology = Sep_model.Topology
 module Fifo = Sep_util.Fifo
+module Prng = Sep_util.Prng
+
+type link_model = {
+  lm_seed : int;
+  lm_drop : int;
+  lm_dup : int;
+  lm_reorder : int;
+}
+
+let default_link_model = { lm_seed = 42; lm_drop = 10; lm_dup = 5; lm_reorder = 5 }
+
+(* A sequence-numbered frame on a reliable line. *)
+type frame = { seq : int; payload : Component.message }
+
+(* Per-wire state of the reliable protocol: a go-back-N sender (window =
+   the wire's capacity, cumulative acks, timeout retransmission with
+   capped exponential backoff) and an in-order receiver that delivers
+   exactly the sequence the sender accepted, whatever the line loses,
+   duplicates or reorders. The data line and the reverse ack line are
+   plain ordered lists (head arrives first) so the link model can splice
+   duplicates and queue-jumpers. *)
+type rel_wire = {
+  mutable r_next_seq : int;  (* next sequence number to assign *)
+  r_pending : frame Queue.t;  (* accepted, waiting for a window slot *)
+  mutable r_unacked : frame list;  (* in the window, oldest first *)
+  mutable r_timer : int;  (* steps until retransmission; 0 = idle *)
+  mutable r_rto : int;  (* current timeout, doubled per expiry *)
+  mutable r_data : frame list;  (* frames in transit, head arrives first *)
+  mutable r_acks : int list;  (* cumulative acks in transit to the sender *)
+  mutable r_expect : int;  (* receiver: next in-order sequence number *)
+  mutable r_ack_due : bool;
+  r_window : int;
+}
+
+type link_stats = {
+  ls_in_flight : int;
+  ls_drops : int;
+  ls_lossy_drops : int;
+  ls_retransmits : int;
+  ls_acks : int;
+  ls_backoff_ceiling : int;
+}
 
 type node = {
   colour : Colour.t;
@@ -14,29 +56,164 @@ type node = {
 type t = {
   topo : Topology.t;
   nodes : node list;  (* in topology order *)
-  lines : Component.message Fifo.t array;  (* indexed by wire id *)
+  lines : Component.message Fifo.t array;  (* indexed by wire id; raw wires only *)
+  rel : rel_wire option array;  (* indexed by wire id; [Some] iff reliable *)
+  link : link_model option;
+  rng : Prng.t option;
   mutable dropped : int;
+  mutable lossy_dropped : int;
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable backoff_ceiling : int;
 }
 
-let build topo =
+let rto_base = 3
+let rto_cap = 24  (* rto_base * 8: the backoff ceiling *)
+
+let build ?link topo =
   (match Topology.validate topo with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Net.build: " ^ msg));
+  (match link with
+  | Some lm ->
+    if lm.lm_drop < 0 || lm.lm_drop > 99 || lm.lm_dup < 0 || lm.lm_dup > 99
+       || lm.lm_reorder < 0 || lm.lm_reorder > 99
+    then invalid_arg "Net.build: link model percentages must be within 0..99"
+  | None -> ());
   let node (colour, comp) =
     let incoming =
       List.sort (fun a b -> Int.compare a.Topology.wire_id b.Topology.wire_id) (Topology.wires_into topo colour)
     in
     { colour; inst = Component.instantiate comp; incoming; obs = []; outs = [] }
   in
+  let rel_of w =
+    match link with
+    | None -> None
+    | Some _ ->
+      Some
+        {
+          r_next_seq = 0;
+          r_pending = Queue.create ();
+          r_unacked = [];
+          r_timer = 0;
+          r_rto = rto_base;
+          r_data = [];
+          r_acks = [];
+          r_expect = 0;
+          r_ack_due = false;
+          r_window = max 1 w.Topology.capacity;
+        }
+  in
   {
     topo;
     nodes = List.map node topo.Topology.parts;
     lines =
       Array.of_list (List.map (fun w -> Fifo.create ~capacity:w.Topology.capacity) topo.Topology.wires);
+    rel = Array.of_list (List.map rel_of topo.Topology.wires);
+    link;
+    rng = Option.map (fun lm -> Prng.create lm.lm_seed) link;
     dropped = 0;
+    lossy_dropped = 0;
+    retransmits = 0;
+    acks_sent = 0;
+    backoff_ceiling = 0;
   }
 
 let wire t id = List.nth t.topo.Topology.wires id
+
+(* -- The lossy line ---------------------------------------------------------- *)
+
+let roll t p =
+  match t.rng with
+  | Some rng -> Prng.int rng 100 < p
+  | None -> false
+
+(* Put a frame on the line through the link model: it may be destroyed,
+   duplicated, or spliced in just before the last frame in transit (so a
+   later frame arrives first — an out-of-order line). *)
+let place_data t rw fr =
+  match t.link with
+  | None -> ()
+  | Some lm ->
+    if roll t lm.lm_drop then t.lossy_dropped <- t.lossy_dropped + 1
+    else begin
+      let insert f =
+        if roll t lm.lm_reorder && rw.r_data <> [] then begin
+          let rec jump = function
+            | [ last ] -> [ f; last ]
+            | x :: rest -> x :: jump rest
+            | [] -> [ f ]
+          in
+          rw.r_data <- jump rw.r_data
+        end
+        else rw.r_data <- rw.r_data @ [ f ]
+      in
+      insert fr;
+      if roll t lm.lm_dup then insert fr
+    end
+
+(* -- The reliable sender ------------------------------------------------------ *)
+
+(* One maintenance round per wire per step, before any delivery: field the
+   arriving ack (cumulative — it retires every frame up to it and resets
+   the backoff), run the retransmission timer (expiry resends the whole
+   window, go-back-N style, and doubles the timeout up to the ceiling),
+   then move pending frames into free window slots. *)
+let rel_maintenance t =
+  Array.iter
+    (function
+      | None -> ()
+      | Some rw ->
+        (match rw.r_acks with
+        | a :: rest ->
+          rw.r_acks <- rest;
+          let before = List.length rw.r_unacked in
+          rw.r_unacked <- List.filter (fun f -> f.seq > a) rw.r_unacked;
+          if List.length rw.r_unacked < before then begin
+            rw.r_rto <- rto_base;
+            rw.r_timer <- (if rw.r_unacked = [] then 0 else rw.r_rto)
+          end
+        | [] -> ());
+        if rw.r_unacked <> [] then begin
+          if rw.r_timer > 1 then rw.r_timer <- rw.r_timer - 1
+          else begin
+            List.iter
+              (fun f ->
+                t.retransmits <- t.retransmits + 1;
+                place_data t rw f)
+              rw.r_unacked;
+            if rw.r_rto >= rto_cap then t.backoff_ceiling <- t.backoff_ceiling + 1
+            else rw.r_rto <- min rto_cap (rw.r_rto * 2);
+            rw.r_timer <- rw.r_rto
+          end
+        end;
+        while List.length rw.r_unacked < rw.r_window && not (Queue.is_empty rw.r_pending) do
+          let f = Queue.pop rw.r_pending in
+          if rw.r_unacked = [] then begin
+            rw.r_rto <- rto_base;
+            rw.r_timer <- rto_base
+          end;
+          rw.r_unacked <- rw.r_unacked @ [ f ];
+          place_data t rw f
+        done)
+    t.rel
+
+(* Receivers' due acks go onto the reverse lines at the end of the step.
+   The ack line is as lossy as the data line; a lost ack is recovered by
+   the retransmission it fails to suppress, which the receiver re-acks. *)
+let rel_flush_acks t =
+  Array.iter
+    (function
+      | None -> ()
+      | Some rw ->
+        if rw.r_ack_due then begin
+          rw.r_ack_due <- false;
+          t.acks_sent <- t.acks_sent + 1;
+          let lost = match t.link with Some lm -> roll t lm.lm_drop | None -> false in
+          if lost then t.lossy_dropped <- t.lossy_dropped + 1
+          else rw.r_acks <- rw.r_acks @ [ rw.r_expect - 1 ]
+        end)
+    t.rel
 
 let transmit t node actions =
   let handle = function
@@ -47,7 +224,16 @@ let transmit t node actions =
         (* no physical line from this box: the send goes nowhere *)
         t.dropped <- t.dropped + 1
       else if (wire t w).Topology.cut then () (* the line goes nowhere *)
-      else if not (Fifo.push t.lines.(w) msg) then t.dropped <- t.dropped + 1
+      else begin
+        match t.rel.(w) with
+        | Some rw ->
+          (* the reliable layer accepts every send: the pending queue is
+             the sending box's local buffer, and the window provides the
+             flow control a raw wire's capacity used to *)
+          Queue.add { seq = rw.r_next_seq; payload = msg } rw.r_pending;
+          rw.r_next_seq <- rw.r_next_seq + 1
+        | None -> if not (Fifo.push t.lines.(w) msg) then t.dropped <- t.dropped + 1
+      end
     | Component.Output msg as act ->
       node.obs <- Component.Did act :: node.obs;
       node.outs <- msg :: node.outs
@@ -59,8 +245,16 @@ let feed t node ev =
   transmit t node (Component.feed node.inst ev)
 
 let step t ~externals =
+  rel_maintenance t;
   (* Only messages already in flight are deliverable this step. *)
-  let deliverable = Array.map (fun line -> min 1 (Fifo.length line)) t.lines in
+  let deliverable =
+    Array.mapi
+      (fun id line ->
+        match t.rel.(id) with
+        | Some rw -> min 1 (List.length rw.r_data)
+        | None -> min 1 (Fifo.length line))
+      t.lines
+  in
   let visit node =
     List.iter
       (fun (c, msg) ->
@@ -70,14 +264,33 @@ let step t ~externals =
       let id = w.Topology.wire_id in
       if deliverable.(id) > 0 then begin
         deliverable.(id) <- 0;
-        match Fifo.pop t.lines.(id) with
-        | Some msg -> feed t node (Component.Recv (id, msg))
-        | None -> ()
+        match t.rel.(id) with
+        | Some rw -> begin
+          match rw.r_data with
+          | f :: rest ->
+            rw.r_data <- rest;
+            if f.seq = rw.r_expect then begin
+              rw.r_expect <- rw.r_expect + 1;
+              rw.r_ack_due <- true;
+              feed t node (Component.Recv (id, f.payload))
+            end
+            else if rw.r_expect > 0 then
+              (* a duplicate or a queue-jumper: discard, re-ack so the
+                 sender learns where the receiver really is *)
+              rw.r_ack_due <- true
+          | [] -> ()
+        end
+        | None -> begin
+          match Fifo.pop t.lines.(id) with
+          | Some msg -> feed t node (Component.Recv (id, msg))
+          | None -> ()
+        end
       end
     in
     List.iter from_wire node.incoming
   in
-  List.iter visit t.nodes
+  List.iter visit t.nodes;
+  rel_flush_acks t
 
 let run t ~steps ~externals =
   for n = 0 to steps - 1 do
@@ -92,31 +305,63 @@ let find_node t c =
 let trace t c = List.rev (find_node t c).obs
 let outputs t c = List.rev (find_node t c).outs
 
-let in_flight t = Array.fold_left (fun acc line -> acc + Fifo.length line) 0 t.lines
+let in_flight t =
+  let base = Array.fold_left (fun acc line -> acc + Fifo.length line) 0 t.lines in
+  Array.fold_left
+    (fun acc rwo -> match rwo with Some rw -> acc + List.length rw.r_data | None -> acc)
+    base t.rel
+
 let drops t = t.dropped
+
+let link_stats t =
+  {
+    ls_in_flight = in_flight t;
+    ls_drops = t.dropped;
+    ls_lossy_drops = t.lossy_dropped;
+    ls_retransmits = t.retransmits;
+    ls_acks = t.acks_sent;
+    ls_backoff_ceiling = t.backoff_ceiling;
+  }
 
 (* Fault injection on a physical line: rewrite (Some) or destroy (None)
    every message currently in flight on one wire. Draining and refilling
    the FIFO preserves arrival order; destroyed messages count as drops —
    to the boxes at either end, a tampered line is indistinguishable from a
-   lossy or noisy one. *)
+   lossy or noisy one. On a reliable wire the tampering hits the frames in
+   transit; a destroyed frame is recovered by retransmission, a rewritten
+   payload is delivered as-is (the protocol recovers loss, not forgery). *)
 let tamper t ~wire f =
   if wire < 0 || wire >= Array.length t.lines then invalid_arg "Net.tamper: no such wire";
-  let line = t.lines.(wire) in
   let affected = ref 0 in
-  let rec drain acc =
-    match Fifo.pop line with
-    | Some msg -> drain (msg :: acc)
-    | None -> List.rev acc
-  in
-  List.iter
-    (fun msg ->
-      match f msg with
-      | Some msg' ->
-        if not (String.equal msg' msg) then incr affected;
-        ignore (Fifo.push line msg')
-      | None ->
-        incr affected;
-        t.dropped <- t.dropped + 1)
-    (drain []);
+  (match t.rel.(wire) with
+  | Some rw ->
+    rw.r_data <-
+      List.filter_map
+        (fun fr ->
+          match f fr.payload with
+          | Some msg' ->
+            if not (String.equal msg' fr.payload) then incr affected;
+            Some { fr with payload = msg' }
+          | None ->
+            incr affected;
+            t.dropped <- t.dropped + 1;
+            None)
+        rw.r_data
+  | None ->
+    let line = t.lines.(wire) in
+    let rec drain acc =
+      match Fifo.pop line with
+      | Some msg -> drain (msg :: acc)
+      | None -> List.rev acc
+    in
+    List.iter
+      (fun msg ->
+        match f msg with
+        | Some msg' ->
+          if not (String.equal msg' msg) then incr affected;
+          ignore (Fifo.push line msg')
+        | None ->
+          incr affected;
+          t.dropped <- t.dropped + 1)
+      (drain []));
   !affected

@@ -17,7 +17,41 @@
 
 type t
 
-val build : Sep_model.Topology.t -> t
+type link_model = {
+  lm_seed : int;  (** PRNG seed driving the line faults (deterministic) *)
+  lm_drop : int;  (** percent of frames (and acks) destroyed in transit *)
+  lm_dup : int;  (** percent of frames duplicated on the line *)
+  lm_reorder : int;  (** percent of frames spliced in ahead of the last in transit *)
+}
+(** A faulty physical line, percentages within [0..99]. *)
+
+val default_link_model : link_model
+(** seed 42, 10% drop, 5% dup, 5% reorder. *)
+
+type link_stats = {
+  ls_in_flight : int;  (** messages/frames currently on the wires *)
+  ls_drops : int;  (** sends dropped against full or absent wires *)
+  ls_lossy_drops : int;  (** frames and acks destroyed by the link model *)
+  ls_retransmits : int;  (** frames resent after a timeout *)
+  ls_acks : int;  (** acks emitted by receivers *)
+  ls_backoff_ceiling : int;  (** timeouts that expired already at the backoff cap *)
+}
+
+val build : ?link:link_model -> Sep_model.Topology.t -> t
+(** Without [?link], wires are the perfect FIFO lines described above.
+    With a link model, every (non-cut) wire becomes a {e faulty} line —
+    frames are destroyed, duplicated and reordered at the given rates,
+    deterministically from [lm_seed] — carried by a reliable protocol:
+    sequence-numbered frames, a go-back-N sender window equal to the
+    wire's capacity, cumulative acks on an equally lossy reverse line, and
+    timeout retransmission with exponential backoff capped at 8 times the
+    base timeout. The receiver delivers to its component exactly the
+    in-order message sequence the sender accepted — so the substrate keeps
+    its meaning as the distributed ideal, message loss included. Sends
+    onto a reliable wire are never dropped for backpressure (the pending
+    queue is the sending box's buffer; the window is the flow control);
+    sends onto cut wires are still silently discarded, preserving the
+    cut-wire isolation argument. *)
 
 val step : t -> externals:(Sep_model.Colour.t * Sep_model.Component.message) list -> unit
 
@@ -39,6 +73,11 @@ val in_flight : t -> int
 val drops : t -> int
 (** Messages dropped against full wires so far. *)
 
+val link_stats : t -> link_stats
+(** Current line statistics. Without a link model the protocol counters
+    ([ls_lossy_drops], [ls_retransmits], [ls_acks], [ls_backoff_ceiling])
+    stay 0. *)
+
 val tamper :
   t -> wire:int -> (Sep_model.Component.message -> Sep_model.Component.message option) -> int
 (** Fault injection on one physical line: apply [f] to every message
@@ -46,5 +85,7 @@ val tamper :
     message, [None] destroys it (counted in {!drops}). Returns how many
     messages were altered or destroyed. The blast radius is structurally
     the wire itself: no other line, box or trace can be touched, which is
-    the distributed ideal's fault-containment argument. Raises
-    [Invalid_argument] on an unknown wire id. *)
+    the distributed ideal's fault-containment argument. On a reliable
+    wire the frames in transit are tampered: a destroyed frame is
+    recovered by retransmission (the protocol recovers loss, not
+    forgery). Raises [Invalid_argument] on an unknown wire id. *)

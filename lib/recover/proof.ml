@@ -1,0 +1,54 @@
+module Colour = Sep_model.Colour
+module Prng = Sep_util.Prng
+module Config = Sep_core.Config
+module Sue = Sep_core.Sue
+module Abstract_regime = Sep_core.Abstract_regime
+module Separability = Sep_core.Separability
+
+let restart_invisible t victim =
+  let s = Sue.copy t in
+  let others =
+    List.filter (fun c -> not (Colour.equal c victim)) (Config.colours (Sue.config s))
+  in
+  let before = List.map (fun c -> (c, Sue.phi s c)) others in
+  let result = Sue.restart s victim in
+  let mismatches =
+    List.filter_map
+      (fun (c, pre) ->
+        if Abstract_regime.equal pre (Sue.phi s c) then None
+        else
+          Some
+            (Fmt.str "Phi^%s changed across the restart of %s" (Colour.name c)
+               (Colour.name victim)))
+      before
+  in
+  (result, mismatches)
+
+let restart_commutes t c1 c2 =
+  let a = Sue.copy t and b = Sue.copy t in
+  ignore (Sue.restart a c1);
+  ignore (Sue.restart a c2);
+  ignore (Sue.restart b c2);
+  ignore (Sue.restart b c1);
+  Sue.equal a b
+
+(* The fuzz engine's sampling pattern: every snapshot plus, per colour,
+   [scrambles] copies with everything outside that colour's Phi
+   randomized — the state pairs conditions 3, 5 and 6 quantify over. *)
+let boundary_sample ?(scrambles = 2) ~seed states =
+  let rng = Prng.create seed in
+  List.concat_map
+    (fun s ->
+      s
+      :: List.concat_map
+           (fun c -> List.init scrambles (fun _ -> Sue.scramble_others rng s c))
+           (Config.colours (Sue.config s)))
+    states
+
+let check_boundary ?scrambles ~seed ~alphabet states =
+  match states with
+  | [] -> invalid_arg "Proof.check_boundary: no states"
+  | s0 :: _ ->
+    let cfg = Sue.config s0 in
+    let sys = Sue.to_system ~inputs:alphabet cfg in
+    Separability.check_states sys (boundary_sample ?scrambles ~seed states)

@@ -1,0 +1,38 @@
+(** Proof obligations of the recovery layer.
+
+    Recovery is only worth shipping if it provably leaks nothing: a
+    regime's crash-and-restart must be invisible to every other colour.
+    Three obligations, each discharged by checking, not by argument:
+
+    - {b invisibility}: restoring a parked regime leaves every other
+      colour's [Phi] untouched ({!restart_invisible});
+    - {b commutativity}: restarts are per-colour operations, so their
+      order cannot matter ({!restart_commutes});
+    - {b the six conditions across the boundary}: snapshots taken before
+      the crash, while parked, and after the restart — with the usual
+      scrambled [Phi]-partners — all satisfy Proof of Separability
+      ({!check_boundary}), cut-wire isolation included (the conditions
+      quantify over every channel end the scenario has). *)
+
+val restart_invisible :
+  Sep_core.Sue.t -> Sep_model.Colour.t -> Sep_core.Sue.restart_result * string list
+(** On a copy: snapshot [Phi^c] of every other colour, restart the victim,
+    compare. The mismatch list is empty iff the restart was invisible
+    (trivially so when the restart did not happen — the result says
+    why). *)
+
+val restart_commutes : Sep_core.Sue.t -> Sep_model.Colour.t -> Sep_model.Colour.t -> bool
+(** Restart the two colours in both orders, on copies; the final machine
+    states must be equal. *)
+
+val boundary_sample : ?scrambles:int -> seed:int -> Sep_core.Sue.t list -> Sep_core.Sue.t list
+(** Every snapshot plus [scrambles] (default 2) scrambled [Phi]-partners
+    per colour — the state pairs conditions 3, 5 and 6 quantify over. *)
+
+val check_boundary :
+  ?scrambles:int -> seed:int -> alphabet:Sep_core.Sue.input list -> Sep_core.Sue.t list ->
+  Sep_core.Separability.report
+(** Proof of Separability over {!boundary_sample} of the given snapshots
+    (all from one build — e.g. pre-crash, parked, post-restart), using the
+    bug-free microcode system over [alphabet]. Raises [Invalid_argument]
+    on an empty list. *)

@@ -7,17 +7,20 @@ module Config = Sep_core.Config
 module Scenarios = Sep_core.Scenarios
 module Abstract_regime = Sep_core.Abstract_regime
 module Net = Sep_distributed.Net
+module Recover = Sep_recover.Recover
 module Prng = Sep_util.Prng
 module J = Sep_util.Json
 
 type outcome =
   | Masked
   | Detected_safe
+  | Recovered_safe
   | Violating
 
 let pp_outcome ppf = function
   | Masked -> Fmt.string ppf "masked"
   | Detected_safe -> Fmt.string ppf "detected-safe"
+  | Recovered_safe -> Fmt.string ppf "recovered-safe"
   | Violating -> Fmt.string ppf "separation-violating"
 
 type case = {
@@ -26,6 +29,7 @@ type case = {
   outcome : outcome;
   victim_perturbed : bool;
   detections : Sue.kernel_fault list;
+  recoveries : Sue.kernel_fault list;
   watchdog_delta : int;
 }
 
@@ -157,11 +161,16 @@ type observation = {
   ob_outputs : (int * int list) list;  (* per Tx device, words in order *)
   ob_status : (Colour.t * Abstract_regime.status) list;
   ob_detections : Sue.kernel_fault list;  (* corruption detections *)
+  ob_recoveries : Sue.kernel_fault list;  (* restarts and warm reboots *)
   ob_wd_fires : int;
 }
 
-let observe_run ?watchdog (sc : Scenarios.instance) ~steps ~plan =
+let observe_run ?watchdog ?recover (sc : Scenarios.instance) ~steps ~plan =
   let t = Sue.build ?watchdog sc.Scenarios.cfg in
+  let supervisor = Option.map (fun policy -> Recover.create ~policy t) recover in
+  let supervise () =
+    match supervisor with None -> () | Some sup -> ignore (Recover.tick sup)
+  in
   let r =
     {
       t;
@@ -191,11 +200,22 @@ let observe_run ?watchdog (sc : Scenarios.instance) ~steps ~plan =
                [ (d, Queue.pop queues.(d)) ]
              else []))
     in
-    List.iter (fun o -> flat := o :: !flat) (step r n input)
+    List.iter (fun o -> flat := o :: !flat) (step r n input);
+    supervise ()
   done;
   ignore (Sue.guard_sweep t);
+  supervise ();
+  (* Three ways: recovery actions (restart, warm reboot), liveness events
+     (watchdog fires), corruption detections (everything else, checkpoint
+     corruption included). Without a supervisor the recovery bucket is
+     empty and the split is exactly the old corrupt/watchdog partition. *)
+  let recoveries, rest =
+    List.partition
+      (function Sue.Regime_restart _ | Sue.Warm_reboot -> true | _ -> false)
+      (Sue.drain_faults t)
+  in
   let corrupt, wd =
-    List.partition (function Sue.Watchdog_expired _ -> false | _ -> true) (Sue.drain_faults t)
+    List.partition (function Sue.Watchdog_expired _ -> false | _ -> true) rest
   in
   let per_dev = Hashtbl.create 8 in
   for d = 0 to ndev - 1 do
@@ -204,7 +224,9 @@ let observe_run ?watchdog (sc : Scenarios.instance) ~steps ~plan =
   List.iter (fun (d, w) -> Hashtbl.replace per_dev d (w :: Hashtbl.find per_dev d)) (List.rev !flat);
   let ob_outputs = List.init ndev (fun d -> (d, List.rev (Hashtbl.find per_dev d))) in
   let ob_status = List.map (fun c -> (c, Sue.regime_status t c)) (Config.colours sc.Scenarios.cfg) in
-  ({ ob_outputs; ob_status; ob_detections = corrupt; ob_wd_fires = List.length wd }, t)
+  ( { ob_outputs; ob_status; ob_detections = corrupt; ob_recoveries = recoveries;
+      ob_wd_fires = List.length wd },
+    t )
 
 let rec is_prefix a b =
   match (a, b) with
@@ -232,18 +254,37 @@ let classify ~cfg ~reference ~faulty ~t (plan : Fault_plan.t) =
     | (_, f) :: _ -> Fault_plan.target cfg f
     | [] -> None
   in
+  (* A multi-fault plan strikes several domains; only divergence of a
+     colour targeted by NO fault in the plan is a separation violation.
+     [target] stays the first fault's (the reporting key); the union is
+     what classification quantifies over. For single-fault plans the two
+     coincide. *)
+  let targeted c =
+    List.exists
+      (fun (_, f) ->
+        match Fault_plan.target cfg f with Some v -> Colour.equal v c | None -> false)
+      plan.Fault_plan.faults
+  in
   let colours = Config.colours cfg in
-  let is_other c = match target with Some v -> not (Colour.equal c v) | None -> true in
-  let others_diverged = List.exists (fun c -> is_other c && colour_diverged reference faulty t c) colours in
-  let victim_perturbed =
-    match target with
-    | None -> false
-    | Some v ->
-      colour_diverged reference faulty t v
-      || List.assoc v faulty.ob_status <> List.assoc v reference.ob_status
+  let perturbed v =
+    colour_diverged reference faulty t v
+    || List.assoc v faulty.ob_status <> List.assoc v reference.ob_status
+  in
+  let others_diverged =
+    List.exists (fun c -> (not (targeted c)) && colour_diverged reference faulty t c) colours
+  in
+  let victim_perturbed = List.exists (fun c -> targeted c && perturbed c) colours in
+  (* Recovered-safe demands full recovery: a recovery action happened and
+     nothing stayed parked. A run where recovery was attempted but some
+     regime is still down at the end only earns detected-safe. Without a
+     supervisor [ob_recoveries] is empty and this is the old
+     classification verbatim. *)
+  let parked_at_end =
+    List.exists (fun (_, s) -> s = Abstract_regime.Parked) faulty.ob_status
   in
   let outcome =
     if others_diverged then Violating
+    else if faulty.ob_recoveries <> [] && not parked_at_end then Recovered_safe
     else if faulty.ob_detections <> [] then Detected_safe
     else Masked
   in
@@ -253,6 +294,7 @@ let classify ~cfg ~reference ~faulty ~t (plan : Fault_plan.t) =
     outcome;
     victim_perturbed;
     detections = faulty.ob_detections;
+    recoveries = faulty.ob_recoveries;
     watchdog_delta = faulty.ob_wd_fires - reference.ob_wd_fires;
   }
 
@@ -261,11 +303,19 @@ let classify ~cfg ~reference ~faulty ~t (plan : Fault_plan.t) =
 let scenario_seed seed label =
   String.fold_left (fun acc ch -> ((acc * 31) + Char.code ch) land 0x3fffffff) seed label
 
-let run_scenario ?watchdog ~seed ~steps ~count (sc : Scenarios.instance) =
+let run_scenario ?watchdog ?recover ?(multi = 0) ~seed ~steps ~count (sc : Scenarios.instance) =
+  (* The reference is fault-free, so nothing ever parks and a supervisor
+     would have nothing to do: run it bare. *)
   let reference, _ = observe_run ?watchdog sc ~steps ~plan:None in
-  let plans = Fault_plan.generate ~seed ~steps ~count sc.Scenarios.cfg in
+  let plans =
+    Fault_plan.generate ~seed ~steps ~count sc.Scenarios.cfg
+    @ (if multi > 0 then
+         Fault_plan.generate_multi ~seed ~steps ~count:multi ~faults_per_plan:3
+           sc.Scenarios.cfg
+       else [])
+  in
   let run_case plan =
-    let faulty, t = observe_run ?watchdog sc ~steps ~plan:(Some plan) in
+    let faulty, t = observe_run ?watchdog ?recover sc ~steps ~plan:(Some plan) in
     classify ~cfg:sc.Scenarios.cfg ~reference ~faulty ~t plan
   in
   { label = sc.Scenarios.label; seed; steps; watchdog; cases = List.map run_case plans }
@@ -280,20 +330,32 @@ let run ~seed ~steps ~count =
         catalogue;
   }
 
+let run_recovery ?(policy = Recover.default_policy) ~seed ~steps ~count () =
+  {
+    rp_seed = seed;
+    rp_scenarios =
+      List.map
+        (fun (sc, watchdog) ->
+          run_scenario ?watchdog ~recover:policy ~multi:(max 1 (count / 2))
+            ~seed:(scenario_seed seed sc.Scenarios.label) ~steps ~count sc)
+        catalogue;
+  }
+
 let totals report =
   List.fold_left
-    (fun (m, d, v) sr ->
+    (fun (m, d, r, v) sr ->
       List.fold_left
-        (fun (m, d, v) case ->
+        (fun (m, d, r, v) case ->
           match case.outcome with
-          | Masked -> (m + 1, d, v)
-          | Detected_safe -> (m, d + 1, v)
-          | Violating -> (m, d, v + 1))
-        (m, d, v) sr.cases)
-    (0, 0, 0) report.rp_scenarios
+          | Masked -> (m + 1, d, r, v)
+          | Detected_safe -> (m, d + 1, r, v)
+          | Recovered_safe -> (m, d, r + 1, v)
+          | Violating -> (m, d, r, v + 1))
+        (m, d, r, v) sr.cases)
+    (0, 0, 0, 0) report.rp_scenarios
 
 let holds report =
-  let _, _, v = totals report in
+  let _, _, _, v = totals report in
   v = 0
 
 (* -- Reporting ------------------------------------------------------------- *)
@@ -304,6 +366,9 @@ let detection_to_json f =
   | Sue.Guard_breach a -> J.String (Fmt.str "guard-breach:%04x" a)
   | Sue.Watchdog_expired c -> J.String ("watchdog-expired:" ^ Colour.name c)
   | Sue.Kernel_panic reason -> J.String ("kernel-panic:" ^ reason)
+  | Sue.Regime_restart c -> J.String ("regime-restart:" ^ Colour.name c)
+  | Sue.Checkpoint_corrupt c -> J.String ("checkpoint-corrupt:" ^ Colour.name c)
+  | Sue.Warm_reboot -> J.String "warm-reboot"
 
 let case_to_json sr case =
   J.Obj
@@ -317,19 +382,21 @@ let case_to_json sr case =
       ("outcome", J.String (Fmt.str "%a" pp_outcome case.outcome));
       ("victim_perturbed", J.Bool case.victim_perturbed);
       ("detections", J.List (List.map detection_to_json case.detections));
+      ("recoveries", J.List (List.map detection_to_json case.recoveries));
       ("watchdog_delta", J.Int case.watchdog_delta);
     ]
 
 let summary_json report =
-  let masked, detected, violating = totals report in
+  let masked, detected, recovered, violating = totals report in
   J.Obj
     [
       ("kind", J.String "campaign-summary");
       ("seed", J.Int report.rp_seed);
       ("scenarios", J.Int (List.length report.rp_scenarios));
-      ("cases", J.Int (masked + detected + violating));
+      ("cases", J.Int (masked + detected + recovered + violating));
       ("masked", J.Int masked);
       ("detected_safe", J.Int detected);
+      ("recovered_safe", J.Int recovered);
       ("violating", J.Int violating);
       ("holds", J.Bool (holds report));
     ]

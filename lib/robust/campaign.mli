@@ -23,12 +23,15 @@
 
     {b Classification.} For a fault targeting colour [v] (see
     {!Fault_plan.target}): {e separation-violating} if any colour other
-    than [v] diverges; otherwise {e detected-safe} if the kernel's
-    hardening audited a corruption (save-area parks, guard breaches,
-    kernel panics — watchdog fires are liveness events and are reported
-    separately); otherwise {e masked}. Perturbation of [v] itself is
-    allowed and recorded: in the distributed ideal too, a fault inside a
-    box may corrupt that box. *)
+    than [v] diverges; otherwise {e recovered-safe} if the recovery
+    supervisor acted (a restart or warm reboot appears in the audit log)
+    and no regime is still parked at the end — the fail-operational
+    outcome; otherwise {e detected-safe} if the kernel's hardening
+    audited a corruption (save-area parks, guard breaches, checkpoint
+    corruption, kernel panics — watchdog fires are liveness events and
+    are reported separately); otherwise {e masked}. Perturbation of [v]
+    itself is allowed and recorded: in the distributed ideal too, a fault
+    inside a box may corrupt that box. *)
 
 module Colour = Sep_model.Colour
 module Sue = Sep_core.Sue
@@ -37,6 +40,7 @@ module Scenarios = Sep_core.Scenarios
 type outcome =
   | Masked
   | Detected_safe
+  | Recovered_safe
   | Violating
 
 val pp_outcome : Format.formatter -> outcome -> unit
@@ -47,6 +51,7 @@ type case = {
   outcome : outcome;
   victim_perturbed : bool;  (** the target's own trace or final status changed *)
   detections : Sue.kernel_fault list;  (** corruption detections (audit log) *)
+  recoveries : Sue.kernel_fault list;  (** restarts and warm reboots (audit log) *)
   watchdog_delta : int;  (** watchdog fires beyond the reference run's *)
 }
 
@@ -69,26 +74,43 @@ val subjects : Scenarios.instance list
     quantum so only the watchdog keeps both regimes live. *)
 
 val run_scenario :
-  ?watchdog:int -> seed:int -> steps:int -> count:int -> Scenarios.instance -> scenario_report
-(** Generate [count] plans (from [seed], specialised to the scenario's
-    configuration) and classify each against the fault-free reference.
-    Each case runs on a fresh kernel build. *)
+  ?watchdog:int ->
+  ?recover:Sep_recover.Recover.policy ->
+  ?multi:int ->
+  seed:int -> steps:int -> count:int -> Scenarios.instance -> scenario_report
+(** Generate [count] single-fault plans (from [seed], specialised to the
+    scenario's configuration) — plus [multi] three-fault plans from
+    {!Fault_plan.generate_multi} when [multi > 0] — and classify each
+    against the fault-free reference. Each case runs on a fresh kernel
+    build; with [recover] a {!Sep_recover.Recover} supervisor ticks after
+    every step, restarting parked regimes and warm-rebooting all-parked
+    kernels under the given budgets. *)
 
 val run : seed:int -> steps:int -> count:int -> report
-(** The full campaign over {!subjects} (each scenario's plans derive from
-    [seed] and its label, so scenarios are independently reproducible). *)
+(** The full fail-safe campaign over {!subjects}, no recovery — exactly
+    PR 2's campaign (each scenario's plans derive from [seed] and its
+    label, so scenarios are independently reproducible). *)
+
+val run_recovery :
+  ?policy:Sep_recover.Recover.policy -> seed:int -> steps:int -> count:int -> unit -> report
+(** The fail-operational campaign: same subjects and single-fault plans
+    as {!run} plus [count/2] three-fault stress plans per scenario, all
+    under a recovery supervisor. The fail-operational claim is that every
+    case that parked a regime now ends {!Recovered_safe} — and none ends
+    {!Violating}. *)
 
 val holds : report -> bool
 (** The headline theorem: no injected fault produced a
     separation-violating outcome. *)
 
-val totals : report -> int * int * int
-(** (masked, detected-safe, violating) across all scenarios. *)
+val totals : report -> int * int * int * int
+(** (masked, detected-safe, recovered-safe, violating) across all
+    scenarios. *)
 
 val case_to_json : scenario_report -> case -> Sep_util.Json.t
 (** One JSONL line: [{"kind": "fault-case", "scenario", "seed", "steps",
     "plan", "target", "outcome", "victim_perturbed", "detections",
-    "watchdog_delta"}]. *)
+    "recoveries", "watchdog_delta"}]. *)
 
 val report_to_jsonl : report -> string
 (** One line per case, then one [{"kind": "campaign-summary", ...}] line

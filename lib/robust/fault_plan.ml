@@ -115,10 +115,10 @@ let kind_name = function
   | Duplicate_irq _ -> "duplicate-irq"
   | Stuck_device _ -> "stuck-device"
 
-let generate ~seed ~steps ~count cfg =
-  if steps < 3 then invalid_arg "Fault_plan.generate: needs at least 3 steps";
-  if count < 0 then invalid_arg "Fault_plan.generate: negative count";
-  let rng = Prng.create seed in
+(* The fault kinds a configuration offers, as samplers. Building the
+   array consumes no randomness, so [generate] and [generate_multi] draw
+   the same stream a direct implementation would. *)
+let samplers cfg =
   let regimes = Array.of_list cfg.Config.regimes in
   let nregs = Array.length regimes in
   let channels = Array.of_list cfg.Config.channels in
@@ -171,8 +171,30 @@ let generate ~seed ~steps ~count cfg =
          else []);
       ]
   in
-  let kinds = Array.of_list kinds in
+  Array.of_list kinds
+
+let generate ~seed ~steps ~count cfg =
+  if steps < 3 then invalid_arg "Fault_plan.generate: needs at least 3 steps";
+  if count < 0 then invalid_arg "Fault_plan.generate: negative count";
+  let rng = Prng.create seed in
+  let kinds = samplers cfg in
   List.init count (fun i ->
       let at = 1 + Prng.int rng (steps - 2) in
       let fault = (Prng.choose rng kinds) rng in
       { label = Fmt.str "f%02d-%s@%d" i (kind_name fault) at; faults = [ (at, fault) ] })
+
+let generate_multi ~seed ~steps ~count ~faults_per_plan cfg =
+  if steps < 3 then invalid_arg "Fault_plan.generate_multi: needs at least 3 steps";
+  if count < 0 then invalid_arg "Fault_plan.generate_multi: negative count";
+  if faults_per_plan < 1 then invalid_arg "Fault_plan.generate_multi: needs at least 1 fault per plan";
+  let rng = Prng.create seed in
+  let kinds = samplers cfg in
+  List.init count (fun i ->
+      let faults =
+        List.init faults_per_plan (fun _ ->
+            let at = 1 + Prng.int rng (steps - 2) in
+            (at, (Prng.choose rng kinds) rng))
+      in
+      let faults = List.stable_sort (fun (a, _) (b, _) -> compare a b) faults in
+      let first = match faults with (at, _) :: _ -> at | [] -> 0 in
+      { label = Fmt.str "m%02d-x%d@%d" i faults_per_plan first; faults })

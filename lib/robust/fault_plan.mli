@@ -68,3 +68,11 @@ val generate : seed:int -> steps:int -> count:int -> 'p Config.t -> t list
     areas always; channel, Rx-latch, interrupt and stuck-device faults
     only when the configuration has channels or devices). Deterministic in
     [seed]. *)
+
+val generate_multi :
+  seed:int -> steps:int -> count:int -> faults_per_plan:int -> 'p Config.t -> t list
+(** Like {!generate} but each plan composes [faults_per_plan] independent
+    faults, sorted ascending by step (several may share a step). The
+    recovery campaign's stress schedules: enough simultaneous damage to
+    park several regimes — or all of them, forcing a warm reboot.
+    Deterministic in [seed]; distinct from the stream {!generate} draws. *)

@@ -23,8 +23,15 @@ module Kernelized_substrate = struct
   let build topo = Sep_core.Regime_kernel.build topo
 end
 
+module Distributed_substrate = struct
+  include Sep_distributed.Net
+
+  (* the substrate facade always uses perfect lines *)
+  let build topo = Sep_distributed.Net.build topo
+end
+
 let get = function
-  | Distributed -> (module Sep_distributed.Net : S)
+  | Distributed -> (module Distributed_substrate : S)
   | Kernelized -> (module Kernelized_substrate : S)
 
 let pp_kind ppf k =

@@ -57,6 +57,27 @@ let test_plans_strike_inside_run () =
         p.Fault_plan.faults)
     (Fault_plan.generate ~seed:3 ~steps:50 ~count:100 pipeline_cfg)
 
+let test_multi_fault_plans () =
+  let plans = Fault_plan.generate_multi ~seed:4 ~steps:50 ~count:30 ~faults_per_plan:3 pipeline_cfg in
+  check Alcotest.int "requested count" 30 (List.length plans);
+  List.iter
+    (fun (p : Fault_plan.t) ->
+      check Alcotest.int (p.Fault_plan.label ^ " carries three faults") 3
+        (List.length p.Fault_plan.faults);
+      ignore
+        (List.fold_left
+           (fun prev (at, _) ->
+             if at < prev then Alcotest.failf "plan %s strikes out of order" p.Fault_plan.label;
+             if at < 1 || at >= 50 then Alcotest.failf "plan %s strikes at %d" p.Fault_plan.label at;
+             at)
+           0 p.Fault_plan.faults))
+    plans;
+  let render ps = List.map (fun p -> Json.to_string (Fault_plan.to_json p)) ps in
+  check
+    (Alcotest.list Alcotest.string)
+    "deterministic" (render plans)
+    (render (Fault_plan.generate_multi ~seed:4 ~steps:50 ~count:30 ~faults_per_plan:3 pipeline_cfg))
+
 (* -- Kernel hardening ------------------------------------------------------ *)
 
 let status =
@@ -167,10 +188,11 @@ let smoke = lazy (Campaign.run ~seed:42 ~steps:60 ~count:12)
 
 let test_campaign_holds () =
   let report = Lazy.force smoke in
-  let masked, detected, violating = Campaign.totals report in
+  let masked, detected, recovered, violating = Campaign.totals report in
   check Alcotest.int "every fault classified" (List.length Campaign.subjects * 12)
-    (masked + detected + violating);
+    (masked + detected + recovered + violating);
   check Alcotest.int "zero separation violations" 0 violating;
+  check Alcotest.int "no recoveries without a supervisor" 0 recovered;
   Alcotest.(check bool) "containment holds" true (Campaign.holds report);
   Alcotest.(check bool) "at least one detected-safe outcome" true (detected >= 1)
 
@@ -219,6 +241,129 @@ let test_distributed_baseline () =
   Alcotest.(check bool) "tampering had an effect" true (d.Campaign.dr_affected > 0);
   Alcotest.(check bool) "unconnected boxes untouched" true d.Campaign.dr_contained
 
+(* -- The recovery campaign -------------------------------------------------- *)
+
+let recovery_smoke = lazy (Campaign.run_recovery ~seed:42 ~steps:60 ~count:12 ())
+
+let test_recovery_campaign_holds () =
+  let report = Lazy.force recovery_smoke in
+  let masked, detected, recovered, violating = Campaign.totals report in
+  (* 12 single-fault plans plus 6 triple-fault plans per scenario *)
+  check Alcotest.int "every fault classified" (List.length Campaign.subjects * 18)
+    (masked + detected + recovered + violating);
+  check Alcotest.int "zero separation violations" 0 violating;
+  Alcotest.(check bool) "containment holds" true (Campaign.holds report);
+  Alcotest.(check bool) "faults were recovered" true (recovered > 0);
+  List.iter
+    (fun (sr : Campaign.scenario_report) ->
+      let r =
+        List.length (List.filter (fun c -> c.Campaign.outcome = Campaign.Recovered_safe) sr.Campaign.cases)
+      and v =
+        List.length (List.filter (fun c -> c.Campaign.outcome = Campaign.Violating) sr.Campaign.cases)
+      in
+      check Alcotest.int (sr.Campaign.label ^ " has no violation") 0 v;
+      Alcotest.(check bool) (sr.Campaign.label ^ " recovered something") true (r > 0))
+    report.Campaign.rp_scenarios
+
+let test_recovery_cases_record_actions () =
+  let report = Lazy.force recovery_smoke in
+  List.iter
+    (fun (sr : Campaign.scenario_report) ->
+      List.iter
+        (fun (c : Campaign.case) ->
+          if c.Campaign.outcome = Campaign.Recovered_safe && c.Campaign.recoveries = [] then
+            Alcotest.failf "recovered-safe case without a recorded recovery in %s" sr.Campaign.label)
+        sr.Campaign.cases)
+    report.Campaign.rp_scenarios;
+  let restarted =
+    List.exists
+      (fun (sr : Campaign.scenario_report) ->
+        List.exists
+          (fun (c : Campaign.case) ->
+            List.exists
+              (function Sue.Regime_restart _ -> true | _ -> false)
+              c.Campaign.recoveries)
+          sr.Campaign.cases)
+      report.Campaign.rp_scenarios
+  in
+  Alcotest.(check bool) "some case recorded a regime restart" true restarted
+
+let test_recovery_deterministic () =
+  let run () = Campaign.report_to_jsonl (Campaign.run_recovery ~seed:9 ~steps:40 ~count:6 ()) in
+  check Alcotest.string "same seed, same recovery report" (run ()) (run ())
+
+(* -- JSONL round-trips ------------------------------------------------------- *)
+
+let member name fields =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %s" name
+
+let test_case_jsonl_roundtrip () =
+  let report = Lazy.force recovery_smoke in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Campaign.report_to_jsonl report))
+  in
+  let outcomes = [ "masked"; "detected-safe"; "recovered-safe"; "violating" ] in
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error e -> Alcotest.failf "unparseable line %s: %s" line e
+      | Ok (Json.Obj fields) -> (
+        match member "kind" fields with
+        | Json.String "fault-case" ->
+          List.iter
+            (fun f -> ignore (member f fields))
+            [ "scenario"; "seed"; "steps"; "plan"; "target"; "outcome"; "victim_perturbed";
+              "detections"; "recoveries"; "watchdog_delta" ];
+          let outcome =
+            match member "outcome" fields with
+            | Json.String s -> s
+            | _ -> Alcotest.fail "outcome is not a string"
+          in
+          if not (List.mem outcome outcomes) then Alcotest.failf "unknown outcome %s" outcome;
+          Hashtbl.replace seen outcome ();
+          (match (outcome, member "recoveries" fields) with
+          | "recovered-safe", Json.List [] ->
+            Alcotest.fail "recovered-safe case with empty recoveries"
+          | _, Json.List _ -> ()
+          | _ -> Alcotest.fail "recoveries is not a list")
+        | Json.String "campaign-summary" ->
+          let int_field f =
+            match member f fields with
+            | Json.Int n -> n
+            | _ -> Alcotest.failf "summary field %s is not an int" f
+          in
+          check Alcotest.int "summary cases = sum of classes"
+            (int_field "masked" + int_field "detected_safe" + int_field "recovered_safe"
+           + int_field "violating")
+            (int_field "cases")
+        | _ -> Alcotest.failf "unknown kind in %s" line)
+      | Ok _ -> Alcotest.failf "non-object line: %s" line)
+    lines;
+  List.iter
+    (fun o ->
+      if o <> "violating" && not (Hashtbl.mem seen o) then
+        Alcotest.failf "no %s case in the smoke campaign" o)
+    outcomes
+
+let test_dist_json_roundtrip () =
+  let d = Campaign.run_distributed ~seed:42 ~steps:40 ~count:20 in
+  match Json.parse (Json.to_string (Campaign.dist_to_json d)) with
+  | Error e -> Alcotest.failf "unparseable distributed baseline: %s" e
+  | Ok (Json.Obj fields) ->
+    (match member "kind" fields with
+    | Json.String "distributed-baseline" -> ()
+    | _ -> Alcotest.fail "wrong kind");
+    check Alcotest.int "cases survive the round-trip" d.Campaign.dr_cases
+      (match member "cases" fields with Json.Int n -> n | _ -> -1);
+    check Alcotest.int "affected survives the round-trip" d.Campaign.dr_affected
+      (match member "affected" fields with Json.Int n -> n | _ -> -1);
+    Alcotest.(check bool) "contained survives the round-trip" d.Campaign.dr_contained
+      (match member "contained" fields with Json.Bool b -> b | _ -> false)
+  | Ok _ -> Alcotest.fail "distributed baseline is not an object"
+
 let () =
   Alcotest.run "robust"
     [
@@ -227,6 +372,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_plans_deterministic;
           Alcotest.test_case "targets" `Quick test_plan_targets;
           Alcotest.test_case "strike inside the run" `Quick test_plans_strike_inside_run;
+          Alcotest.test_case "multi-fault plans" `Quick test_multi_fault_plans;
         ] );
       ( "hardening",
         [
@@ -245,5 +391,17 @@ let () =
           Alcotest.test_case "jsonl parses" `Quick test_campaign_jsonl_parses;
           Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
           Alcotest.test_case "distributed baseline" `Quick test_distributed_baseline;
+        ] );
+      ( "recovery campaign",
+        [
+          Alcotest.test_case "fail-operational holds" `Quick test_recovery_campaign_holds;
+          Alcotest.test_case "cases record recovery actions" `Quick
+            test_recovery_cases_record_actions;
+          Alcotest.test_case "deterministic" `Quick test_recovery_deterministic;
+        ] );
+      ( "jsonl round-trips",
+        [
+          Alcotest.test_case "fault-case and summary schema" `Quick test_case_jsonl_roundtrip;
+          Alcotest.test_case "distributed baseline schema" `Quick test_dist_json_roundtrip;
         ] );
     ]
