@@ -1,13 +1,13 @@
 (* Benchmark and experiment harness.
 
-   One driver per reproduced claim of the paper (E1-E16, indexed in
+   One driver per reproduced claim of the paper (E1-E17, indexed in
    DESIGN.md and EXPERIMENTS.md), each printing the table that supports
    it, followed by bechamel timings of the core operations.
 
      dune exec bench/main.exe                 all experiments + timings
      dune exec bench/main.exe -- e3 e6        selected experiments
      dune exec bench/main.exe -- timings      only the timing benches
-     dune exec bench/main.exe -- snapshot     write BENCH_PR4.json (see EXPERIMENTS.md)
+     dune exec bench/main.exe -- snapshot     write BENCH_PR5.json (see EXPERIMENTS.md)
      dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing *)
 
 module Table = Sep_util.Table
@@ -587,7 +587,7 @@ let e14 () =
      colour's observable trace, and corrupted kernel state is detected and parked, not trusted.";
   let module C = Sep_robust.Campaign in
   let seed = 42 and steps = 200 and count = 40 in
-  let report, secs = timed (fun () -> C.run ~seed ~steps ~count) in
+  let report, secs = timed (fun () -> C.run ~seed ~steps ~count ()) in
   let t = Table.create ~title:"E14: fault-injection campaign (seed 42, 200 steps, 40 faults/scenario)"
       ~columns:[ "scenario"; "masked"; "detected-safe"; "violating"; "watchdog" ] in
   List.iter
@@ -640,7 +640,7 @@ let e15 () =
     "the six conditions are a checkable specification, not just a proof outline: a coverage-guided \
      fuzzer finds no violation in the correct kernel, and every seeded bug is killed — by its \
      predicted condition — under exhaustive, randomized and coverage-guided checking alike.";
-  let seed = 42 and budget = 60 in
+  let seed = 42 and budget = 480 in
   let t = Table.create
       ~title:(Fmt.str "E15a: coverage-guided fuzz of the correct kernel (seed %d, budget %d)" seed budget)
       ~columns:[ "scenario"; "execs"; "corpus"; "coverage keys"; "failures"; "seconds" ] in
@@ -752,6 +752,49 @@ let e16 () =
         ])
     [ 10; 25 ];
   Table.print t2
+
+let e17 () =
+  claim
+    "verification is embarrassingly parallel without losing reproducibility: the work-sharded \
+     executor splits a fixed work list over OCaml domains, derives each task's randomness from \
+     (seed, task index) and merges results in canonical order, so campaigns, fuzzing and \
+     randomized walks produce byte-identical reports at any -j while the wall clock scales with \
+     the cores the machine actually has.";
+  let jobs = Sep_par.Par.default_jobs () in
+  Fmt.pr "recommended domain count on this machine: %d@.@." jobs;
+  let t =
+    Table.create ~title:(Fmt.str "E17: parallel speedup, -j 1 vs -j %d (seed 42)" jobs)
+      ~columns:[ "driver"; "seconds -j1"; Fmt.str "seconds -j%d" jobs; "speedup"; "identical" ]
+  in
+  let row name run render =
+    let r1, s1 = timed (fun () -> run 1) in
+    let rn, sn = timed (fun () -> run jobs) in
+    Table.add_row t
+      [
+        name;
+        Fmt.str "%.2f" s1;
+        Fmt.str "%.2f" sn;
+        Fmt.str "%.2fx" (if sn > 0.0 then s1 /. sn else 0.0);
+        (if String.equal (render r1) (render rn) then "yes" else "NO");
+      ]
+  in
+  let module C = Sep_robust.Campaign in
+  row "fault campaign (200 steps, 40 plans/scenario)"
+    (fun jobs -> C.run ~jobs ~seed:42 ~steps:200 ~count:40 ())
+    C.report_to_jsonl;
+  row "recovery campaign (200 steps, 40 plans/scenario)"
+    (fun jobs -> C.run_recovery ~jobs ~seed:42 ~steps:200 ~count:40 ())
+    C.report_to_jsonl;
+  row "fuzz pipeline (budget 60)"
+    (fun jobs -> Fuzz.fuzz_scenario ~jobs ~seed:42 ~budget:60 Scenarios.pipeline)
+    Fuzz.scenario_result_to_jsonl;
+  row "randomized walks (32 x 64, pipeline)"
+    (fun jobs ->
+      Sep_core.Randomized.check ~jobs
+        ~params:{ Sep_core.Randomized.walks = 32; walk_len = 64; scrambles = 2 }
+        ~seed:42 ~inputs:Scenarios.pipeline.Scenarios.alphabet Scenarios.pipeline.Scenarios.cfg)
+    (fun r -> Fmt.str "%a" Separability.pp_report r);
+  Table.print t
 
 (* -- bechamel timings -------------------------------------------------------------------- *)
 
@@ -924,7 +967,7 @@ let snapshot_json () =
   in
   let fault_campaign =
     let module C = Sep_robust.Campaign in
-    let report, secs = timed (fun () -> C.run ~seed:42 ~steps:200 ~count:40) in
+    let report, secs = timed (fun () -> C.run ~seed:42 ~steps:200 ~count:40 ()) in
     let dist = C.run_distributed ~seed:42 ~steps:40 ~count:20 in
     match C.summary_json report with
     | Json.Obj fields ->
@@ -932,7 +975,7 @@ let snapshot_json () =
     | other -> other
   in
   let fuzz =
-    let seed = 42 and budget = 60 in
+    let seed = 42 and budget = 480 in
     let scenario_entries =
       List.map
         (fun (inst : Scenarios.instance) ->
@@ -1001,9 +1044,23 @@ let snapshot_json () =
           ])
     | other -> other
   in
+  let speedup =
+    let module C = Sep_robust.Campaign in
+    let jobs = Sep_par.Par.default_jobs () in
+    let r1, s1 = timed (fun () -> C.run ~jobs:1 ~seed:42 ~steps:120 ~count:24 ()) in
+    let rn, sn = timed (fun () -> C.run ~jobs ~seed:42 ~steps:120 ~count:24 ()) in
+    Json.Obj
+      [
+        ("jobs", Json.Int jobs);
+        ("seconds_j1", Json.Float s1);
+        ("seconds_jn", Json.Float sn);
+        ("speedup", Json.Float (if sn > 0.0 then s1 /. sn else 0.0));
+        ("deterministic", Json.Bool (String.equal (C.report_to_jsonl r1) (C.report_to_jsonl rn)));
+      ]
+  in
   Json.Obj
     [
-      ("schema", Json.String "rushby-bench/4");
+      ("schema", Json.String "rushby-bench/5");
       ("generated_at_unix", Json.Float (Unix.time ()));
       ("ocaml_version", Json.String Sys.ocaml_version);
       ("experiments", Json.List check_experiments);
@@ -1011,6 +1068,7 @@ let snapshot_json () =
       ("fault_campaign", fault_campaign);
       ("fuzz", fuzz);
       ("recovery", recovery);
+      ("speedup", speedup);
       ("spans", Sep_obs.Span.to_json ());
     ]
 
@@ -1019,7 +1077,7 @@ let validate_snapshot json =
   let require_obj name v = match v with Some (Json.Obj _ as o) -> Ok o | _ -> fail ("missing object " ^ name) in
   let require_list name v = match v with Some (Json.List l) -> Ok l | _ -> fail ("missing list " ^ name) in
   match Json.member "schema" json with
-  | Some (Json.String "rushby-bench/4") -> (
+  | Some (Json.String "rushby-bench/5") -> (
     match require_list "experiments" (Json.member "experiments" json) with
     | Error e -> fail e
     | Ok experiments -> (
@@ -1045,6 +1103,14 @@ let validate_snapshot json =
                 [ "cases"; "masked"; "detected_safe"; "recovered_safe"; "violating"; "holds";
                   "reliable_net" ] ->
             fail "malformed recovery entry"
+          | Ok _ -> (
+          match require_obj "speedup" (Json.member "speedup" json) with
+          | Error e -> fail e
+          | Ok speedup when
+              List.exists
+                (fun k -> Json.member k speedup = None)
+                [ "jobs"; "seconds_j1"; "seconds_jn"; "speedup"; "deterministic" ] ->
+            fail "malformed speedup entry"
           | Ok _ -> (
           match require_obj "fuzz" (Json.member "fuzz" json) with
           | Error e -> fail e
@@ -1085,12 +1151,12 @@ let validate_snapshot json =
               else if not (List.for_all fuzz_kill_ok fuzz_kills) then fail "malformed fuzz kill entry"
               else if experiments = [] || runs = [] || fuzz_scenarios = [] || fuzz_kills = [] then
                 fail "empty snapshot"
-              else Ok (List.length experiments, List.length runs)))))))
+              else Ok (List.length experiments, List.length runs))))))))
   | _ -> fail "missing or unexpected schema tag"
 
 let snapshot_main args =
   let check_only = ref false in
-  let out = ref "BENCH_PR4.json" in
+  let out = ref "BENCH_PR5.json" in
   let rec parse = function
     | [] -> Ok ()
     | "--check" :: rest ->
@@ -1151,6 +1217,7 @@ let experiments =
     ("e14", e14);
     ("e15", e15);
     ("e16", e16);
+    ("e17", e17);
     ("timings", timings);
   ]
 

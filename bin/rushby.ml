@@ -43,6 +43,14 @@ let uncut_arg =
    means the same thing, with the same default, everywhere *)
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(value
+       & opt int (Sep_par.Par.default_jobs ())
+       & info [ "j"; "jobs" ]
+           ~doc:
+             "Worker domains for parallel verification (default: the recommended domain count). \
+              Results are bit-identical for any value.")
+
 let impl_arg =
   let impl_of_string = function
     | "microcode" -> Ok Sep_core.Sue.Microcode
@@ -171,11 +179,11 @@ let print_minimized scenario bugs impl seed params conditions =
     params.Sep_core.Randomized.walks params.Sep_core.Randomized.walk_len
     params.Sep_core.Randomized.scrambles
 
-let verify_random_run scenario bugs seed walks walk_len scrambles impl trace_json =
+let verify_random_run scenario bugs seed jobs walks walk_len scrambles impl trace_json =
   if trace_json <> None then Sep_obs.Span.set_enabled true;
   let params = { Sep_core.Randomized.walks; walk_len; scrambles } in
   let report =
-    Sep_core.Randomized.check ~bugs ~impl ~params ~seed
+    Sep_core.Randomized.check ~bugs ~impl ~jobs ~params ~seed
       ~inputs:scenario.Sep_core.Scenarios.alphabet scenario.Sep_core.Scenarios.cfg
   in
   (if Sep_core.Separability.verified report then Fmt.pr "%a@." Sep_core.Separability.pp_report report
@@ -193,8 +201,8 @@ let verify_random_cmd =
   let doc = "Randomized Proof of Separability (random walks plus scrambled partners)." in
   Cmd.v (Cmd.info "verify-random" ~doc)
     Term.(
-      const verify_random_run $ scenario_arg $ bugs_arg $ seed_arg $ walks_arg $ walk_len_arg
-      $ scrambles_arg $ impl_arg $ trace_json_arg)
+      const verify_random_run $ scenario_arg $ bugs_arg $ seed_arg $ jobs_arg $ walks_arg
+      $ walk_len_arg $ scrambles_arg $ impl_arg $ trace_json_arg)
 
 (* -- mutants ---------------------------------------------------------------- *)
 
@@ -428,13 +436,19 @@ let pp_link_stats ppf (s : Sep_distributed.Net.link_stats) =
   Fmt.pf ppf "in-flight %d  drops %d  lossy-drops %d  retransmits %d  acks %d  backoff-ceiling %d"
     s.ls_in_flight s.ls_drops s.ls_lossy_drops s.ls_retransmits s.ls_acks s.ls_backoff_ceiling
 
-let stats_run scenario bugs seed steps impl json_file =
+let stats_run scenario bugs seed jobs steps impl json_file =
   Sep_obs.Span.set_enabled true;
   let t = Sep_core.Sue.build ~bugs ~impl scenario.Sep_core.Scenarios.cfg in
   let inputs = drip_inputs scenario in
   for n = 0 to steps - 1 do
     ignore (Sep_core.Sue.step t (inputs n))
   done;
+  (* a small parallel walk sample, so the executor counters below reflect
+     this machine's sharding/merge behaviour at the requested job count *)
+  ignore
+    (Sep_core.Randomized.sample_states ~bugs ~impl ~jobs
+       ~params:Sep_core.Randomized.default_params ~seed
+       ~inputs:scenario.Sep_core.Scenarios.alphabet scenario.Sep_core.Scenarios.cfg);
   let tel = Sep_core.Sue.telemetry t in
   Fmt.pr "== kernel counters: %s, %d steps, %a kernel ==@.%a@."
     scenario.Sep_core.Scenarios.label steps Sep_core.Sue.pp_impl impl Sep_obs.Telemetry.pp tel;
@@ -445,6 +459,8 @@ let stats_run scenario bugs seed steps impl json_file =
   Fmt.pr "@.== reliable net (lossy link, %d steps) ==@.  %a@." net_steps pp_link_stats
     rc.Sep_check.Diff.rc_stats;
   Fmt.pr "@.== span profile (seconds) ==@.%a@." Sep_obs.Telemetry.pp Sep_obs.Span.registry;
+  Fmt.pr "@.== parallel executor (%d jobs) ==@.%a@." jobs Sep_obs.Telemetry.pp
+    Sep_par.Par.registry;
   (match json_file with
   | None -> ()
   | Some file ->
@@ -468,7 +484,14 @@ let stats_run scenario bugs seed steps impl json_file =
              ]);
         Sep_obs.Sink.emit sink
           (Sep_util.Json.Obj
-             [ ("kind", Sep_util.Json.String "spans"); ("telemetry", Sep_obs.Span.to_json ()) ])));
+             [ ("kind", Sep_util.Json.String "spans"); ("telemetry", Sep_obs.Span.to_json ()) ]);
+        Sep_obs.Sink.emit sink
+          (Sep_util.Json.Obj
+             [
+               ("kind", Sep_util.Json.String "par");
+               ("jobs", Sep_util.Json.Int jobs);
+               ("telemetry", Sep_obs.Telemetry.to_json Sep_par.Par.registry);
+             ])));
   0
 
 let stats_cmd =
@@ -482,7 +505,7 @@ let stats_cmd =
        ~doc:
          "Run a scenario and print the kernel's telemetry (per-regime counters, span profile) plus \
           the reliable net's link statistics.")
-    Term.(const stats_run $ scenario_arg $ bugs_arg $ seed_arg $ steps $ impl_arg $ json_file)
+    Term.(const stats_run $ scenario_arg $ bugs_arg $ seed_arg $ jobs_arg $ steps $ impl_arg $ json_file)
 
 (* -- metrics ----------------------------------------------------------------- *)
 
@@ -497,10 +520,10 @@ let metrics_cmd =
 
 (* -- inject ------------------------------------------------------------------ *)
 
-let inject_run seed steps count smoke json_file =
+let inject_run seed jobs steps count smoke json_file =
   let steps, count = if smoke then (60, 12) else (steps, count) in
   let module C = Sep_robust.Campaign in
-  let report = C.run ~seed ~steps ~count in
+  let report = C.run ~jobs ~seed ~steps ~count () in
   Fmt.pr "== fault-injection campaign: seed %d, %d steps, %d faults/scenario ==@." seed steps count;
   List.iter
     (fun (sr : C.scenario_report) ->
@@ -559,14 +582,14 @@ let inject_cmd =
        ~doc:
          "Run seeded fault-injection campaigns against every scenario and classify each outcome as \
           masked, detected-safe or separation-violating by differential per-colour trace comparison.")
-    Term.(const inject_run $ seed_arg $ steps $ count $ smoke $ json_file)
+    Term.(const inject_run $ seed_arg $ jobs_arg $ steps $ count $ smoke $ json_file)
 
 (* -- recover ----------------------------------------------------------------- *)
 
-let recover_run seed steps count smoke drop json_file =
+let recover_run seed jobs steps count smoke drop json_file =
   let steps, count = if smoke then (60, 12) else (steps, count) in
   let module C = Sep_robust.Campaign in
-  let report = C.run_recovery ~seed ~steps ~count () in
+  let report = C.run_recovery ~jobs ~seed ~steps ~count () in
   Fmt.pr "== recovery campaign: seed %d, %d steps, %d fault plans/scenario (plus multi-fault) ==@."
     seed steps count;
   List.iter
@@ -680,7 +703,7 @@ let recover_cmd =
           panicked kernel, classifying each outcome as masked, detected-safe, recovered-safe or \
           separation-violating; then pin the kernel against the reliable-channel distributed ideal \
           over a lossy link.")
-    Term.(const recover_run $ seed_arg $ steps $ count $ smoke $ drop $ json_file)
+    Term.(const recover_run $ seed_arg $ jobs_arg $ steps $ count $ smoke $ drop $ json_file)
 
 (* -- fuzz -------------------------------------------------------------------- *)
 
@@ -726,10 +749,12 @@ let fuzz_replay rseed scenario bugs impl walks walk_len scrambles =
     1
   end
 
-let fuzz_full smoke seed budget impl json_file =
+let fuzz_full smoke seed jobs budget impl json_file =
   let budget = if smoke then 40 else budget in
   let results =
-    List.map (fun sc -> Sep_check.Fuzz.fuzz_scenario ~impl ~seed ~budget sc) Sep_core.Scenarios.all
+    List.map
+      (fun sc -> Sep_check.Fuzz.fuzz_scenario ~impl ~jobs ~seed ~budget sc)
+      Sep_core.Scenarios.all
   in
   Fmt.pr "== coverage-guided fuzz: seed %d, budget %d execs/scenario, %a kernel ==@." seed budget
     Sep_core.Sue.pp_impl impl;
@@ -742,7 +767,7 @@ let fuzz_full smoke seed budget impl json_file =
         (List.length r.sr_failures)
         (if List.compare_length_with r.sr_failures 1 = 0 then "" else "s"))
     results;
-  let kills = Sep_check.Score.kill_table ~impl ~seed ~budget () in
+  let kills = Sep_check.Score.kill_table ~impl ~jobs ~seed ~budget () in
   let table =
     Sep_util.Table.create ~title:"Mutant kill rate per strategy"
       ~columns:[ "bug"; "scenario"; "strategy"; "killed"; "cond"; "states"; "checks"; "execs"; "instrs" ]
@@ -849,17 +874,17 @@ let fuzz_replay_corpus impl file =
     Fmt.epr "rushby: %s: %s@." file msg;
     1
 
-let fuzz_run smoke seed budget json_file replay replay_corpus scenario bugs impl walks walk_len
-    scrambles emit_corpus =
+let fuzz_run smoke seed jobs budget json_file replay replay_corpus scenario bugs impl walks
+    walk_len scrambles emit_corpus =
   match (emit_corpus, replay, replay_corpus) with
   | Some dir, _, _ -> fuzz_corpus_emit dir seed impl
   | None, Some rseed, _ -> fuzz_replay rseed scenario bugs impl walks walk_len scrambles
   | None, None, Some file -> fuzz_replay_corpus impl file
-  | None, None, None -> fuzz_full smoke seed budget impl json_file
+  | None, None, None -> fuzz_full smoke seed jobs budget impl json_file
 
 let fuzz_cmd =
   let budget =
-    Arg.(value & opt int 120 & info [ "budget" ] ~doc:"Fuzz executions per scenario and per mutant.")
+    Arg.(value & opt int 480 & info [ "budget" ] ~doc:"Fuzz executions per scenario and per mutant.")
   in
   let smoke =
     Arg.(value & flag & info [ "smoke" ] ~doc:"Small deterministic budget (40 execs) for CI.")
@@ -895,8 +920,9 @@ let fuzz_cmd =
           member), then score how fast exhaustive, randomized and coverage-guided checking kill \
           each seeded kernel bug, shrinking killing workloads to minimal programs.")
     Term.(
-      const fuzz_run $ smoke $ seed_arg $ budget $ json_file $ replay $ replay_corpus $ scenario_arg
-      $ bugs_arg $ impl_arg $ walks_arg $ walk_len_arg $ scrambles_arg $ emit_corpus)
+      const fuzz_run $ smoke $ seed_arg $ jobs_arg $ budget $ json_file $ replay $ replay_corpus
+      $ scenario_arg $ bugs_arg $ impl_arg $ walks_arg $ walk_len_arg $ scrambles_arg
+      $ emit_corpus)
 
 let main_cmd =
   let doc = "reproduction of Rushby's separation kernel and Proof of Separability (SOSP 1981)" in

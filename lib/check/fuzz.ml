@@ -221,36 +221,61 @@ type 'a campaign = {
   cp_stopped : bool;
 }
 
-let engine ~seed ~budget ~seeds ~mutate ~coverage ?(stop = fun _ -> false) () =
+(* The batch width is a fixed constant, NOT the job count: candidates are
+   generated (sequentially, from the engine's single PRNG) a batch at a
+   time against the corpus snapshot at batch start, executed in parallel,
+   then admitted in generation order. Tying the width to [jobs] would
+   change which corpus snapshot each candidate mutates from and break the
+   bit-identical-for-any-[-j] contract. *)
+let batch_width = 8
+
+let engine_exec ?jobs ~seed ~budget ~seeds ~mutate ~exec ~keys_of
+    ?(stop = fun _ _ -> false) ?(witness = fun _ _ -> ()) () =
   let rng = Prng.create seed in
   let seen = Hashtbl.create 64 in
   let entries = ref [] in
   let nentries = ref 0 in
   let execs = ref 0 in
-  let run_one input =
-    incr execs;
-    let keys = coverage input in
-    let fresh = List.filter (fun k -> not (Hashtbl.mem seen k)) keys in
-    List.iter (fun k -> Hashtbl.replace seen k ()) keys;
-    let is_stop = stop input in
-    if fresh <> [] || is_stop then begin
-      entries := { en_id = !execs; en_input = input; en_new_keys = List.sort compare fresh } :: !entries;
-      incr nentries
-    end;
-    is_stop
+  let stopped = ref false in
+  (* Sequential, canonical-order half of one execution: budget accounting,
+     witness, corpus admission, stop. Batch results past a stop or past
+     the budget are discarded unprocessed — the batch partition does not
+     depend on [jobs], so the discard point doesn't either. *)
+  let admit input result =
+    if (not !stopped) && !execs < budget then begin
+      incr execs;
+      witness input result;
+      let keys = keys_of result in
+      let fresh = List.filter (fun k -> not (Hashtbl.mem seen k)) keys in
+      List.iter (fun k -> Hashtbl.replace seen k ()) keys;
+      let is_stop = stop input result in
+      if fresh <> [] || is_stop then begin
+        entries :=
+          { en_id = !execs; en_input = input; en_new_keys = List.sort compare fresh }
+          :: !entries;
+        incr nentries
+      end;
+      if is_stop then stopped := true
+    end
   in
-  let rec seed_loop = function
-    | [] -> false
-    | s :: rest -> if !execs >= budget then false else if run_one s then true else seed_loop rest
+  let run_batch inputs = List.iter2 admit inputs (Sep_par.Par.map ?jobs exec inputs) in
+  let rec seed_batches = function
+    | [] -> ()
+    | rest when !stopped || !execs >= budget -> ignore rest
+    | rest ->
+      run_batch (List.filteri (fun i _ -> i < batch_width) rest);
+      seed_batches (List.filteri (fun i _ -> i >= batch_width) rest)
   in
-  let stopped = ref (seed_loop seeds) in
+  seed_batches seeds;
   while (not !stopped) && !execs < budget && !nentries > 0 do
     (* newest-first list; the min of two uniform draws biases toward
        recent admissions without starving the rest of the corpus *)
     let arr = Array.of_list !entries in
-    let idx = min (Prng.int rng (Array.length arr)) (Prng.int rng (Array.length arr)) in
-    let child = mutate rng arr.(idx).en_input in
-    if run_one child then stopped := true
+    let pick () = min (Prng.int rng (Array.length arr)) (Prng.int rng (Array.length arr)) in
+    let batch =
+      List.init (min batch_width (budget - !execs)) (fun _ -> mutate rng arr.(pick ()).en_input)
+    in
+    run_batch batch
   done;
   {
     cp_seed = seed;
@@ -260,6 +285,10 @@ let engine ~seed ~budget ~seeds ~mutate ~coverage ?(stop = fun _ -> false) () =
     cp_keys = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []);
     cp_stopped = !stopped;
   }
+
+let engine ~seed ~budget ~seeds ~mutate ~coverage ?(stop = fun _ -> false) () =
+  engine_exec ~jobs:1 ~seed ~budget ~seeds ~mutate ~exec:coverage ~keys_of:Fun.id
+    ~stop:(fun input _ -> stop input) ()
 
 (* -- Fuzzing a scenario ------------------------------------------------------- *)
 
@@ -283,38 +312,40 @@ let drip_schedule alphabet len =
 
 let max_failures_kept = 10
 
-let fuzz_scenario ?(bugs = []) ?(impl = Sue.Microcode) ?(check_isolation = true) ~seed ~budget
-    (sc : Scenarios.instance) =
+let fuzz_scenario ?(bugs = []) ?(impl = Sue.Microcode) ?(check_isolation = true) ?jobs ~seed
+    ~budget (sc : Scenarios.instance) =
   let alphabet = sc.Scenarios.alphabet in
   let cfg = sc.Scenarios.cfg in
   let failures = ref [] in
-  let coverage sched =
-    let e = execute ~bugs ~impl ~seed:(seed + 1) ~alphabet cfg sched in
+  (* executions run on worker domains and are pure; failure collection
+     happens in the sequential witness, in canonical admission order *)
+  let witness sched e =
     let conds = Separability.failing_conditions e.ex_report in
     if conds <> [] && List.length !failures < max_failures_kept then
-      failures := { fl_schedule = sched; fl_conditions = conds; fl_isolation = [] } :: !failures;
-    e.ex_keys
+      failures := { fl_schedule = sched; fl_conditions = conds; fl_isolation = [] } :: !failures
   in
   let seeds =
     ([] :: List.map (fun i -> [ i ]) (List.filter (fun i -> i <> []) alphabet))
     @ [ drip_schedule alphabet 12 ]
   in
   let campaign =
-    engine ~seed ~budget ~seeds ~mutate:(mutate_schedule ~alphabet ~max_len:32) ~coverage ()
+    engine_exec ?jobs ~seed ~budget ~seeds ~mutate:(mutate_schedule ~alphabet ~max_len:32)
+      ~exec:(fun sched -> execute ~bugs ~impl ~seed:(seed + 1) ~alphabet cfg sched)
+      ~keys_of:(fun e -> e.ex_keys) ~witness ()
   in
   (* cut-wire solo isolation over the corpus: meaningful only when every
      channel is cut (an uncut channel makes regimes legitimately
      interdependent, so solo traces may differ) *)
   let isolable = List.for_all (fun (ch : Config.channel) -> ch.Config.cut) cfg.Config.channels in
   if check_isolation && isolable then
-    List.iter
-      (fun e ->
-        if List.length !failures < max_failures_kept then
-          match Diff.solo_check ~impl cfg ~schedule:e.en_input with
-          | [] -> ()
-          | divergences ->
-            failures := { fl_schedule = e.en_input; fl_conditions = []; fl_isolation = divergences } :: !failures)
-      campaign.cp_entries;
+    Sep_par.Par.map ?jobs
+      (fun e -> (e.en_input, Diff.solo_check ~impl cfg ~schedule:e.en_input))
+      campaign.cp_entries
+    |> List.iter (fun (sched, divergences) ->
+           if divergences <> [] && List.length !failures < max_failures_kept then
+             failures :=
+               { fl_schedule = sched; fl_conditions = []; fl_isolation = divergences }
+               :: !failures);
   { sr_label = sc.Scenarios.label; sr_seed = seed; sr_campaign = campaign; sr_failures = List.rev !failures }
 
 (* -- Crash-restart exploration ------------------------------------------------ *)
@@ -430,19 +461,17 @@ type recovery_result = {
   rv_failures : recovery_failure list;
 }
 
-let fuzz_recovery ?policy ~seed ~budget (sc : Scenarios.instance) =
+let fuzz_recovery ?policy ?jobs ~seed ~budget (sc : Scenarios.instance) =
   let alphabet = sc.Scenarios.alphabet in
   let cfg = sc.Scenarios.cfg in
   let colours = Config.colours cfg in
   let failures = ref [] in
-  let coverage input =
-    let e = execute_recovery ?policy ~seed:(seed + 1) ~alphabet cfg input in
+  let witness input e =
     let conds = Separability.failing_conditions e.ex_report in
     if conds <> [] && List.length !failures < max_failures_kept then
       failures :=
         { rf_schedule = input.ri_sched; rf_crashes = input.ri_crashes; rf_conditions = conds }
-        :: !failures;
-    e.ex_keys
+        :: !failures
   in
   let drip = drip_schedule alphabet 12 in
   let seeds =
@@ -455,7 +484,11 @@ let fuzz_recovery ?policy ~seed ~budget (sc : Scenarios.instance) =
       { input with ri_crashes = mutate_crashes ~colours ~max_steps rng input.ri_crashes }
     else { input with ri_sched = mutate_schedule ~alphabet ~max_len:32 rng input.ri_sched }
   in
-  let campaign = engine ~seed ~budget ~seeds ~mutate ~coverage () in
+  let campaign =
+    engine_exec ?jobs ~seed ~budget ~seeds ~mutate
+      ~exec:(fun input -> execute_recovery ?policy ~seed:(seed + 1) ~alphabet cfg input)
+      ~keys_of:(fun e -> e.ex_keys) ~witness ()
+  in
   {
     rv_label = sc.Scenarios.label;
     rv_seed = seed;

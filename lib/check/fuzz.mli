@@ -74,14 +74,34 @@ type 'a campaign = {
   cp_stopped : bool;  (** the [stop] predicate ended the campaign early *)
 }
 
+val engine_exec :
+  ?jobs:int -> seed:int -> budget:int -> seeds:'a list ->
+  mutate:(Sep_util.Prng.t -> 'a -> 'a) -> exec:('a -> 'r) -> keys_of:('r -> string list) ->
+  ?stop:('a -> 'r -> bool) -> ?witness:('a -> 'r -> unit) -> unit -> 'a campaign
+(** The generic corpus loop, split for deterministic parallelism: [exec]
+    (which must be pure — it runs on worker domains) executes one input; a
+    sequential admission pass then walks results in generation order,
+    calling [witness] (side effects welcome — always the spawning domain),
+    admitting inputs whose [keys_of] coverage includes an unseen key, and
+    checking [stop], which ends the campaign early (the triggering input
+    is recorded in the corpus).
+
+    Candidates are generated a {e fixed-width batch} at a time — width 8,
+    independent of [jobs] — sequentially from the engine PRNG against the
+    corpus snapshot at batch start, then executed on up to [jobs] domains
+    ({!Sep_par.Par.map}, default {!Sep_par.Par.default_jobs}). The
+    campaign, including corpus and witness order, is therefore
+    bit-identical for any job count. Mutation draws are round-robin
+    biased toward recent admissions, and the loop runs until [budget]
+    executions are spent. *)
+
 val engine :
   seed:int -> budget:int -> seeds:'a list -> mutate:(Sep_util.Prng.t -> 'a -> 'a) ->
   coverage:('a -> string list) -> ?stop:('a -> bool) -> unit -> 'a campaign
-(** The generic corpus loop: execute the seed inputs, then mutate corpus
-    members (round-robin biased toward recent admissions) until [budget]
-    executions are spent. An input whose coverage includes an unseen key
-    is admitted. [stop], checked after each execution, ends the campaign
-    early (the triggering input is recorded in the corpus). *)
+(** {!engine_exec} at [jobs = 1] with [exec = coverage] — for callers
+    whose coverage function has side effects and so cannot cross domains.
+    Executions happen batchwise, so [coverage] may run on inputs the
+    budget or a [stop] later discards. *)
 
 (** {1 Fuzzing a scenario} *)
 
@@ -99,12 +119,14 @@ type scenario_result = {
 }
 
 val fuzz_scenario :
-  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?check_isolation:bool -> seed:int -> budget:int ->
-  Sep_core.Scenarios.instance -> scenario_result
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?check_isolation:bool -> ?jobs:int -> seed:int ->
+  budget:int -> Sep_core.Scenarios.instance -> scenario_result
 (** Coverage-guided fuzz of one scenario: seeds are the empty schedule,
     each single alphabet element and a cycling drip; every execution is
     condition-checked, every corpus member isolation-checked (unless
-    [check_isolation] is false). *)
+    [check_isolation] is false). Executions and isolation checks run on
+    up to [jobs] domains; the result is bit-identical for any job
+    count. *)
 
 val scenario_result_to_jsonl : scenario_result -> string
 (** One [fuzz-corpus] line per corpus entry, then one [fuzz-scenario]
@@ -157,7 +179,7 @@ type recovery_result = {
 }
 
 val fuzz_recovery :
-  ?policy:Sep_recover.Recover.policy -> seed:int -> budget:int ->
+  ?policy:Sep_recover.Recover.policy -> ?jobs:int -> seed:int -> budget:int ->
   Sep_core.Scenarios.instance -> recovery_result
 (** Coverage-guided crash-restart fuzz of one scenario: seeds crash each
     colour alone and all colours together over a drip schedule; mutation

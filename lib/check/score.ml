@@ -182,11 +182,12 @@ let exhaustive_kill ?(impl = Sue.Microcode) ?state_limit (e : Mutants.expectatio
     kl_workload = None;
   }
 
-let randomized_kill ?(impl = Sue.Microcode) ?(max_walks = 32) ~seed (e : Mutants.expectation) =
+let randomized_kill ?(impl = Sue.Microcode) ?(max_walks = 32) ?jobs ~seed
+    (e : Mutants.expectation) =
   let rec go walks spent =
     let params = { Randomized.default_params with Randomized.walks } in
     let r =
-      Randomized.check ~bugs:[ e.bug ] ~impl ~params ~max_failures:1 ~seed
+      Randomized.check ~bugs:[ e.bug ] ~impl ?jobs ~params ~max_failures:1 ~seed
         ~inputs:e.scenario.Scenarios.alphabet e.scenario.Scenarios.cfg
     in
     let detected = List.mem e.primary (Separability.failing_conditions r) in
@@ -206,30 +207,31 @@ let randomized_kill ?(impl = Sue.Microcode) ?(max_walks = 32) ~seed (e : Mutants
     kl_workload = None;
   }
 
-let coverage_kill ?(impl = Sue.Microcode) ~seed ~budget (e : Mutants.expectation) =
+let coverage_kill ?(impl = Sue.Microcode) ?jobs ~seed ~budget (e : Mutants.expectation) =
   let cfg = e.scenario.Scenarios.cfg and alphabet = e.scenario.Scenarios.alphabet in
-  (* One execution per distinct workload: the engine asks for coverage and
-     the stop predicate separately, so memoize. *)
+  let execute_raw w =
+    Fuzz.execute ~bugs:[ e.bug ] ~impl ~seed:(seed + 1) ~alphabet (apply_workload cfg w)
+      w.wl_sched
+  in
+  (* The engine derives coverage and stop from one parallel execution;
+     re-executions during the sequential shrink phase are memoized on the
+     spawning domain only. *)
   let cache = Hashtbl.create 64 in
   let execute w =
     match Hashtbl.find_opt cache w with
     | Some ex -> ex
     | None ->
-      let ex =
-        Fuzz.execute ~bugs:[ e.bug ] ~impl ~seed:(seed + 1) ~alphabet (apply_workload cfg w)
-          w.wl_sched
-      in
+      let ex = execute_raw w in
       Hashtbl.replace cache w ex;
       ex
   in
-  let detected w =
-    List.mem e.primary (Separability.failing_conditions (execute w).Fuzz.ex_report)
-  in
+  let detected_ex ex = List.mem e.primary (Separability.failing_conditions ex.Fuzz.ex_report) in
+  let detected w = detected_ex (execute w) in
   let campaign =
-    Fuzz.engine ~seed ~budget ~seeds:(archetypes cfg alphabet)
-      ~mutate:(mutate_workload cfg alphabet)
-      ~coverage:(fun w -> (execute w).Fuzz.ex_keys)
-      ~stop:detected ()
+    Fuzz.engine_exec ?jobs ~seed ~budget ~seeds:(archetypes cfg alphabet)
+      ~mutate:(mutate_workload cfg alphabet) ~exec:execute_raw
+      ~keys_of:(fun ex -> ex.Fuzz.ex_keys)
+      ~stop:(fun _ ex -> detected_ex ex) ()
   in
   let killer =
     List.find_opt (fun en -> detected en.Fuzz.en_input) (List.rev campaign.Fuzz.cp_entries)
@@ -262,15 +264,18 @@ let coverage_kill ?(impl = Sue.Microcode) ~seed ~budget (e : Mutants.expectation
       kl_workload = Some w;
     }
 
-let kill_table ?impl ~seed ~budget () =
+(* One task per (mutant, strategy): each is an independent replay against
+   its own fresh kernels, so the table parallelizes flat. Inner engines
+   run at [jobs = 1] — the outer map already owns the domains. *)
+let kill_table ?impl ?jobs ~seed ~budget () =
   List.concat_map
-    (fun e ->
-      [
-        exhaustive_kill ?impl e;
-        randomized_kill ?impl ~seed e;
-        coverage_kill ?impl ~seed ~budget e;
-      ])
+    (fun e -> [ (e, Exhaustive); (e, Randomized); (e, Coverage) ])
     Mutants.catalogue
+  |> Sep_par.Par.map ?jobs (fun (e, strategy) ->
+         match strategy with
+         | Exhaustive -> exhaustive_kill ?impl e
+         | Randomized -> randomized_kill ?impl ~jobs:1 ~seed e
+         | Coverage -> coverage_kill ?impl ~jobs:1 ~seed ~budget e)
 
 (* ------------------------------------------------------------------ *)
 (* Regression corpus                                                   *)

@@ -77,17 +77,24 @@ val pp_kill : Format.formatter -> kill -> unit
 
 val exhaustive_kill : ?impl:Sue.impl -> ?state_limit:int -> Mutants.expectation -> kill
 
-val randomized_kill : ?impl:Sue.impl -> ?max_walks:int -> seed:int -> Mutants.expectation -> kill
+val randomized_kill :
+  ?impl:Sue.impl -> ?max_walks:int -> ?jobs:int -> seed:int -> Mutants.expectation -> kill
 (** Walk counts escalate 1, 2, 4, … up to [max_walks] (default 32);
-    [kl_execs] is the cumulative number of walks sampled. *)
+    [kl_execs] is the cumulative number of walks sampled. [jobs] is the
+    walk parallelism of each {!Sep_core.Randomized.check}. *)
 
-val coverage_kill : ?impl:Sue.impl -> seed:int -> budget:int -> Mutants.expectation -> kill
+val coverage_kill :
+  ?impl:Sue.impl -> ?jobs:int -> seed:int -> budget:int -> Mutants.expectation -> kill
 (** Coverage-guided workload fuzz with early stop on detection; the
     killing workload is shrunk ({!Shrink.minimize}) before being
-    recorded. [kl_execs] is the number of workload executions spent. *)
+    recorded. [kl_execs] is the number of workload executions spent.
+    [jobs] is the {!Fuzz.engine_exec} execution parallelism. *)
 
-val kill_table : ?impl:Sue.impl -> seed:int -> budget:int -> unit -> kill list
-(** All three strategies over the whole catalogue, exhaustive first. *)
+val kill_table : ?impl:Sue.impl -> ?jobs:int -> seed:int -> budget:int -> unit -> kill list
+(** All three strategies over the whole catalogue, exhaustive first.
+    Each (mutant, strategy) cell is one task of a {!Sep_par.Par.map} over
+    up to [jobs] domains (inner engines then run sequentially); the table
+    is bit-identical for any job count. *)
 
 (** {1 Regression corpus} *)
 

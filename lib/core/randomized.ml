@@ -1,4 +1,5 @@
 module Prng = Sep_util.Prng
+module Par = Sep_par.Par
 
 type params = {
   walks : int;
@@ -12,51 +13,60 @@ let span_walk = Sep_obs.Span.make "randomized.walk"
 let span_scramble = Sep_obs.Span.make "randomized.scramble"
 let span_check_states = Sep_obs.Span.make "randomized.check_states"
 
+(* One walk, from its own PRNG stream. The stream is derived from
+   (seed, walk index) — see {!Sep_util.Prng.stream} — so walk [i] samples
+   the same states whether the walks run on one domain or many, and a
+   [walks = n] sample is a prefix-extension of [walks = n-1]. The PRNG
+   consumption order within a walk (initial scrambles, then input choice
+   and scrambles per step) is part of the reproducibility contract: seeds
+   recorded in tests and experiments replay byte for byte. *)
+let one_walk ?(bugs = []) ?(impl = Sue.Microcode) ~params ~alphabet ~colours cfg rng =
+  Sep_obs.Span.time span_walk (fun () ->
+      let out = ref [] in
+      let add s =
+        out := s :: !out;
+        Sep_obs.Span.time span_scramble (fun () ->
+            List.iter
+              (fun c ->
+                for _ = 1 to params.scrambles do
+                  out := Sue.scramble_others rng s c :: !out
+                done)
+              colours)
+      in
+      let t = Sue.build ~bugs ~impl cfg in
+      add (Sue.copy t);
+      let sched = ref [] in
+      for _ = 1 to params.walk_len do
+        let input = if Array.length alphabet = 0 then [] else Prng.choose rng alphabet in
+        sched := input :: !sched;
+        ignore (Sue.step t input);
+        add (Sue.copy t)
+      done;
+      (List.rev !out, List.rev !sched))
+
 (* The walk loop, collecting both the state sample and the input schedule
-   each walk followed. The PRNG consumption order (initial scrambles, then
-   input choice and scrambles per step) is part of the reproducibility
-   contract: seeds recorded in tests and experiments replay byte for
-   byte. *)
-let sample ?(bugs = []) ?(impl = Sue.Microcode) ~params ~seed ~inputs cfg =
-  let rng = Prng.create seed in
+   each walk followed. Walks are independent and run in parallel under
+   [jobs] domains; states and schedules are merged in walk order, so the
+   sample is identical for any job count. *)
+let sample ?(bugs = []) ?(impl = Sue.Microcode) ?jobs ~params ~seed ~inputs cfg =
   let alphabet = Array.of_list inputs in
   let colours = Config.colours cfg in
-  let out = ref [] in
-  let walks = ref [] in
-  let add s =
-    out := s :: !out;
-    Sep_obs.Span.time span_scramble (fun () ->
-        List.iter
-          (fun c ->
-            for _ = 1 to params.scrambles do
-              out := Sue.scramble_others rng s c :: !out
-            done)
-          colours)
+  let per_walk =
+    Par.map_seeded ?jobs ~seed
+      (fun rng () -> one_walk ~bugs ~impl ~params ~alphabet ~colours cfg rng)
+      (List.init params.walks (fun _ -> ()))
   in
-  for _ = 1 to params.walks do
-    Sep_obs.Span.time span_walk (fun () ->
-        let t = Sue.build ~bugs ~impl cfg in
-        add (Sue.copy t);
-        let sched = ref [] in
-        for _ = 1 to params.walk_len do
-          let input = if Array.length alphabet = 0 then [] else Prng.choose rng alphabet in
-          sched := input :: !sched;
-          ignore (Sue.step t input);
-          add (Sue.copy t)
-        done;
-        walks := List.rev !sched :: !walks)
-  done;
-  (List.rev !out, List.rev !walks)
+  (List.concat_map fst per_walk, List.map snd per_walk)
 
-let sample_states ?bugs ?impl ~params ~seed ~inputs cfg =
-  fst (sample ?bugs ?impl ~params ~seed ~inputs cfg)
+let sample_states ?bugs ?impl ?jobs ~params ~seed ~inputs cfg =
+  fst (sample ?bugs ?impl ?jobs ~params ~seed ~inputs cfg)
 
-let sampled_walks ?bugs ?impl ~params ~seed ~inputs cfg =
-  snd (sample ?bugs ?impl ~params ~seed ~inputs cfg)
+let sampled_walks ?bugs ?impl ?jobs ~params ~seed ~inputs cfg =
+  snd (sample ?bugs ?impl ?jobs ~params ~seed ~inputs cfg)
 
-let check ?(bugs = []) ?(impl = Sue.Microcode) ?(params = default_params) ?max_failures ~seed
-    ~inputs cfg =
-  let states = sample_states ~bugs ~impl ~params ~seed ~inputs cfg in
+let check ?(bugs = []) ?(impl = Sue.Microcode) ?jobs ?(params = default_params) ?max_failures
+    ~seed ~inputs cfg =
+  let states = sample_states ~bugs ~impl ?jobs ~params ~seed ~inputs cfg in
   let sys = Sue.to_system ~bugs ~impl ~inputs cfg in
   Sep_obs.Span.time span_check_states (fun () ->
       Separability.check_states ?max_failures sys states)

@@ -12,7 +12,13 @@
 
     A clean report is evidence, not proof; a failure is a genuine
     counterexample. The same mutants caught exhaustively are caught this
-    way on instances orders of magnitude larger (experiment E10). *)
+    way on instances orders of magnitude larger (experiment E10).
+
+    Walk [i] draws from the independent stream
+    {!Sep_util.Prng.stream}[ seed i], so walks are parallelizable
+    ([?jobs], sharded by {!Sep_par.Par}) with bit-identical samples for
+    any job count, and a [walks = n+1] sample extends the [walks = n]
+    one. *)
 
 type params = {
   walks : int;  (** independent random walks *)
@@ -23,20 +29,20 @@ type params = {
 val default_params : params
 
 val check :
-  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?params:params -> ?max_failures:int -> seed:int ->
-  inputs:Sue.input list -> Sep_hw.Isa.stmt list Config.t -> Separability.report
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?jobs:int -> ?params:params -> ?max_failures:int ->
+  seed:int -> inputs:Sue.input list -> Sep_hw.Isa.stmt list Config.t -> Separability.report
 (** Sample and check one Sue configuration (under either kernel
     implementation; [Microcode] by default). *)
 
 val sample_states :
-  ?bugs:Sue.bug list -> ?impl:Sue.impl -> params:params -> seed:int -> inputs:Sue.input list ->
-  Sep_hw.Isa.stmt list Config.t -> Sue.t list
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?jobs:int -> params:params -> seed:int ->
+  inputs:Sue.input list -> Sep_hw.Isa.stmt list Config.t -> Sue.t list
 (** Just the sampled state set (walk states plus scrambled partners), for
     callers that want to time or inspect the sampling separately. *)
 
 val sampled_walks :
-  ?bugs:Sue.bug list -> ?impl:Sue.impl -> params:params -> seed:int -> inputs:Sue.input list ->
-  Sep_hw.Isa.stmt list Config.t -> Sue.input list list
+  ?bugs:Sue.bug list -> ?impl:Sue.impl -> ?jobs:int -> params:params -> seed:int ->
+  inputs:Sue.input list -> Sep_hw.Isa.stmt list Config.t -> Sue.input list list
 (** The input schedule each walk followed, in walk order — what a failing
     {!check} actually executed, so counterexample minimization
     ({!Sep_check}) can re-drive and shrink the offending walk. Drawn from

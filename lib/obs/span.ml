@@ -1,18 +1,33 @@
-type t = Telemetry.histogram
+type t = string
 
+(* The main domain's registry is the process-global one that [to_json] and
+   [rushby stats] report. Worker domains spawned by [Sep_par] get a fresh
+   domain-local registry on first use; the executor merges those into the
+   spawner's registry at join, so span counts and latencies survive
+   parallel sections without any cross-domain mutation. *)
 let registry = Telemetry.create ()
-let on = ref false
 
-let set_enabled b = on := b
-let enabled () = !on
+let key : Telemetry.t Domain.DLS.key = Domain.DLS.new_key Telemetry.create
 
-let make name = Telemetry.histogram registry ("span." ^ name)
+let () = Domain.DLS.set key registry
+
+let local () = Domain.DLS.get key
+
+let on = Atomic.make false
+
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+let make name = "span." ^ name
 
 let time h f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t0 = Unix.gettimeofday () in
-    Fun.protect ~finally:(fun () -> Telemetry.observe h (Unix.gettimeofday () -. t0)) f
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.observe (Telemetry.histogram (local ()) h) (Unix.gettimeofday () -. t0))
+      f
   end
 
 let with_ ~name f = time (make name) f

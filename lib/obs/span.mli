@@ -13,7 +13,15 @@ type t
 (** A span handle: make once, time many. *)
 
 val registry : Telemetry.t
-(** The global span registry. *)
+(** The main domain's span registry — the process-global one reported by
+    {!to_json}. *)
+
+val local : unit -> Telemetry.t
+(** The calling domain's span registry: {!registry} on the main domain, a
+    fresh domain-local registry on domains spawned by {!Sep_par}. The
+    executor merges worker registries into the spawner's at join, so spans
+    timed inside parallel sections end up in {!registry} without
+    cross-domain mutation. *)
 
 val set_enabled : bool -> unit
 (** Turn timing on or off (default: off). *)

@@ -1,0 +1,60 @@
+module Telemetry = Sep_obs.Telemetry
+module Span = Sep_obs.Span
+module Prng = Sep_util.Prng
+
+let registry = Telemetry.create ()
+let c_shards = Telemetry.counter registry "par.shards"
+let c_tasks = Telemetry.counter registry "par.tasks"
+let c_merge_ns = Telemetry.counter registry "par.merge_ns"
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* One shard: task [i] for every [i = base (mod jobs)], in index order.
+   Results land at distinct indices of the shared array — no two domains
+   ever touch the same cell — and the first exception (by task index, so
+   deterministically the same one whatever the interleaving) is kept. *)
+let run_shard work results jobs base =
+  let n = Array.length work in
+  let first_exn = ref None in
+  let i = ref base in
+  while !i < n do
+    (match !first_exn with
+    | Some _ -> ()
+    | None -> (
+      try results.(!i) <- Some (work.(!i) ()) with e -> first_exn := Some (!i, e)));
+    i := !i + jobs
+  done;
+  !first_exn
+
+let mapi ?jobs f xs =
+  let work = Array.of_list (List.mapi (fun i x -> fun () -> f i x) xs) in
+  let n = Array.length work in
+  let jobs = max 1 (min (match jobs with Some j -> j | None -> default_jobs ()) n) in
+  Telemetry.incr ~by:n c_tasks;
+  if n = 0 then []
+  else if jobs = 1 then List.mapi f xs
+  else begin
+    let results = Array.make n None in
+    let spawner_registry = Span.local () in
+    let worker base () =
+      let exn = run_shard work results jobs base in
+      (exn, Span.local ())
+    in
+    Telemetry.incr ~by:(jobs - 1) c_shards;
+    let domains = List.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    let exn0 = run_shard work results jobs 0 in
+    let joined = List.map Domain.join domains in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, reg) -> Telemetry.merge ~into:spawner_registry reg) joined;
+    Telemetry.incr ~by:(int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)) c_merge_ns;
+    let failures = List.filter_map Fun.id (exn0 :: List.map fst joined) in
+    (match List.sort (fun (a, _) (b, _) -> compare a b) failures with
+    | (_, e) :: _ -> raise e
+    | [] -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs
+
+let map_seeded ?jobs ~seed f xs = mapi ?jobs (fun i x -> f (Prng.stream seed i) x) xs

@@ -1,0 +1,51 @@
+(** Deterministic work-sharded parallel execution over OCaml 5 domains.
+
+    The verification workloads of this repository — fault campaigns,
+    coverage-guided fuzzing, mutant killing, randomized walks — are
+    embarrassingly parallel replays of isolated machines: exactly the
+    picture the separation kernel itself paints of one processor. This
+    module runs such work lists across domains under a hard determinism
+    contract: {e results are bit-identical for any job count}.
+
+    The contract is enforced by construction:
+    - the work list is fixed before execution and indexed [0..n-1];
+    - sharding is stable and index-based (task [i] runs on shard
+      [i mod jobs]), never work-stealing;
+    - any randomness a task needs comes from {!Sep_util.Prng.stream}
+      [(root seed, task index)], so a task's stream does not depend on
+      which domain runs it or in what order;
+    - results are merged in canonical work order.
+
+    Telemetry is parallel-safe: each worker domain accumulates spans into
+    its own {!Sep_obs.Span.local} registry, and at join the executor
+    merges them (counters add, histograms merge bucketwise) into the
+    spawning domain's registry. The executor's own counters
+    ([par.shards], [par.tasks], [par.merge_ns]) live in {!registry} and
+    are surfaced by [rushby stats --json]. *)
+
+val registry : Sep_obs.Telemetry.t
+(** Executor statistics: [par.shards] (worker domains spawned),
+    [par.tasks] (tasks executed, sequential fallback included),
+    [par.merge_ns] (nanoseconds spent merging worker telemetry at
+    join). Updated only from spawning domains. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default for every [-j]
+    flag. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed on up to [jobs] domains
+    (default {!default_jobs}; clamped to the work-list length). [f] must
+    not mutate state shared across tasks — per-task state and
+    {!Sep_obs.Span} timing are safe. Results are in input order; an
+    exception raised by any [f] is re-raised (the one from the
+    lowest-indexed failing task) after all domains join. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** {!map} with the task index. *)
+
+val map_seeded :
+  ?jobs:int -> seed:int -> (Sep_util.Prng.t -> 'a -> 'b) -> 'a list -> 'b list
+(** {!map} where task [i] additionally receives the independent stream
+    {!Sep_util.Prng.stream}[ seed i], making seeded randomness
+    shard-invariant. *)

@@ -320,26 +320,66 @@ let run_scenario ?watchdog ?recover ?(multi = 0) ~seed ~steps ~count (sc : Scena
   in
   { label = sc.Scenarios.label; seed; steps; watchdog; cases = List.map run_case plans }
 
-let run ~seed ~steps ~count =
+(* The parallel campaign driver. Every fault plan is replayed against an
+   isolated fresh kernel and classified against its scenario's fault-free
+   reference — embarrassingly parallel, and fully deterministic: plan
+   generation is seeded and sequential, replay consumes no randomness, so
+   sharding cases over domains and merging them back in canonical
+   (scenario-major, plan-minor) order is bit-identical to [jobs = 1].
+   Phase one runs the per-scenario references in parallel; phase two the
+   flattened case list. *)
+let run_catalogue ?recover ?(multi = 0) ?jobs ~seed ~steps ~count () =
+  let scenarios =
+    List.map (fun (sc, wd) -> (sc, wd, scenario_seed seed sc.Scenarios.label)) catalogue
+  in
+  let references =
+    Sep_par.Par.map ?jobs
+      (fun (sc, wd, _) -> fst (observe_run ?watchdog:wd sc ~steps ~plan:None))
+      scenarios
+  in
+  let work =
+    List.concat_map
+      (fun ((sc, wd, sseed), reference) ->
+        let plans =
+          Fault_plan.generate ~seed:sseed ~steps ~count sc.Scenarios.cfg
+          @ (if multi > 0 then
+               Fault_plan.generate_multi ~seed:sseed ~steps ~count:multi ~faults_per_plan:3
+                 sc.Scenarios.cfg
+             else [])
+        in
+        List.map (fun plan -> (sc, wd, reference, plan)) plans)
+      (List.combine scenarios references)
+  in
+  let cases =
+    Sep_par.Par.map ?jobs
+      (fun (sc, wd, reference, plan) ->
+        let faulty, t = observe_run ?watchdog:wd ?recover sc ~steps ~plan:(Some plan) in
+        (sc.Scenarios.label, classify ~cfg:sc.Scenarios.cfg ~reference ~faulty ~t plan))
+      work
+  in
   {
     rp_seed = seed;
     rp_scenarios =
       List.map
-        (fun (sc, watchdog) ->
-          run_scenario ?watchdog ~seed:(scenario_seed seed sc.Scenarios.label) ~steps ~count sc)
-        catalogue;
+        (fun (sc, wd, sseed) ->
+          {
+            label = sc.Scenarios.label;
+            seed = sseed;
+            steps;
+            watchdog = wd;
+            cases =
+              List.filter_map
+                (fun (label, case) ->
+                  if String.equal label sc.Scenarios.label then Some case else None)
+                cases;
+          })
+        scenarios;
   }
 
-let run_recovery ?(policy = Recover.default_policy) ~seed ~steps ~count () =
-  {
-    rp_seed = seed;
-    rp_scenarios =
-      List.map
-        (fun (sc, watchdog) ->
-          run_scenario ?watchdog ~recover:policy ~multi:(max 1 (count / 2))
-            ~seed:(scenario_seed seed sc.Scenarios.label) ~steps ~count sc)
-        catalogue;
-  }
+let run ?jobs ~seed ~steps ~count () = run_catalogue ?jobs ~seed ~steps ~count ()
+
+let run_recovery ?(policy = Recover.default_policy) ?jobs ~seed ~steps ~count () =
+  run_catalogue ~recover:policy ~multi:(max 1 (count / 2)) ?jobs ~seed ~steps ~count ()
 
 let totals report =
   List.fold_left

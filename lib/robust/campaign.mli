@@ -86,13 +86,17 @@ val run_scenario :
     every step, restarting parked regimes and warm-rebooting all-parked
     kernels under the given budgets. *)
 
-val run : seed:int -> steps:int -> count:int -> report
+val run : ?jobs:int -> seed:int -> steps:int -> count:int -> unit -> report
 (** The full fail-safe campaign over {!subjects}, no recovery — exactly
     PR 2's campaign (each scenario's plans derive from [seed] and its
-    label, so scenarios are independently reproducible). *)
+    label, so scenarios are independently reproducible). Cases replay in
+    parallel on up to [jobs] domains (default
+    {!Sep_par.Par.default_jobs}); plan generation and replay are
+    deterministic, so the report is bit-identical for any job count. *)
 
 val run_recovery :
-  ?policy:Sep_recover.Recover.policy -> seed:int -> steps:int -> count:int -> unit -> report
+  ?policy:Sep_recover.Recover.policy -> ?jobs:int -> seed:int -> steps:int -> count:int ->
+  unit -> report
 (** The fail-operational campaign: same subjects and single-fault plans
     as {!run} plus [count/2] three-fault stress plans per scenario, all
     under a recovery supervisor. The fail-operational claim is that every

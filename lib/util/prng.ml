@@ -2,15 +2,19 @@ type t = { mutable state : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = Int64.of_int seed }
-
-let copy t = { state = t.state }
-
 (* SplitMix64 finalizer (Steele, Lea & Flood 2014). *)
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* The raw seed goes through [mix] once so that small seeds (0, 1, 2 ...)
+   start from well-separated, high-entropy states instead of a cluster of
+   nearly-equal ones. Substreams derived from consecutive low seeds would
+   otherwise begin in a correlated low-entropy regime. *)
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
 
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
@@ -20,11 +24,33 @@ let split t =
   let seed = bits64 t in
   { state = mix seed }
 
+(* The [i]-th independent substream of [seed]: the state [split] would
+   reach after [i] prior splits, without materializing them. Used to hand
+   each unit of parallel work its own stream from (root seed, work index)
+   so results do not depend on how work is sharded over domains. *)
+let stream seed i =
+  let root = mix (Int64.of_int seed) in
+  let advanced = Int64.add root (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+  { state = mix (mix advanced) }
+
+let mask62 = 0x3FFFFFFFFFFFFFFFL
+let range62 = 0x4000000000000000L (* 2^62 as Int64; overflows a 63-bit OCaml int *)
+
 let int t bound =
   assert (bound > 0);
-  (* Mask to 62 bits so the value fits OCaml's int without wrapping. *)
-  let r = Int64.to_int (Int64.logand (bits64 t) 0x3FFFFFFFFFFFFFFFL) in
-  r mod bound
+  (* Unbiased rejection sampling: [r mod bound] over a 62-bit draw skews
+     low residues whenever bound does not divide 2^62, so reject draws
+     from the incomplete final interval [limit, 2^62). The bookkeeping is
+     done in Int64 because 2^62 itself does not fit a 63-bit native int;
+     accepted draws are at most [max_int] so the result conversion is
+     exact for every bound up to [max_int]. *)
+  let b = Int64.of_int bound in
+  let limit = Int64.sub range62 (Int64.rem range62 b) in
+  let rec go () =
+    let r = Int64.logand (bits64 t) mask62 in
+    if Int64.compare r limit < 0 then Int64.to_int (Int64.rem r b) else go ()
+  in
+  go ()
 
 let int_in t lo hi =
   assert (lo <= hi);

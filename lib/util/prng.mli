@@ -19,6 +19,13 @@ val split : t -> t
 (** [split t] derives a new, statistically independent generator and
     advances [t]. *)
 
+val stream : int -> int -> t
+(** [stream seed i] is the [i]-th independent substream of [seed]
+    ([i >= 0]): equal to the generator the [i+1]-th call of {!split} on
+    [create seed] would return, computed in O(1). Parallel work items
+    indexed by [i] get identical streams no matter how work is sharded
+    over domains. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -184,7 +184,7 @@ let test_kernel_panic_is_failsafe () =
 
 (* -- The campaign ---------------------------------------------------------- *)
 
-let smoke = lazy (Campaign.run ~seed:42 ~steps:60 ~count:12)
+let smoke = lazy (Campaign.run ~seed:42 ~steps:60 ~count:12 ())
 
 let test_campaign_holds () =
   let report = Lazy.force smoke in
@@ -232,8 +232,8 @@ let test_campaign_jsonl_parses () =
     lines
 
 let test_campaign_deterministic () =
-  let a = Campaign.report_to_jsonl (Campaign.run ~seed:9 ~steps:40 ~count:6) in
-  let b = Campaign.report_to_jsonl (Campaign.run ~seed:9 ~steps:40 ~count:6) in
+  let a = Campaign.report_to_jsonl (Campaign.run ~seed:9 ~steps:40 ~count:6 ()) in
+  let b = Campaign.report_to_jsonl (Campaign.run ~seed:9 ~steps:40 ~count:6 ()) in
   check Alcotest.string "same seed, same report" a b
 
 let test_distributed_baseline () =
