@@ -1,14 +1,15 @@
 (* Benchmark and experiment harness.
 
-   One driver per reproduced claim of the paper (E1-E17, indexed in
+   One driver per reproduced claim of the paper (E1-E18, indexed in
    DESIGN.md and EXPERIMENTS.md), each printing the table that supports
    it, followed by bechamel timings of the core operations.
 
      dune exec bench/main.exe                 all experiments + timings
      dune exec bench/main.exe -- e3 e6        selected experiments
      dune exec bench/main.exe -- timings      only the timing benches
-     dune exec bench/main.exe -- snapshot     write BENCH_PR5.json (see EXPERIMENTS.md)
-     dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing *)
+     dune exec bench/main.exe -- snapshot     write BENCH_PR6.json (see EXPERIMENTS.md)
+     dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing
+     dune exec bench/main.exe -- compare OLD.json NEW.json   regression gate on throughput *)
 
 module Table = Sep_util.Table
 module Colour = Sep_model.Colour
@@ -27,11 +28,24 @@ module Spooler = Sep_conventional.Spooler
 module Sclass = Sep_lattice.Sclass
 module Fuzz = Sep_check.Fuzz
 module Score = Sep_check.Score
+module Monitor = Sep_core.Monitor
 
 let timed f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
+
+(* Best of [reps]: scheduler noise on this class of sub-second
+   measurement is one-sided (contention only slows a run down), so the
+   minimum is the stable estimator — the regression gate in [compare]
+   depends on these numbers being reproducible. *)
+let timed_best ?(reps = 3) f =
+  let best = ref (timed f) in
+  for _ = 2 to reps do
+    let v, s = timed f in
+    if s < snd !best then best := (v, s)
+  done;
+  !best
 
 let claim text = Fmt.pr "paper: %s@." text
 
@@ -796,6 +810,88 @@ let e17 () =
     (fun r -> Fmt.str "%a" Separability.pp_report r);
   Table.print t
 
+(* -- E18: online monitor overhead --------------------------------------------- *)
+
+type monitor_overhead = {
+  mo_label : string;
+  mo_steps : int;
+  mo_period : int;
+  mo_bare : float;  (** best-of-reps seconds without a watch *)
+  mo_watched : float;  (** best-of-reps seconds with the watch attached *)
+  mo_deep : int;  (** observations that escalated to a deep check *)
+  mo_clean : bool;  (** the watch saw no violation (a correct kernel must) *)
+}
+
+(* The 5000-step microcode stepping bench, bare vs with a [Monitor.watch]
+   attached; best of [reps] runs for each side, because the loop itself
+   takes only a few milliseconds and the gate below quotes a ratio. *)
+let measure_monitor_overhead ?(steps = 5_000) ?(period = 1_000) ?(reps = 21)
+    (inst : Scenarios.instance) =
+  let alphabet = Array.of_list inst.Scenarios.alphabet in
+  let inputs n =
+    if Array.length alphabet > 1 && n mod 10 = 0 then
+      alphabet.((n / 10) mod (Array.length alphabet - 1) + 1)
+    else []
+  in
+  let run watched =
+    let t = Sue.build ~impl:Sue.Microcode inst.Scenarios.cfg in
+    let w = if watched then Some (Monitor.watch ~period ~inputs:inst.Scenarios.alphabet t) else None in
+    let (), secs =
+      timed (fun () ->
+          for n = 0 to steps - 1 do
+            ignore (Sue.step t (inputs n));
+            match w with Some w -> Monitor.observe w | None -> ()
+          done)
+    in
+    (secs, w)
+  in
+  let best watched =
+    let results = List.init reps (fun _ -> run watched) in
+    List.fold_left (fun (bs, bw) (s, w) -> if s < bs then (s, w) else (bs, bw)) (List.hd results)
+      (List.tl results)
+  in
+  let bare, _ = best false in
+  let watched, w = best true in
+  let w = Option.get w in
+  {
+    mo_label = inst.Scenarios.label;
+    mo_steps = steps;
+    mo_period = period;
+    mo_bare = bare;
+    mo_watched = watched;
+    mo_deep = Monitor.deep_checks w;
+    mo_clean = Monitor.watch_first_violation w = None;
+  }
+
+let overhead_frac r = if r.mo_bare > 0.0 then (r.mo_watched -. r.mo_bare) /. r.mo_bare else 0.0
+
+let e18 () =
+  claim
+    "the six conditions can be checked online: an incremental monitor with amortized O(1) \
+     per-state cost rides along a live kernel — a cheap audit probe every step, a deep check on \
+     audit activity or every period steps — flagging a violation at the step it occurs while the \
+     stepping loop keeps most of its bare throughput.";
+  let t =
+    Table.create
+      ~title:"E18: online monitor amortized overhead (5000-step microcode run, period 1000, best of 21)"
+      ~columns:[ "instance"; "steps/s bare"; "steps/s watched"; "overhead"; "deep checks"; "clean" ]
+  in
+  List.iter
+    (fun inst ->
+      let r = measure_monitor_overhead inst in
+      let rate secs = if secs > 0.0 then Fmt.str "%.0f" (float_of_int r.mo_steps /. secs) else "-" in
+      Table.add_row t
+        [
+          r.mo_label;
+          rate r.mo_bare;
+          rate r.mo_watched;
+          Fmt.str "%.1f%%" (100.0 *. overhead_frac r);
+          string_of_int r.mo_deep;
+          (if r.mo_clean then "yes" else "NO");
+        ])
+    (Scenarios.all @ [ Scenarios.scaled ~regimes:2 ~counter_bits:3 ]);
+  Table.print t
+
 (* -- bechamel timings -------------------------------------------------------------------- *)
 
 let timings () =
@@ -919,7 +1015,7 @@ let snapshot_json () =
     List.map
       (fun (inst : Scenarios.instance) ->
         let report, secs =
-          timed (fun () ->
+          timed_best (fun () ->
               Separability.check (Sue.to_system ~inputs:inst.Scenarios.alphabet inst.Scenarios.cfg))
         in
         Json.Obj
@@ -938,7 +1034,6 @@ let snapshot_json () =
   in
   let kernel_runs =
     let run (inst : Scenarios.instance) impl =
-      let t = Sue.build ~impl inst.Scenarios.cfg in
       let alphabet = Array.of_list inst.Scenarios.alphabet in
       let steps = 5_000 in
       let inputs n =
@@ -946,11 +1041,14 @@ let snapshot_json () =
           alphabet.((n / 10) mod (Array.length alphabet - 1) + 1)
         else []
       in
-      let (), secs =
-        timed (fun () ->
+      (* fresh kernel per rep so the counters below describe one run *)
+      let t, secs =
+        timed_best ~reps:7 (fun () ->
+            let t = Sue.build ~impl inst.Scenarios.cfg in
             for n = 0 to steps - 1 do
               ignore (Sue.step t (inputs n))
-            done)
+            done;
+            t)
       in
       Json.Obj
         [
@@ -1058,9 +1156,69 @@ let snapshot_json () =
         ("deterministic", Json.Bool (String.equal (C.report_to_jsonl r1) (C.report_to_jsonl rn)));
       ]
   in
+  let monitor =
+    let runs =
+      List.map
+        (fun inst ->
+          let r = measure_monitor_overhead inst in
+          let rate secs = if secs > 0.0 then float_of_int r.mo_steps /. secs else 0.0 in
+          Json.Obj
+            [
+              ("label", Json.String r.mo_label);
+              ("impl", Json.String "microcode");
+              ("steps", Json.Int r.mo_steps);
+              ("period", Json.Int r.mo_period);
+              ("seconds_bare", Json.Float r.mo_bare);
+              ("seconds_watched", Json.Float r.mo_watched);
+              ("steps_per_sec_bare", Json.Float (rate r.mo_bare));
+              ("steps_per_sec_watched", Json.Float (rate r.mo_watched));
+              ("overhead_frac", Json.Float (overhead_frac r));
+              ("deep_checks", Json.Int r.mo_deep);
+              ("clean", Json.Bool r.mo_clean);
+            ])
+        (snapshot_scenarios ())
+    in
+    Json.Obj [ ("runs", Json.List runs) ]
+  in
+  let latency =
+    (* end-to-end word latency over one reliable lossy link: the snfe
+       topology under the default link model, latency measured in net
+       steps from send-accept to in-order delivery *)
+    let net = Sep_distributed.Net.build ~link:Sep_distributed.Net.default_link_model
+        (Snfe.topology Snfe.default_config)
+    in
+    let steps = 400 in
+    let (), secs =
+      timed (fun () ->
+          for n = 0 to steps - 1 do
+            Sep_distributed.Net.step net
+              ~externals:(if n mod 2 = 0 then [ (Snfe.red, Fmt.str "m%d" n) ] else [])
+          done)
+    in
+    let tel = Sep_distributed.Net.telemetry net in
+    let h = Sep_obs.Telemetry.histogram tel "net.latency.steps" in
+    let s = Sep_distributed.Net.link_stats net in
+    Json.Obj
+      [
+        ("topology", Json.String "snfe");
+        ("steps", Json.Int steps);
+        ("seconds", Json.Float secs);
+        ("words", Json.Int (Sep_obs.Telemetry.count h));
+        ("p50", Json.Float (Sep_obs.Telemetry.p50 h));
+        ("p95", Json.Float (Sep_obs.Telemetry.p95 h));
+        ("p99", Json.Float (Sep_obs.Telemetry.p99 h));
+        ("max", Json.Float (Sep_obs.Telemetry.hist_max h));
+        ( "retransmit_queue",
+          Json.Float
+            (Sep_obs.Telemetry.gauge_value
+               (Sep_obs.Telemetry.gauge tel "net.retransmit_queue")) );
+        ("retransmits", Json.Int s.Sep_distributed.Net.ls_retransmits);
+        ("acks", Json.Int s.Sep_distributed.Net.ls_acks);
+      ]
+  in
   Json.Obj
     [
-      ("schema", Json.String "rushby-bench/5");
+      ("schema", Json.String "rushby-bench/6");
       ("generated_at_unix", Json.Float (Unix.time ()));
       ("ocaml_version", Json.String Sys.ocaml_version);
       ("experiments", Json.List check_experiments);
@@ -1069,6 +1227,8 @@ let snapshot_json () =
       ("fuzz", fuzz);
       ("recovery", recovery);
       ("speedup", speedup);
+      ("monitor", monitor);
+      ("latency", latency);
       ("spans", Sep_obs.Span.to_json ());
     ]
 
@@ -1077,7 +1237,7 @@ let validate_snapshot json =
   let require_obj name v = match v with Some (Json.Obj _ as o) -> Ok o | _ -> fail ("missing object " ^ name) in
   let require_list name v = match v with Some (Json.List l) -> Ok l | _ -> fail ("missing list " ^ name) in
   match Json.member "schema" json with
-  | Some (Json.String "rushby-bench/5") -> (
+  | Some (Json.String "rushby-bench/6") -> (
     match require_list "experiments" (Json.member "experiments" json) with
     | Error e -> fail e
     | Ok experiments -> (
@@ -1112,6 +1272,20 @@ let validate_snapshot json =
                 [ "jobs"; "seconds_j1"; "seconds_jn"; "speedup"; "deterministic" ] ->
             fail "malformed speedup entry"
           | Ok _ -> (
+          match
+            Result.bind (require_obj "monitor" (Json.member "monitor" json)) (fun m ->
+                require_list "monitor.runs" (Json.member "runs" m))
+          with
+          | Error e -> fail e
+          | Ok monitor_runs -> (
+          match require_obj "latency" (Json.member "latency" json) with
+          | Error e -> fail e
+          | Ok latency when
+              List.exists
+                (fun k -> Json.member k latency = None)
+                [ "steps"; "words"; "p50"; "p95"; "p99"; "retransmit_queue" ] ->
+            fail "malformed latency entry"
+          | Ok _ -> (
           match require_obj "fuzz" (Json.member "fuzz" json) with
           | Error e -> fail e
           | Ok fuzz -> (
@@ -1134,6 +1308,13 @@ let validate_snapshot json =
                    | Some c -> Json.member "counters" c <> None
                    | None -> false)
               in
+              let monitor_ok m =
+                List.for_all
+                  (fun k -> Json.member k m <> None)
+                  [ "label"; "steps"; "period"; "seconds_bare"; "seconds_watched";
+                    "steps_per_sec_bare"; "steps_per_sec_watched"; "overhead_frac"; "deep_checks";
+                    "clean" ]
+              in
               let fuzz_scenario_ok s =
                 List.for_all
                   (fun k -> Json.member k s <> None)
@@ -1146,17 +1327,21 @@ let validate_snapshot json =
               in
               if not (List.for_all exp_ok experiments) then fail "malformed experiment entry"
               else if not (List.for_all run_ok runs) then fail "malformed kernel_run entry"
+              else if not (List.for_all monitor_ok monitor_runs) then
+                fail "malformed monitor entry"
               else if not (List.for_all fuzz_scenario_ok fuzz_scenarios) then
                 fail "malformed fuzz scenario entry"
               else if not (List.for_all fuzz_kill_ok fuzz_kills) then fail "malformed fuzz kill entry"
-              else if experiments = [] || runs = [] || fuzz_scenarios = [] || fuzz_kills = [] then
-                fail "empty snapshot"
-              else Ok (List.length experiments, List.length runs))))))))
+              else if
+                experiments = [] || runs = [] || monitor_runs = [] || fuzz_scenarios = []
+                || fuzz_kills = []
+              then fail "empty snapshot"
+              else Ok (List.length experiments, List.length runs))))))))))
   | _ -> fail "missing or unexpected schema tag"
 
 let snapshot_main args =
   let check_only = ref false in
-  let out = ref "BENCH_PR5.json" in
+  let out = ref "BENCH_PR6.json" in
   let rec parse = function
     | [] -> Ok ()
     | "--check" :: rest ->
@@ -1199,6 +1384,111 @@ let snapshot_main args =
         0
       end)
 
+(* ------------------------------------------------------------------ *)
+(* compare: the regression gate.  Two snapshots in, a table and an exit
+   code out: any shared throughput metric (checks/s or steps/s) that
+   dropped by more than the tolerance fails the gate.  Only metrics
+   present in BOTH files are compared, so adding or removing a scenario
+   between PRs never trips the gate by itself. *)
+
+let compare_tolerance = 0.20
+
+let num = function
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+(* label -> throughput, flattened from the sections that carry a rate *)
+let rates json =
+  let out = ref [] in
+  let add key v = match num v with Some f -> out := (key, f) :: !out | None -> () in
+  let str j = match j with Some (Json.String s) -> Some s | _ -> None in
+  let each section f =
+    match Json.member section json with
+    | Some (Json.List items) -> List.iter f items
+    | _ -> ()
+  in
+  each "experiments" (fun e ->
+      match (str (Json.member "label" e), Json.member "checks_per_sec" e) with
+      | Some label, Some v -> add (Fmt.str "experiments.%s.checks_per_sec" label) v
+      | _ -> ());
+  each "kernel_runs" (fun r ->
+      match
+        (str (Json.member "label" r), str (Json.member "impl" r), Json.member "steps_per_sec" r)
+      with
+      | Some label, Some impl, Some v ->
+        add (Fmt.str "kernel_runs.%s:%s.steps_per_sec" label impl) v
+      | _ -> ());
+  (match Json.member "monitor" json with
+  | Some m ->
+    (match Json.member "runs" m with
+    | Some (Json.List runs) ->
+      List.iter
+        (fun r ->
+          match (str (Json.member "label" r), Json.member "steps_per_sec_watched" r) with
+          | Some label, Some v -> add (Fmt.str "monitor.%s.steps_per_sec_watched" label) v
+          | _ -> ())
+        runs
+    | _ -> ())
+  | None -> ());
+  List.rev !out
+
+let load_snapshot file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> (
+    match Json.parse text with
+    | Error e -> Error (Fmt.str "%s: %s" file e)
+    | Ok json -> Ok json)
+
+let compare_main args =
+  match args with
+  | [ old_file; new_file ] -> (
+    match (load_snapshot old_file, load_snapshot new_file) with
+    | Error e, _ | _, Error e ->
+      Fmt.epr "compare: %s@." e;
+      2
+    | Ok old_json, Ok new_json ->
+      let old_rates = rates old_json and new_rates = rates new_json in
+      let shared =
+        List.filter_map
+          (fun (key, ov) ->
+            match List.assoc_opt key new_rates with
+            | Some nv -> Some (key, ov, nv)
+            | None -> None)
+          old_rates
+      in
+      if shared = [] then begin
+        Fmt.epr "compare: no shared throughput metrics between %s and %s@." old_file new_file;
+        2
+      end
+      else begin
+        let regressions = ref 0 in
+        Fmt.pr "%-56s %12s %12s %8s@." "metric" "old" "new" "delta";
+        List.iter
+          (fun (key, ov, nv) ->
+            let delta = if ov > 0.0 then (nv -. ov) /. ov else 0.0 in
+            let regressed = delta < -.compare_tolerance in
+            if regressed then incr regressions;
+            Fmt.pr "%-56s %12.0f %12.0f %7.1f%%%s@." key ov nv (100.0 *. delta)
+              (if regressed then "  REGRESSION" else ""))
+          shared;
+        if !regressions > 0 then begin
+          Fmt.pr "@.compare: FAIL — %d metric(s) regressed more than %.0f%%@." !regressions
+            (100.0 *. compare_tolerance);
+          1
+        end
+        else begin
+          Fmt.pr "@.compare: ok — %d shared metric(s) within %.0f%% tolerance@."
+            (List.length shared)
+            (100.0 *. compare_tolerance);
+          0
+        end
+      end)
+  | _ ->
+    Fmt.epr "usage: compare OLD.json NEW.json@.";
+    2
+
 let experiments =
   [
     ("e1", e1);
@@ -1218,12 +1508,14 @@ let experiments =
     ("e15", e15);
     ("e16", e16);
     ("e17", e17);
+    ("e18", e18);
     ("timings", timings);
   ]
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "snapshot" :: rest -> exit (snapshot_main rest)
+  | _ :: "compare" :: rest -> exit (compare_main rest)
   | argv ->
   let requested =
     match argv with

@@ -1,20 +1,22 @@
 #!/bin/sh
-# CI check: full build, the whole test suite, a self-validating bench
-# snapshot (exercises the telemetry/JSON pipeline without writing files),
-# a deterministic fault-injection smoke campaign (exit 1 on any
+# CI check: full build, the whole test suite, an online-monitor smoke run
+# (exit 1 on offline/online disagreement or a missed corpus mutant), a
+# deterministic fault-injection smoke campaign (exit 1 on any
 # separation-violating outcome), a recovery smoke campaign (exit 1 on any
 # violating or non-recovered outcome, or on a reliable-channel
 # differential mismatch), a coverage-guided fuzz smoke run (exit 1 on any
 # condition/isolation failure or surviving mutant), a parallel-determinism
-# check (the -j 2 JSON reports must be byte-identical to -j 1), a replay
-# of every checked-in regression corpus case, and the example programs.
+# check (the -j 2 JSON reports must be byte-identical to -j 1), a
+# fresh self-validating bench snapshot gated against the committed one
+# (exit 1 on a >20% throughput regression), a replay of every checked-in
+# regression corpus case, and the example programs.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
-dune exec bench/main.exe -- snapshot --check
+dune exec bin/rushby.exe -- monitor --smoke
 dune exec bin/rushby.exe -- inject --smoke
 dune exec bin/rushby.exe -- recover --smoke
 # The fuzz smoke gate is pinned to a seed where the 40-exec budget
@@ -27,6 +29,18 @@ dune exec bin/rushby.exe -- fuzz --smoke --seed 5
 # sequential reports byte for byte.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
+
+# Performance regression gate: a fresh self-validated snapshot compared
+# against the latest committed one — any shared throughput metric
+# dropping by more than 20% fails the build. One retry: on a shared
+# machine a whole snapshot window can land on a slow patch, and a real
+# regression fails both runs anyway.
+latest="$(ls BENCH_PR*.json | sort -V | tail -n 1)"
+dune exec bench/main.exe -- snapshot --out "$tmpdir/bench.json"
+if ! dune exec bench/main.exe -- compare "$latest" "$tmpdir/bench.json"; then
+  dune exec bench/main.exe -- snapshot --out "$tmpdir/bench-retry.json"
+  dune exec bench/main.exe -- compare "$latest" "$tmpdir/bench-retry.json"
+fi
 dune exec bin/rushby.exe -- inject --smoke -j 1 --json "$tmpdir/inject-j1.jsonl"
 dune exec bin/rushby.exe -- inject --smoke -j 2 --json "$tmpdir/inject-j2.jsonl"
 diff "$tmpdir/inject-j1.jsonl" "$tmpdir/inject-j2.jsonl"

@@ -400,7 +400,23 @@ let dot_cmd =
 
 (* -- trace ------------------------------------------------------------------- *)
 
-let trace_run scenario bugs steps impl trace_json =
+let chrome_arg =
+  Arg.(value & opt (some string) None
+       & info [ "chrome" ] ~docv:"FILE"
+           ~doc:
+             "Record causal trace events (kernel steps, traps, swaps, link flow edges) in the \
+              flight recorder during the run and write them as Chrome trace_event JSON to $(docv) \
+              (load in chrome://tracing or Perfetto).")
+
+let write_chrome file =
+  graceful_write @@ fun () ->
+  let oc = open_out file in
+  output_string oc (Sep_obs.Trace.chrome_string ());
+  close_out oc;
+  Fmt.pr "wrote %s (%d events)@." file (List.length (Sep_obs.Trace.recorded ()))
+
+let trace_run scenario bugs steps impl trace_json chrome =
+  if chrome <> None then Sep_obs.Trace.set_enabled true;
   let t = Sep_core.Sue.build ~bugs ~impl scenario.Sep_core.Scenarios.cfg in
   let inputs = drip_inputs scenario in
   let entries = Sep_core.Ktrace.record t ~steps ~inputs in
@@ -412,12 +428,140 @@ let trace_run scenario bugs steps impl trace_json =
     let oc = open_out file in
     output_string oc (Sep_core.Ktrace.to_json entries);
     close_out oc);
+  (match chrome with None -> () | Some file -> write_chrome file);
   0
 
 let trace_cmd =
   let steps = Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Steps to trace.") in
   Cmd.v (Cmd.info "trace" ~doc:"Trace a kernel run: instructions, traps, switches, interrupts.")
-    Term.(const trace_run $ scenario_arg $ bugs_arg $ steps $ impl_arg $ trace_json_arg)
+    Term.(const trace_run $ scenario_arg $ bugs_arg $ steps $ impl_arg $ trace_json_arg $ chrome_arg)
+
+(* -- monitor ------------------------------------------------------------------ *)
+
+let pp_first_violation ppf = function
+  | None -> Fmt.string ppf "online monitor: clean (no violation)"
+  | Some (step, (f : Sep_core.Separability.failure)) ->
+    Fmt.pf ppf "online monitor: condition %d first violated at step %d (colour %s)"
+      f.Sep_core.Separability.condition step (Sep_model.Colour.name f.Sep_core.Separability.colour)
+
+(* The CI smoke: (1) the monitor's report must agree with the offline
+   checker on every clean scenario; (2) every checked-in corpus mutant
+   must be flagged online, on its recorded condition, with a step
+   attribution. *)
+let monitor_smoke impl corpus_dir =
+  let module S = Sep_core.Separability in
+  let module F = Sep_check.Fuzz in
+  let ok = ref true in
+  List.iter
+    (fun (sc : Sep_core.Scenarios.instance) ->
+      let sched = List.init 12 (drip_inputs sc) in
+      let offline =
+        F.check_schedule ~impl ~seed:42 ~alphabet:sc.Sep_core.Scenarios.alphabet
+          sc.Sep_core.Scenarios.cfg sched
+      in
+      let online =
+        F.check_schedule_online ~impl ~seed:42 ~alphabet:sc.Sep_core.Scenarios.alphabet
+          sc.Sep_core.Scenarios.cfg sched
+      in
+      let r = online.F.on_report in
+      let agree =
+        offline.S.states = r.S.states && offline.S.checks = r.S.checks
+        && offline.S.cond_checks = r.S.cond_checks
+        && S.verified offline && S.verified r
+        && online.F.on_first_violation = None
+      in
+      if not agree then ok := false;
+      Fmt.pr "  %-12s offline %d states / %d checks, online %d / %d: %s@."
+        sc.Sep_core.Scenarios.label offline.S.states offline.S.checks r.S.states r.S.checks
+        (if agree then "agree" else "DISAGREE"))
+    Sep_core.Scenarios.all;
+  if Sys.file_exists corpus_dir && Sys.is_directory corpus_dir then
+    Array.iter
+      (fun fname ->
+        if Filename.check_suffix fname ".json" then begin
+          let file = Filename.concat corpus_dir fname in
+          let ic = open_in file in
+          let contents = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match
+            Result.bind (Sep_util.Json.parse (String.trim contents))
+              Sep_check.Score.corpus_case_of_json
+          with
+          | Error msg ->
+            ok := false;
+            Fmt.epr "rushby: %s: %s@." file msg
+          | Ok c -> (
+            match Sep_core.Scenarios.find c.Sep_check.Score.cc_scenario with
+            | None ->
+              ok := false;
+              Fmt.epr "rushby: %s: unknown scenario %s@." file c.Sep_check.Score.cc_scenario
+            | Some sc ->
+              let online =
+                F.check_schedule_online ~bugs:[ c.Sep_check.Score.cc_bug ] ~impl
+                  ~scrambles:c.Sep_check.Score.cc_scrambles ~seed:c.Sep_check.Score.cc_seed
+                  ~alphabet:sc.Sep_core.Scenarios.alphabet sc.Sep_core.Scenarios.cfg
+                  c.Sep_check.Score.cc_schedule
+              in
+              (* detection is the contract; the identity of every failing
+                 condition is the offline replayer's (both reports cap
+                 recorded failures, and fill them in different orders) *)
+              let caught =
+                online.F.on_first_violation <> None
+                && S.failing_conditions online.F.on_report <> []
+              in
+              if not caught then ok := false;
+              Fmt.pr "  %-24s %a  %s@."
+                (Fmt.str "%a" Sep_core.Sue.pp_bug c.Sep_check.Score.cc_bug)
+                pp_first_violation online.F.on_first_violation
+                (if caught then "caught" else "MISSED"))
+        end)
+      (Sys.readdir corpus_dir)
+  else begin
+    ok := false;
+    Fmt.epr "rushby: corpus directory %s not found (use --corpus)@." corpus_dir
+  end;
+  Fmt.pr "monitor smoke: %s@." (if !ok then "OK" else "FAILED");
+  if !ok then 0 else 1
+
+let monitor_run scenario bugs impl seed scrambles steps smoke corpus chrome =
+  if smoke then monitor_smoke impl corpus
+  else begin
+    if chrome <> None then Sep_obs.Trace.set_enabled true;
+    let sched = List.init steps (drip_inputs scenario) in
+    let online =
+      Sep_check.Fuzz.check_schedule_online ~bugs ~impl ~scrambles ~seed
+        ~alphabet:scenario.Sep_core.Scenarios.alphabet scenario.Sep_core.Scenarios.cfg sched
+    in
+    Fmt.pr "%a@." Sep_core.Separability.pp_summary online.Sep_check.Fuzz.on_report;
+    Fmt.pr "%a@." pp_first_violation online.Sep_check.Fuzz.on_first_violation;
+    (match chrome with None -> () | Some file -> write_chrome file);
+    if Sep_core.Separability.verified online.Sep_check.Fuzz.on_report then 0 else 1
+  end
+
+let monitor_cmd =
+  let steps =
+    Arg.(value & opt int 24 & info [ "steps" ] ~doc:"Input-schedule length (the kernel then settles).")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:
+               "CI mode: check online/offline agreement on every clean scenario and online \
+                detection of every checked-in corpus mutant.")
+  in
+  let corpus =
+    Arg.(value & opt string "test/corpus"
+         & info [ "corpus" ] ~docv:"DIR" ~doc:"Mutant corpus directory replayed by --smoke.")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Stream a schedule-driven kernel run through the online separability monitor: the six \
+          conditions are checked incrementally as states are produced, so a violation is flagged \
+          at the step that first exhibits it.")
+    Term.(
+      const monitor_run $ scenario_arg $ bugs_arg $ impl_arg $ seed_arg $ scrambles_arg $ steps
+      $ smoke $ corpus $ chrome_arg)
 
 (* -- stats ------------------------------------------------------------------- *)
 
@@ -939,6 +1083,7 @@ let main_cmd =
       spooler_cmd;
       dot_cmd;
       trace_cmd;
+      monitor_cmd;
       stats_cmd;
       metrics_cmd;
       inject_cmd;

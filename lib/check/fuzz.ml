@@ -177,6 +177,46 @@ let execute ?(bugs = []) ?(impl = Sue.Microcode) ?(scrambles = 2) ?(settle = 24)
 let check_schedule ?bugs ?impl ?scrambles ?settle ~seed ~alphabet cfg sched =
   (execute ?bugs ?impl ?scrambles ?settle ~seed ~alphabet cfg sched).ex_report
 
+type online = {
+  on_report : Separability.report;
+  on_first_violation : (int * Separability.failure) option;
+}
+
+(* The same run as {!execute}, but the states stream through the
+   incremental checker as they are produced — with the kernel step that
+   produced each one — instead of being collected for a post-hoc
+   [check_states]. The generation order (each snapshot followed by its
+   scrambled Phi-partners, colours in configuration order) matches
+   [run_once] exactly, so the report agrees with the offline one. *)
+let check_schedule_online ?(bugs = []) ?(impl = Sue.Microcode) ?(scrambles = 2) ?(settle = 24)
+    ~seed ~alphabet cfg sched =
+  let module Monitor = Sep_core.Monitor in
+  let rng = Prng.create seed in
+  let t = Sue.build ~bugs ~impl cfg in
+  let colours = Config.colours cfg in
+  let mon = Monitor.create (Sue.to_system ~bugs ~impl ~inputs:alphabet cfg) in
+  let feed ~step s =
+    ignore (Monitor.feed ~step mon s);
+    List.iter
+      (fun c ->
+        for _ = 1 to scrambles do
+          ignore (Monitor.feed ~step mon (Sue.scramble_others rng s c))
+        done)
+      colours
+  in
+  feed ~step:0 (Sue.copy t);
+  List.iteri
+    (fun n input ->
+      ignore (Ktrace.step t input);
+      feed ~step:(n + 1) (Sue.copy t))
+    sched;
+  let base = List.length sched in
+  for k = 1 to settle do
+    ignore (Ktrace.step t []);
+    feed ~step:(base + k) (Sue.copy t)
+  done;
+  { on_report = Monitor.report mon; on_first_violation = Monitor.first_violation mon }
+
 (* -- Mutation ----------------------------------------------------------------- *)
 
 let mutate_schedule ~alphabet ~max_len rng sched =
@@ -237,6 +277,9 @@ let engine_exec ?jobs ~seed ~budget ~seeds ~mutate ~exec ~keys_of
   let nentries = ref 0 in
   let execs = ref 0 in
   let stopped = ref false in
+  (* live campaign gauges on the driving domain's registry *)
+  let g_corpus = Sep_obs.Telemetry.gauge (Sep_obs.Span.local ()) "fuzz.corpus" in
+  let g_keys = Sep_obs.Telemetry.gauge (Sep_obs.Span.local ()) "fuzz.keys" in
   (* Sequential, canonical-order half of one execution: budget accounting,
      witness, corpus admission, stop. Batch results past a stop or past
      the budget are discarded unprocessed — the batch partition does not
@@ -258,7 +301,11 @@ let engine_exec ?jobs ~seed ~budget ~seeds ~mutate ~exec ~keys_of
       if is_stop then stopped := true
     end
   in
-  let run_batch inputs = List.iter2 admit inputs (Sep_par.Par.map ?jobs exec inputs) in
+  let run_batch inputs =
+    List.iter2 admit inputs (Sep_par.Par.map ?jobs exec inputs);
+    Sep_obs.Telemetry.set g_corpus (float_of_int !nentries);
+    Sep_obs.Telemetry.set g_keys (float_of_int (Hashtbl.length seen))
+  in
   let rec seed_batches = function
     | [] -> ()
     | rest when !stopped || !execs >= budget -> ignore rest

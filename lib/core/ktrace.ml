@@ -83,6 +83,12 @@ let step t input =
   let add e = events := e :: !events in
   let audit () = List.iter (fun f -> add (event_of_fault f)) (Sue.drain_faults t) in
   let before = observe t in
+  (* this driver bypasses [Sue.step], so it emits the per-step causal
+     instant itself *)
+  if Sep_obs.Trace.enabled () then
+    Sep_obs.Trace.instant ~cat:"sue"
+      ~args:[ ("colour", Sep_util.Json.String (Colour.name before.sn_current)) ]
+      "step";
   List.iter (fun (device, word) -> add (Emitted { device; word })) (Sue.outputs t);
   List.iter (fun (device, word) -> add (Arrived { device; word })) input;
   Sue.deliver_inputs t input;

@@ -69,10 +69,11 @@ type acc = {
   mutable failures : failure list;
   mutable nfail : int;
   max_failures : int;
+  mutable reps : int;  (* distinct abstractions bucketed — the frontier *)
 }
 
 let fresh max_failures =
-  { checks = 0; cond = Array.make 7 0; failures = []; nfail = 0; max_failures }
+  { checks = 0; cond = Array.make 7 0; failures = []; nfail = 0; max_failures; reps = 0 }
 
 let record acc condition colour detail =
   acc.failures <- { condition; colour; detail } :: acc.failures;
@@ -165,6 +166,7 @@ let check_views sys acc states =
       match List.find_opt (fun (a', _, _, _, _) -> sys.System.equal_abstate a a') !bucket_list with
       | None ->
         let op6 = ref (if mine then Some (sys.System.nextop s).System.op_name else None) in
+        acc.reps <- acc.reps + 1;
         bucket_list := (a, s, imgs, out, op6) :: !bucket_list
       | Some (_, rep, rep_imgs, rep_out, rep_op) ->
         (* condition 3: same input, same effect on c's view *)
@@ -280,6 +282,11 @@ let run_checks sys states max_failures =
      Sep_obs.Span.time span_cond12 (fun () -> check_ops sys acc states);
      Sep_obs.Span.time span_cond3456 (fun () -> check_views sys acc states)
    with Enough -> ());
+  (* publish the frontier of the view-equivalence search as a live gauge
+     (the domain-local registry merges into the global one at join) *)
+  Sep_obs.Telemetry.set
+    (Sep_obs.Telemetry.gauge (Sep_obs.Span.local ()) "separability.frontier")
+    (float_of_int acc.reps);
   {
     instance = sys.System.name;
     states = List.length states;

@@ -289,6 +289,12 @@ let set_status t r v = write_kw t (t.layout.save_base.(r) + off_status) v
 let fault_log_cap = 4096
 
 let record_fault t f =
+  (* every audit event is also a flight-recorder event, so a post-incident
+     dump shows the detections in causal position *)
+  if Sep_obs.Trace.enabled () then
+    Sep_obs.Trace.instant ~cat:"sue"
+      ~args:[ ("fault", Sep_util.Json.String (Fmt.str "%a" pp_kernel_fault f)) ]
+      "audit";
   let c = t.counts in
   if c.ct_fault_log_len < fault_log_cap then begin
     c.ct_fault_log <- f :: c.ct_fault_log;
@@ -718,6 +724,14 @@ let kstats t =
     ks_warm_reboots = t.counts.ct_warm_reboots;
   }
 
+(* A single O(1) read summarizing the audit-level counters: the online
+   monitor compares successive values to decide, without allocating a
+   [kstats] record, whether the step it just watched detected anything. *)
+let audit_count t =
+  let c = t.counts in
+  c.ct_fault_parks + c.ct_guard_breaches + c.ct_watchdog_fires + c.ct_panics + c.ct_restarts
+  + c.ct_warm_reboots
+
 let reset_kstats t =
   let c = t.counts in
   Array.fill c.ct_instrs 0 (Array.length c.ct_instrs) 0;
@@ -861,6 +875,14 @@ let switch_to t r =
       if r = cur then ()
       else if save_area_ok t r then begin
         t.counts.ct_switches <- t.counts.ct_switches + 1;
+        if Sep_obs.Trace.enabled () then
+          Sep_obs.Trace.instant ~cat:"sue"
+            ~args:
+              [
+                ("from", Sep_util.Json.String (Colour.name t.layout.colours.(cur)));
+                ("to", Sep_util.Json.String (Colour.name t.layout.colours.(r)));
+              ]
+            "switch";
         set_current_index t r;
         load_context t r;
         reset_countdown t
@@ -1062,7 +1084,10 @@ let kernel_panic t reason =
   record_fault t (Kernel_panic reason);
   for r = 0 to t.layout.nregs - 1 do
     set_status t r status_parked
-  done
+  done;
+  (* flush the flight recorder: the ring now ends with the audit instant
+     for this panic, preceded by the events that led up to it *)
+  ignore (Sep_obs.Trace.dump ~reason:("kernel-panic: " ^ reason))
 
 let fault_reason = function
   | Machine.Illegal_instruction w -> Fmt.str "illegal instruction %04x" (w : int)
@@ -1089,7 +1114,17 @@ let run_kernel t =
     end
   in
   loop ();
-  if current_index t <> before then t.counts.ct_switches <- t.counts.ct_switches + 1
+  if current_index t <> before then begin
+    t.counts.ct_switches <- t.counts.ct_switches + 1;
+    if Sep_obs.Trace.enabled () then
+      Sep_obs.Trace.instant ~cat:"sue"
+        ~args:
+          [
+            ("from", Sep_util.Json.String (Colour.name t.layout.colours.(before)));
+            ("to", Sep_util.Json.String (Colour.name t.layout.colours.(current_index t)));
+          ]
+        "switch"
+  end
 
 let enter_and_run t cause =
   Machine.enter_kernel t.m ~cause ~vector:t.code_base;
@@ -1162,6 +1197,19 @@ let rx_pending t r =
       | Machine.Tx | Machine.Xform _ -> false)
     (Array.init (Array.length t.layout.dev_kinds) Fun.id)
 
+(* Trap instants carry the trapping colour and trap number; SWAP (trap 0)
+   gets its own event name since it is the scheduling boundary the causal
+   trace most often pivots on. *)
+let trace_trap t cur n =
+  if Sep_obs.Trace.enabled () then
+    Sep_obs.Trace.instant ~cat:"sue"
+      ~args:
+        [
+          ("colour", Sep_util.Json.String (Colour.name t.layout.colours.(cur)));
+          ("number", Sep_util.Json.Int n);
+        ]
+      (if n = 0 then "swap" else "trap")
+
 let exec_op_microcode t =
   let cur = current_index t in
   if get_status t cur <> status_runnable || bug_stalls t cur then
@@ -1222,13 +1270,16 @@ let exec_op_microcode t =
     | Machine.Trapped 0 ->
       t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
       t.counts.ct_swaps.(cur) <- t.counts.ct_swaps.(cur) + 1;
+      trace_trap t cur 0;
       swap_away t
     | Machine.Trapped 1 ->
       t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
+      trace_trap t cur 1;
       do_send t cur;
       if Machine.get_reg t.m 2 = 1 then take_checkpoint t cur ~live:true
     | Machine.Trapped 2 ->
       t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
+      trace_trap t cur 2;
       do_recv t cur;
       if Machine.get_reg t.m 2 = 1 then take_checkpoint t cur ~live:true
     | Machine.Trapped _ | Machine.Returned | Machine.Faulted _ ->
@@ -1256,6 +1307,7 @@ let exec_op_assembly t =
       | Machine.Trapped n when n <= 2 ->
         t.counts.ct_traps.(cur) <- t.counts.ct_traps.(cur) + 1;
         if n = 0 then t.counts.ct_swaps.(cur) <- t.counts.ct_swaps.(cur) + 1;
+        trace_trap t cur n;
         enter_and_run t n;
         if n = 1 && chan_result () = 1 then t.counts.ct_sent.(cur) <- t.counts.ct_sent.(cur) + 1;
         if n = 2 && chan_result () = 1 then t.counts.ct_recvd.(cur) <- t.counts.ct_recvd.(cur) + 1
@@ -1298,6 +1350,11 @@ let outputs t =
   List.rev !out
 
 let step t arrivals =
+  if Sep_obs.Trace.enabled () then
+    Sep_obs.Trace.instant ~cat:"sue"
+      ~args:
+        [ ("colour", Sep_util.Json.String (Colour.name t.layout.colours.(current_index t))) ]
+      "step";
   let observed = outputs t in
   t.counts.ct_outputs_observed <- t.counts.ct_outputs_observed + List.length observed;
   deliver_inputs t arrivals;

@@ -235,6 +235,13 @@ type kstats = {
 val kstats : t -> kstats
 (** An immutable snapshot of the counters. *)
 
+val audit_count : t -> int
+(** The sum of the audit-level counters (fault parks, guard breaches,
+    watchdog fires, panics, restarts, warm reboots) as one O(1),
+    allocation-free read — the probe the online monitor
+    ({!Sep_core.Monitor}) polls after every step to decide whether the
+    kernel just detected something worth a deep check. *)
+
 val reset_kstats : t -> unit
 (** Zero the counters (shared across every copy of this instance). *)
 

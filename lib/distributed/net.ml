@@ -13,8 +13,13 @@ type link_model = {
 
 let default_link_model = { lm_seed = 42; lm_drop = 10; lm_dup = 5; lm_reorder = 5 }
 
-(* A sequence-numbered frame on a reliable line. *)
-type frame = { seq : int; payload : Component.message }
+(* A sequence-numbered frame on a reliable line. [born] is the net step
+   at which the sender accepted the word (for the end-to-end latency
+   histogram); [flow] is the causal-trace edge id tying the send to the
+   eventual in-order delivery (0 when tracing is off). Retransmitted
+   copies keep both: the latency measured is send-accept to delivery,
+   retransmissions included — the latency the receiving box experiences. *)
+type frame = { seq : int; payload : Component.message; born : int; flow : int }
 
 (* Per-wire state of the reliable protocol: a go-back-N sender (window =
    the wire's capacity, cumulative acks, timeout retransmission with
@@ -65,6 +70,11 @@ type t = {
   mutable retransmits : int;
   mutable acks_sent : int;
   mutable backoff_ceiling : int;
+  mutable now : int;  (* global step counter, for latency measurement *)
+  tel : Sep_obs.Telemetry.t;  (* this net's own metric registry *)
+  lat : Sep_obs.Telemetry.histogram;  (* net.latency.steps: send-accept -> in-order delivery *)
+  rq : Sep_obs.Telemetry.gauge;  (* net.retransmit_queue: frames in sender windows *)
+  rq_global : Sep_obs.Telemetry.gauge;  (* the same gauge on the domain's span registry *)
 }
 
 let rto_base = 3
@@ -104,6 +114,7 @@ let build ?link topo =
           r_window = max 1 w.Topology.capacity;
         }
   in
+  let tel = Sep_obs.Telemetry.create () in
   {
     topo;
     nodes = List.map node topo.Topology.parts;
@@ -117,6 +128,11 @@ let build ?link topo =
     retransmits = 0;
     acks_sent = 0;
     backoff_ceiling = 0;
+    now = 0;
+    tel;
+    lat = Sep_obs.Telemetry.histogram tel "net.latency.steps";
+    rq = Sep_obs.Telemetry.gauge tel "net.retransmit_queue";
+    rq_global = Sep_obs.Telemetry.gauge (Sep_obs.Span.local ()) "net.retransmit_queue";
   }
 
 let wire t id = List.nth t.topo.Topology.wires id
@@ -230,7 +246,14 @@ let transmit t node actions =
           (* the reliable layer accepts every send: the pending queue is
              the sending box's local buffer, and the window provides the
              flow control a raw wire's capacity used to *)
-          Queue.add { seq = rw.r_next_seq; payload = msg } rw.r_pending;
+          let flow =
+            if Sep_obs.Trace.enabled () then
+              Sep_obs.Trace.flow_start ~cat:"net"
+                ~args:[ ("wire", Sep_util.Json.Int w); ("seq", Sep_util.Json.Int rw.r_next_seq) ]
+                "send"
+            else 0
+          in
+          Queue.add { seq = rw.r_next_seq; payload = msg; born = t.now; flow } rw.r_pending;
           rw.r_next_seq <- rw.r_next_seq + 1
         | None -> if not (Fifo.push t.lines.(w) msg) then t.dropped <- t.dropped + 1
       end
@@ -244,8 +267,17 @@ let feed t node ev =
   node.obs <- Component.Saw ev :: node.obs;
   transmit t node (Component.feed node.inst ev)
 
+let retransmit_queue_depth t =
+  Array.fold_left
+    (fun acc rwo -> match rwo with Some rw -> acc + List.length rw.r_unacked | None -> acc)
+    0 t.rel
+
 let step t ~externals =
+  t.now <- t.now + 1;
   rel_maintenance t;
+  let rq = float_of_int (retransmit_queue_depth t) in
+  Sep_obs.Telemetry.set t.rq rq;
+  Sep_obs.Telemetry.set t.rq_global rq;
   (* Only messages already in flight are deliverable this step. *)
   let deliverable =
     Array.mapi
@@ -272,6 +304,11 @@ let step t ~externals =
             if f.seq = rw.r_expect then begin
               rw.r_expect <- rw.r_expect + 1;
               rw.r_ack_due <- true;
+              (* end-to-end latency: send-accept to in-order delivery *)
+              Sep_obs.Telemetry.observe t.lat (float_of_int (t.now - f.born));
+              Sep_obs.Trace.flow_end ~cat:"net" ~id:f.flow
+                ~args:[ ("wire", Sep_util.Json.Int id); ("seq", Sep_util.Json.Int f.seq) ]
+                "deliver";
               feed t node (Component.Recv (id, f.payload))
             end
             else if rw.r_expect > 0 then
@@ -312,6 +349,7 @@ let in_flight t =
     base t.rel
 
 let drops t = t.dropped
+let telemetry t = t.tel
 
 let link_stats t =
   {

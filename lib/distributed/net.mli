@@ -73,6 +73,19 @@ val in_flight : t -> int
 val drops : t -> int
 (** Messages dropped against full wires so far. *)
 
+val telemetry : t -> Sep_obs.Telemetry.t
+(** This net's metric registry: the histogram ["net.latency.steps"] —
+    end-to-end latency in net steps of every word carried by a reliable
+    link, from send-accept to in-order delivery (retransmissions
+    included), with p50/p95/p99 via {!Sep_obs.Telemetry.quantile} — and
+    the gauge ["net.retransmit_queue"], the number of frames sitting in
+    sender windows awaiting acks, refreshed every {!step}. The gauge is
+    mirrored onto the calling domain's {!Sep_obs.Span.local} registry so
+    it appears in process-wide snapshots. When causal tracing
+    ({!Sep_obs.Trace}) is enabled, every reliable send opens a flow edge
+    that its in-order delivery closes — the happens-before edge across
+    boxes. *)
+
 val link_stats : t -> link_stats
 (** Current line statistics. Without a link model the protocol counters
     ([ls_lossy_drops], [ls_retransmits], [ls_acks], [ls_backoff_ceiling])

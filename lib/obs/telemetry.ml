@@ -115,6 +115,10 @@ let quantile h p =
     if v < h.h_min then h.h_min else if v > h.h_max then h.h_max else v
   end
 
+let p50 h = quantile h 0.5
+let p95 h = quantile h 0.95
+let p99 h = quantile h 0.99
+
 let reset t =
   Hashtbl.iter
     (fun _ m ->
@@ -165,6 +169,7 @@ let hist_json h =
       ("mean", Sep_util.Json.Float (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count));
       ("p50", Sep_util.Json.Float (quantile h 0.5));
       ("p90", Sep_util.Json.Float (quantile h 0.9));
+      ("p95", Sep_util.Json.Float (quantile h 0.95));
       ("p99", Sep_util.Json.Float (quantile h 0.99));
     ]
 

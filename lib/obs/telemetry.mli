@@ -54,6 +54,12 @@ val quantile : histogram -> float -> float
     bucket holding the [p]-th ranked observation, clamped to the exact
     observed min/max. [0.] when the histogram is empty. *)
 
+val p50 : histogram -> float
+val p95 : histogram -> float
+val p99 : histogram -> float
+(** The standard latency quantiles, [quantile h 0.5] etc. — the values the
+    JSON snapshot and the bench reports quote. *)
+
 val hist_min : histogram -> float
 val hist_max : histogram -> float
 
@@ -78,7 +84,8 @@ val to_json : t -> Sep_util.Json.t
     [{"counters": {name: int, ...},
       "gauges": {name: float, ...},
       "histograms": {name: {"count": int, "sum": s, "min": m, "max": M,
-                            "mean": mu, "p50": q, "p90": q, "p99": q}}}]
+                            "mean": mu, "p50": q, "p90": q, "p95": q,
+                            "p99": q}}}]
     with names sorted within each section. *)
 
 val pp : Format.formatter -> t -> unit

@@ -13,7 +13,15 @@ let default_jobs () = Domain.recommended_domain_count ()
    Results land at distinct indices of the shared array — no two domains
    ever touch the same cell — and the first exception (by task index, so
    deterministically the same one whatever the interleaving) is kept. *)
-let run_shard work results jobs base =
+let run_shard ?(flow = 0) work results jobs base =
+  (* task boundary: the shard's Begin/End slice closes the fork edge the
+     spawner opened, giving the causal trace fork->run->join structure *)
+  if Sep_obs.Trace.enabled () then begin
+    Sep_obs.Trace.flow_end ~cat:"par" ~id:flow "fork";
+    Sep_obs.Trace.emit ~cat:"par" ~phase:Sep_obs.Trace.Begin
+      ~args:[ ("shard", Sep_util.Json.Int base); ("jobs", Sep_util.Json.Int jobs) ]
+      "shard"
+  end;
   let n = Array.length work in
   let first_exn = ref None in
   let i = ref base in
@@ -24,6 +32,8 @@ let run_shard work results jobs base =
       try results.(!i) <- Some (work.(!i) ()) with e -> first_exn := Some (!i, e)));
     i := !i + jobs
   done;
+  if Sep_obs.Trace.enabled () then
+    Sep_obs.Trace.emit ~cat:"par" ~phase:Sep_obs.Trace.End "shard";
   !first_exn
 
 let mapi ?jobs f xs =
@@ -36,12 +46,24 @@ let mapi ?jobs f xs =
   else begin
     let results = Array.make n None in
     let spawner_registry = Span.local () in
-    let worker base () =
-      let exn = run_shard work results jobs base in
+    let worker flow base () =
+      let exn = run_shard ~flow work results jobs base in
       (exn, Span.local ())
     in
     Telemetry.incr ~by:(jobs - 1) c_shards;
-    let domains = List.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    let fork k =
+      (* one flow edge per spawned domain: fork on the spawner, closed by
+         the shard running on the worker *)
+      let flow =
+        if Sep_obs.Trace.enabled () then
+          Sep_obs.Trace.flow_start ~cat:"par"
+            ~args:[ ("shard", Sep_util.Json.Int (k + 1)) ]
+            "fork"
+        else 0
+      in
+      Domain.spawn (worker flow (k + 1))
+    in
+    let domains = List.init (jobs - 1) fork in
     let exn0 = run_shard work results jobs 0 in
     let joined = List.map Domain.join domains in
     let t0 = Unix.gettimeofday () in

@@ -165,8 +165,13 @@ type observation = {
   ob_wd_fires : int;
 }
 
-let observe_run ?watchdog ?recover (sc : Scenarios.instance) ~steps ~plan =
+(* [hook] is handed the freshly built kernel and returns the per-step
+   callback, invoked after every wrapped step — the seam the online
+   separability watch attaches through. *)
+let observe_run ?watchdog ?recover ?(hook = fun _ () -> ()) (sc : Scenarios.instance) ~steps
+    ~plan =
   let t = Sue.build ?watchdog sc.Scenarios.cfg in
+  let on_step = hook t in
   let supervisor = Option.map (fun policy -> Recover.create ~policy t) recover in
   let supervise () =
     match supervisor with None -> () | Some sup -> ignore (Recover.tick sup)
@@ -201,6 +206,7 @@ let observe_run ?watchdog ?recover (sc : Scenarios.instance) ~steps ~plan =
              else []))
     in
     List.iter (fun o -> flat := o :: !flat) (step r n input);
+    on_step ();
     supervise ()
   done;
   ignore (Sue.guard_sweep t);
@@ -296,6 +302,31 @@ let classify ~cfg ~reference ~faulty ~t (plan : Fault_plan.t) =
     detections = faulty.ob_detections;
     recoveries = faulty.ob_recoveries;
     watchdog_delta = faulty.ob_wd_fires - reference.ob_wd_fires;
+  }
+
+(* -- Monitored replay ------------------------------------------------------- *)
+
+type monitored = {
+  mc_case : case;
+  mc_first_violation : (int * Sep_core.Separability.failure) option;
+  mc_deep_checks : int;
+}
+
+let monitored_case ?watchdog ?recover ?(period = 32) ~steps ~plan (sc : Scenarios.instance) =
+  let module Monitor = Sep_core.Monitor in
+  let reference, _ = observe_run ?watchdog sc ~steps ~plan:None in
+  let watch = ref None in
+  let hook t =
+    let w = Monitor.watch ~period ~inputs:sc.Scenarios.alphabet t in
+    watch := Some w;
+    fun () -> Monitor.observe w
+  in
+  let faulty, t = observe_run ?watchdog ?recover ~hook sc ~steps ~plan:(Some plan) in
+  let w = Option.get !watch in
+  {
+    mc_case = classify ~cfg:sc.Scenarios.cfg ~reference ~faulty ~t plan;
+    mc_first_violation = Monitor.watch_first_violation w;
+    mc_deep_checks = Monitor.deep_checks w;
   }
 
 (* Scenario seeds derive from the campaign seed and the label so each

@@ -86,6 +86,28 @@ val run_scenario :
     every step, restarting parked regimes and warm-rebooting all-parked
     kernels under the given budgets. *)
 
+type monitored = {
+  mc_case : case;
+  mc_first_violation : (int * Sep_core.Separability.failure) option;
+      (** the kernel step (as counted by the watch) at which the online
+          monitor first flagged a violation, [None] when the run stayed
+          separable *)
+  mc_deep_checks : int;  (** observations that escalated to a deep check *)
+}
+
+val monitored_case :
+  ?watchdog:int ->
+  ?recover:Sep_recover.Recover.policy ->
+  ?period:int ->
+  steps:int -> plan:Fault_plan.t -> Scenarios.instance -> monitored
+(** One fault-plan replay with an online {!Sep_core.Monitor.watch}
+    attached: {!Sep_core.Monitor.observe} runs after every kernel step,
+    so a fault that breaks a separability condition is flagged at the
+    step the kernel's own audit detects it (or within [period] steps,
+    default 32, for silent corruption). The differential classification
+    of the case is unchanged — the monitor adds step attribution to
+    it. *)
+
 val run : ?jobs:int -> seed:int -> steps:int -> count:int -> unit -> report
 (** The full fail-safe campaign over {!subjects}, no recovery — exactly
     PR 2's campaign (each scenario's plans derive from [seed] and its

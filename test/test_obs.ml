@@ -190,6 +190,122 @@ let test_snapshot_shape () =
       [ "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99" ]
   | _ -> Alcotest.fail "histograms section"
 
+(* -- Telemetry: fixed quantile accessors ------------------------------------ *)
+
+let test_quantile_accessors () =
+  let reg = Telemetry.create () in
+  let h = Telemetry.histogram reg "h" in
+  for i = 1 to 1000 do
+    Telemetry.observe h (float_of_int i)
+  done;
+  List.iter
+    (fun (name, accessor, p) ->
+      check (Alcotest.float 0.) name (Telemetry.quantile h p) (accessor h))
+    [
+      ("p50 = quantile 0.5", Telemetry.p50, 0.5);
+      ("p95 = quantile 0.95", Telemetry.p95, 0.95);
+      ("p99 = quantile 0.99", Telemetry.p99, 0.99);
+    ];
+  let v = roundtrip (Telemetry.to_json reg) in
+  match Json.member "histograms" v with
+  | Some (Json.Obj [ ("h", stats) ]) ->
+    if Json.member "p95" stats = None then Alcotest.fail "p95 missing from snapshot"
+  | _ -> Alcotest.fail "histograms section"
+
+(* -- Trace: the flight recorder --------------------------------------------- *)
+
+module Trace = Sep_obs.Trace
+
+let with_trace ?(capacity = 64) f =
+  Trace.set_capacity capacity;
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.set_capacity 4096)
+    f
+
+let test_trace_disabled_records_nothing () =
+  Trace.set_enabled false;
+  Trace.clear ();
+  Trace.instant ~cat:"t" "nope";
+  check Alcotest.int "flow id is 0 while disabled" 0 (Trace.flow_start ~cat:"t" "nope");
+  check Alcotest.int "nothing recorded" 0 (List.length (Trace.recorded ()))
+
+let test_trace_ring_wraparound () =
+  with_trace ~capacity:16 @@ fun () ->
+  for i = 1 to 40 do
+    Trace.instant ~cat:"t" ~args:[ ("i", Json.Int i) ] "tick"
+  done;
+  let events = Trace.recorded () in
+  check Alcotest.int "ring keeps the last capacity events" 16 (List.length events);
+  check Alcotest.int "all offered events counted" 40 (Trace.seen ());
+  (* oldest first, contiguous, and ending at the newest emission *)
+  let seqs = List.map (fun e -> e.Trace.seq) events in
+  check (Alcotest.list Alcotest.int) "the suffix survives" (List.init 16 (fun i -> 24 + i)) seqs
+
+let test_trace_flow_edges () =
+  with_trace @@ fun () ->
+  let id = Trace.flow_start ~cat:"net" "send" in
+  Alcotest.(check bool) "flow id is nonzero" true (id <> 0);
+  Trace.flow_end ~cat:"net" ~id "deliver";
+  match Trace.recorded () with
+  | [ s; f ] ->
+    Alcotest.(check bool) "phases" true
+      (s.Trace.phase = Trace.Flow_start && f.Trace.phase = Trace.Flow_end);
+    check Alcotest.int "edge shares the id" s.Trace.id f.Trace.id
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_trace_chrome_export () =
+  with_trace @@ fun () ->
+  Trace.emit ~cat:"par" ~phase:Trace.Begin "task";
+  Trace.instant ~cat:"sue" ~args:[ ("colour", Json.String "RED") ] "step";
+  Trace.emit ~cat:"par" ~phase:Trace.End "task";
+  match Json.parse (Trace.chrome_string ()) with
+  | Error e -> Alcotest.failf "chrome export is not valid JSON: %s" e
+  | Ok v -> (
+    match Json.member "traceEvents" v with
+    | Some (Json.List evs) ->
+      check Alcotest.int "three events" 3 (List.length evs);
+      let ph e = match Json.member "ph" e with Some (Json.String p) -> p | _ -> "?" in
+      check (Alcotest.list Alcotest.string) "chrome phases" [ "B"; "i"; "E" ] (List.map ph evs);
+      List.iter
+        (fun e ->
+          List.iter
+            (fun k -> if Json.member k e = None then Alcotest.failf "field %s missing" k)
+            [ "name"; "cat"; "ts"; "pid"; "tid" ])
+        evs
+    | _ -> Alcotest.fail "traceEvents missing")
+
+(* A kernel panic must flush the flight recorder: the dump ends with the
+   panic marker and retains the causally preceding events. *)
+let test_trace_dump_on_panic () =
+  with_trace ~capacity:256 @@ fun () ->
+  let dumps = ref [] in
+  Trace.on_dump (fun reason events -> dumps := (reason, events) :: !dumps);
+  let scenario = Sep_core.Scenarios.pipeline in
+  let t = Sep_core.Sue.build ~impl:Sep_core.Sue.Assembly scenario.Sep_core.Scenarios.cfg in
+  let m = Sep_core.Sue.machine t in
+  let code_base, code_len = Sep_core.Sue.kernel_code_region t in
+  for a = code_base to code_base + code_len - 1 do
+    Sep_hw.Machine.write_phys m a 0xffff
+  done;
+  for _ = 1 to 30 do
+    ignore (Sep_core.Ktrace.step t [])
+  done;
+  Alcotest.(check bool) "kernel panicked" true
+    ((Sep_core.Sue.kstats t).Sep_core.Sue.ks_panics >= 1);
+  match !dumps with
+  | [] -> Alcotest.fail "panic did not dump the flight recorder"
+  | (reason, events) :: _ ->
+    Alcotest.(check bool) "reason names the panic" true
+      (String.length reason >= 12 && String.sub reason 0 12 = "kernel-panic");
+    Alcotest.(check bool) "preceding kernel steps retained" true
+      (List.exists (fun e -> e.Trace.cat = "sue" && e.Trace.name = "step") events);
+    match Trace.last_dump () with
+    | Some (r, _) -> check Alcotest.string "last_dump agrees" reason r
+    | None -> Alcotest.fail "last_dump empty after a dump"
+
 (* -- Span ------------------------------------------------------------------ *)
 
 let test_span_gating () =
@@ -361,6 +477,15 @@ let () =
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "merge associativity" `Quick test_merge_associative;
           Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+          Alcotest.test_case "quantile accessors" `Quick test_quantile_accessors;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled recorder is inert" `Quick test_trace_disabled_records_nothing;
+          Alcotest.test_case "ring wraparound" `Quick test_trace_ring_wraparound;
+          Alcotest.test_case "flow edges" `Quick test_trace_flow_edges;
+          Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
+          Alcotest.test_case "dump on kernel panic" `Quick test_trace_dump_on_panic;
         ] );
       ( "span",
         [ Alcotest.test_case "gating and exception safety" `Quick test_span_gating ] );

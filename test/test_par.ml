@@ -87,6 +87,45 @@ let test_span_merge () =
   Span.set_enabled false;
   check Alcotest.int "worker spans merged into the spawner registry" 12 (spans () - before)
 
+(* Nested spans opened on worker domains must all land in the spawner's
+   registry after the merge, inner and outer alike. *)
+let test_span_merge_nested () =
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false) @@ fun () ->
+  let outer = Span.make "test-par-outer" and inner = Span.make "test-par-inner" in
+  let count name = Telemetry.count (Telemetry.histogram (Span.local ()) ("span." ^ name)) in
+  let outer0 = count "test-par-outer" and inner0 = count "test-par-inner" in
+  ignore
+    (Par.map ~jobs:4
+       (fun x ->
+         Span.time outer (fun () ->
+             Span.time inner (fun () -> x + 1) + Span.time inner (fun () -> x + 2)))
+       (List.init 12 (fun i -> i)));
+  check Alcotest.int "outer spans merged" 12 (count "test-par-outer" - outer0);
+  check Alcotest.int "inner spans merged (two per task)" 24 (count "test-par-inner" - inner0)
+
+(* Spawned worker domains appear in the flight recorder as fork->shard
+   flow edges: one fork per spawned domain on the spawner, closed by the
+   shard that runs on the worker, with matching ids. *)
+let test_par_trace_flows () =
+  let module Trace = Sep_obs.Trace in
+  Trace.set_capacity 1024;
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.set_capacity 4096)
+  @@ fun () ->
+  ignore (Par.map ~jobs:4 (fun x -> x * 2) (List.init 20 (fun i -> i)));
+  let events = List.filter (fun e -> e.Trace.cat = "par") (Trace.recorded ()) in
+  let starts = List.filter (fun e -> e.Trace.phase = Trace.Flow_start) events in
+  let ends = List.filter (fun e -> e.Trace.phase = Trace.Flow_end) events in
+  check Alcotest.int "one fork per spawned domain" 3 (List.length starts);
+  check Alcotest.int "every fork is joined by its shard" 3 (List.length ends);
+  let ids l = List.sort compare (List.map (fun e -> e.Trace.id) l) in
+  check (Alcotest.list Alcotest.int) "forks and shards pair by id" (ids starts) (ids ends);
+  Alcotest.(check bool) "flow ids are nonzero" true (List.for_all (fun i -> i <> 0) (ids starts))
+
 (* -- the PRNG bugfixes ----------------------------------------------------- *)
 
 (* Rejection sampling makes [Prng.int] exactly uniform; a chi-squared test
@@ -219,6 +258,8 @@ let () =
           Alcotest.test_case "lowest-index exception wins" `Quick test_exception_lowest_index;
           Alcotest.test_case "executor counters" `Quick test_counters_move;
           Alcotest.test_case "worker span merge" `Quick test_span_merge;
+          Alcotest.test_case "nested span merge" `Quick test_span_merge_nested;
+          Alcotest.test_case "task flow edges traced" `Quick test_par_trace_flows;
         ] );
       ( "prng",
         [
