@@ -7,7 +7,7 @@
      dune exec bench/main.exe                 all experiments + timings
      dune exec bench/main.exe -- e3 e6        selected experiments
      dune exec bench/main.exe -- timings      only the timing benches
-     dune exec bench/main.exe -- snapshot     write BENCH_PR6.json (see EXPERIMENTS.md)
+     dune exec bench/main.exe -- snapshot     write BENCH_PR7.json (see EXPERIMENTS.md)
      dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing
      dune exec bench/main.exe -- compare OLD.json NEW.json   regression gate on throughput *)
 
@@ -892,6 +892,101 @@ let e18 () =
     (Scenarios.all @ [ Scenarios.scaled ~regimes:2 ~counter_bits:3 ]);
   Table.print t
 
+(* -- E19: the kernel federation ------------------------------------------------ *)
+
+(* One federated run: sustained throughput (words carried shard-to-shard
+   per second of wall clock) and the end-to-end word latency histogram of
+   the inter-shard links, clean and under a directed node-fault plan. *)
+type fed_measure = {
+  fm_label : string;
+  fm_faulty : bool;
+  fm_steps : int;
+  fm_seconds : float;
+  fm_delivered : int;
+  fm_words_per_sec : float;
+  fm_p50 : float;
+  fm_p95 : float;
+  fm_p99 : float;
+  fm_events : int;
+  fm_recoveries : int;
+  fm_violating : bool;  (* the online monitor flagged a shard *)
+}
+
+let measure_federation ?plan ?(steps = 2_000) (spec : Sep_fed.Fed.spec) =
+  let module F = Sep_fed.Fed in
+  let (t, ob), secs =
+    timed_best (fun () ->
+        let t = F.build ?plan ~monitor:true spec in
+        F.run t ~steps;
+        (t, F.finish t))
+  in
+  let h = Sep_obs.Telemetry.histogram (Sep_distributed.Net.telemetry (F.net t)) "net.latency.steps" in
+  {
+    fm_label = spec.F.fs_label;
+    fm_faulty = plan <> None;
+    fm_steps = steps;
+    fm_seconds = secs;
+    fm_delivered = ob.F.fob_delivered;
+    fm_words_per_sec = (if secs > 0.0 then float_of_int ob.F.fob_delivered /. secs else 0.0);
+    fm_p50 = Sep_obs.Telemetry.p50 h;
+    fm_p95 = Sep_obs.Telemetry.p95 h;
+    fm_p99 = Sep_obs.Telemetry.p99 h;
+    fm_events = List.length ob.F.fob_events;
+    fm_recoveries = List.length ob.F.fob_recoveries;
+    fm_violating = ob.F.fob_first_violation <> None;
+  }
+
+(* The directed faulty workload: crash the last shard a third of the way
+   in (failover from checkpoints), partition the first data wire for a
+   while two thirds in — recovery cost shows up in the tail latency, not
+   in lost words. *)
+let federation_fault_plan (spec : Sep_fed.Fed.spec) ~steps =
+  {
+    Sep_robust.Fault_plan.label = "bench-node-faults";
+    faults =
+      [
+        (steps / 3, Sep_robust.Fault_plan.Shard_crash { shard = Sep_fed.Fed.nshards_of spec - 1 });
+        (2 * steps / 3, Sep_robust.Fault_plan.Link_partition { link = 0; window = 40 });
+      ];
+  }
+
+let federation_measures ?(steps = 2_000) () =
+  List.concat_map
+    (fun (spec : Sep_fed.Fed.spec) ->
+      [
+        measure_federation ~steps spec;
+        measure_federation ~plan:(federation_fault_plan spec ~steps) ~steps spec;
+      ])
+    Sep_fed.Fed_scenarios.all
+
+let e19 () =
+  claim
+    "the kernel federation is fail-operational: inter-shard channel words ride reliable links \
+     between shard kernels, a crashed shard is warm-rebooted from its output-commit checkpoints \
+     and a partitioned wire costs latency, never words — while the online separability monitor \
+     stays clean on every shard.";
+  let t = Table.create
+      ~title:"E19: federated throughput and latency, clean vs node faults (2000 steps, best of 3)"
+      ~columns:[ "scenario"; "workload"; "words"; "words/s"; "lat p50"; "lat p95"; "lat p99";
+                 "node events"; "recoveries"; "monitor" ] in
+  List.iter
+    (fun m ->
+      Table.add_row t
+        [
+          m.fm_label;
+          (if m.fm_faulty then "node faults" else "clean");
+          string_of_int m.fm_delivered;
+          Fmt.str "%.0f" m.fm_words_per_sec;
+          Fmt.str "%.0f" m.fm_p50;
+          Fmt.str "%.0f" m.fm_p95;
+          Fmt.str "%.0f" m.fm_p99;
+          string_of_int m.fm_events;
+          string_of_int m.fm_recoveries;
+          (if m.fm_violating then "VIOLATION" else "clean");
+        ])
+    (federation_measures ());
+  Table.print t
+
 (* -- bechamel timings -------------------------------------------------------------------- *)
 
 let timings () =
@@ -1216,9 +1311,32 @@ let snapshot_json () =
         ("acks", Json.Int s.Sep_distributed.Net.ls_acks);
       ]
   in
+  let federation =
+    let runs =
+      List.map
+        (fun m ->
+          Json.Obj
+            [
+              ("label", Json.String m.fm_label);
+              ("workload", Json.String (if m.fm_faulty then "node-faults" else "clean"));
+              ("steps", Json.Int m.fm_steps);
+              ("seconds", Json.Float m.fm_seconds);
+              ("delivered", Json.Int m.fm_delivered);
+              ("words_per_sec", Json.Float m.fm_words_per_sec);
+              ("latency_p50", Json.Float m.fm_p50);
+              ("latency_p95", Json.Float m.fm_p95);
+              ("latency_p99", Json.Float m.fm_p99);
+              ("node_events", Json.Int m.fm_events);
+              ("recoveries", Json.Int m.fm_recoveries);
+              ("monitor_clean", Json.Bool (not m.fm_violating));
+            ])
+        (federation_measures ())
+    in
+    Json.Obj [ ("runs", Json.List runs) ]
+  in
   Json.Obj
     [
-      ("schema", Json.String "rushby-bench/6");
+      ("schema", Json.String "rushby-bench/7");
       ("generated_at_unix", Json.Float (Unix.time ()));
       ("ocaml_version", Json.String Sys.ocaml_version);
       ("experiments", Json.List check_experiments);
@@ -1229,6 +1347,7 @@ let snapshot_json () =
       ("speedup", speedup);
       ("monitor", monitor);
       ("latency", latency);
+      ("federation", federation);
       ("spans", Sep_obs.Span.to_json ());
     ]
 
@@ -1237,7 +1356,7 @@ let validate_snapshot json =
   let require_obj name v = match v with Some (Json.Obj _ as o) -> Ok o | _ -> fail ("missing object " ^ name) in
   let require_list name v = match v with Some (Json.List l) -> Ok l | _ -> fail ("missing list " ^ name) in
   match Json.member "schema" json with
-  | Some (Json.String "rushby-bench/6") -> (
+  | Some (Json.String "rushby-bench/7") -> (
     match require_list "experiments" (Json.member "experiments" json) with
     | Error e -> fail e
     | Ok experiments -> (
@@ -1278,6 +1397,12 @@ let validate_snapshot json =
           with
           | Error e -> fail e
           | Ok monitor_runs -> (
+          match
+            Result.bind (require_obj "federation" (Json.member "federation" json)) (fun f ->
+                require_list "federation.runs" (Json.member "runs" f))
+          with
+          | Error e -> fail e
+          | Ok federation_runs -> (
           match require_obj "latency" (Json.member "latency" json) with
           | Error e -> fail e
           | Ok latency when
@@ -1325,23 +1450,32 @@ let validate_snapshot json =
                   (fun key -> Json.member key k <> None)
                   [ "bug"; "scenario"; "strategy"; "detected"; "condition"; "execs"; "seconds" ]
               in
+              let federation_ok f =
+                List.for_all
+                  (fun k -> Json.member k f <> None)
+                  [ "label"; "workload"; "steps"; "seconds"; "delivered"; "words_per_sec";
+                    "latency_p50"; "latency_p95"; "latency_p99"; "node_events"; "recoveries";
+                    "monitor_clean" ]
+              in
               if not (List.for_all exp_ok experiments) then fail "malformed experiment entry"
               else if not (List.for_all run_ok runs) then fail "malformed kernel_run entry"
               else if not (List.for_all monitor_ok monitor_runs) then
                 fail "malformed monitor entry"
+              else if not (List.for_all federation_ok federation_runs) then
+                fail "malformed federation entry"
               else if not (List.for_all fuzz_scenario_ok fuzz_scenarios) then
                 fail "malformed fuzz scenario entry"
               else if not (List.for_all fuzz_kill_ok fuzz_kills) then fail "malformed fuzz kill entry"
               else if
-                experiments = [] || runs = [] || monitor_runs = [] || fuzz_scenarios = []
-                || fuzz_kills = []
+                experiments = [] || runs = [] || monitor_runs = [] || federation_runs = []
+                || fuzz_scenarios = [] || fuzz_kills = []
               then fail "empty snapshot"
-              else Ok (List.length experiments, List.length runs))))))))))
+              else Ok (List.length experiments, List.length runs)))))))))))
   | _ -> fail "missing or unexpected schema tag"
 
 let snapshot_main args =
   let check_only = ref false in
-  let out = ref "BENCH_PR6.json" in
+  let out = ref "BENCH_PR7.json" in
   let rec parse = function
     | [] -> Ok ()
     | "--check" :: rest ->
@@ -1431,6 +1565,22 @@ let rates json =
         runs
     | _ -> ())
   | None -> ());
+  (match Json.member "federation" json with
+  | Some f ->
+    (match Json.member "runs" f with
+    | Some (Json.List runs) ->
+      List.iter
+        (fun r ->
+          match
+            (str (Json.member "label" r), str (Json.member "workload" r),
+             Json.member "words_per_sec" r)
+          with
+          | Some label, Some workload, Some v ->
+            add (Fmt.str "federation.%s:%s.words_per_sec" label workload) v
+          | _ -> ())
+        runs
+    | _ -> ())
+  | None -> ());
   List.rev !out
 
 let load_snapshot file =
@@ -1509,6 +1659,7 @@ let experiments =
     ("e16", e16);
     ("e17", e17);
     ("e18", e18);
+    ("e19", e19);
     ("timings", timings);
   ]
 

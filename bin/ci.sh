@@ -5,7 +5,10 @@
 # separation-violating outcome), a recovery smoke campaign (exit 1 on any
 # violating or non-recovered outcome, or on a reliable-channel
 # differential mismatch), a coverage-guided fuzz smoke run (exit 1 on any
-# condition/isolation failure or surviving mutant), a parallel-determinism
+# condition/isolation failure or surviving mutant), a federation smoke
+# run with node-fault chaos (exit 1 on an ideal-differential mismatch,
+# a violating chaos outcome or an unclean shard monitor), a
+# parallel-determinism
 # check (the -j 2 JSON reports must be byte-identical to -j 1), a
 # fresh self-validating bench snapshot gated against the committed one
 # (exit 1 on a >20% throughput regression), a replay of every checked-in
@@ -24,6 +27,7 @@ dune exec bin/rushby.exe -- recover --smoke
 # schedule-on-foreign-state x coverage pair needs a few hundred workloads
 # (the full-budget run covers it).
 dune exec bin/rushby.exe -- fuzz --smoke --seed 5
+dune exec bin/rushby.exe -- federate --smoke --chaos
 
 # Determinism across job counts: sharded parallel runs must reproduce the
 # sequential reports byte for byte.
@@ -47,6 +51,9 @@ diff "$tmpdir/inject-j1.jsonl" "$tmpdir/inject-j2.jsonl"
 dune exec bin/rushby.exe -- fuzz --smoke --seed 5 -j 1 --json "$tmpdir/fuzz-j1.jsonl"
 dune exec bin/rushby.exe -- fuzz --smoke --seed 5 -j 2 --json "$tmpdir/fuzz-j2.jsonl"
 diff "$tmpdir/fuzz-j1.jsonl" "$tmpdir/fuzz-j2.jsonl"
+dune exec bin/rushby.exe -- federate --smoke --chaos -j 1 --json "$tmpdir/fed-j1.jsonl"
+dune exec bin/rushby.exe -- federate --smoke --chaos -j 2 --json "$tmpdir/fed-j2.jsonl"
+diff "$tmpdir/fed-j1.jsonl" "$tmpdir/fed-j2.jsonl"
 
 # The corpus directory ships non-empty, but guard the glob anyway: an
 # unexpanded pattern would otherwise reach --replay-corpus verbatim.

@@ -574,11 +574,15 @@ let link_stats_json (s : Sep_distributed.Net.link_stats) =
       ("retransmits", Sep_util.Json.Int s.ls_retransmits);
       ("acks", Sep_util.Json.Int s.ls_acks);
       ("backoff_ceiling", Sep_util.Json.Int s.ls_backoff_ceiling);
+      ("partition_drops", Sep_util.Json.Int s.ls_partition_drops);
     ]
 
 let pp_link_stats ppf (s : Sep_distributed.Net.link_stats) =
-  Fmt.pf ppf "in-flight %d  drops %d  lossy-drops %d  retransmits %d  acks %d  backoff-ceiling %d"
+  Fmt.pf ppf
+    "in-flight %d  drops %d  lossy-drops %d  retransmits %d  acks %d  backoff-ceiling %d  \
+     partition-drops %d"
     s.ls_in_flight s.ls_drops s.ls_lossy_drops s.ls_retransmits s.ls_acks s.ls_backoff_ceiling
+    s.ls_partition_drops
 
 let stats_run scenario bugs seed jobs steps impl json_file =
   Sep_obs.Span.set_enabled true;
@@ -600,8 +604,8 @@ let stats_run scenario bugs seed jobs steps impl json_file =
      reliable-net pipeline under the default lossy link model *)
   let net_steps = min steps 200 in
   let rc = Sep_check.Diff.kernel_vs_reliable_net_case ~seed ~steps:net_steps () in
-  Fmt.pr "@.== reliable net (lossy link, %d steps) ==@.  %a@." net_steps pp_link_stats
-    rc.Sep_check.Diff.rc_stats;
+  Fmt.pr "@.== reliable net (lossy link, %d steps) ==@.  %a  retransmit-queue %d@." net_steps
+    pp_link_stats rc.Sep_check.Diff.rc_stats rc.Sep_check.Diff.rc_retransmit_queue;
   Fmt.pr "@.== span profile (seconds) ==@.%a@." Sep_obs.Telemetry.pp Sep_obs.Span.registry;
   Fmt.pr "@.== parallel executor (%d jobs) ==@.%a@." jobs Sep_obs.Telemetry.pp
     Sep_par.Par.registry;
@@ -624,6 +628,7 @@ let stats_run scenario bugs seed jobs steps impl json_file =
                ("kind", Sep_util.Json.String "net_link");
                ("steps", Sep_util.Json.Int net_steps);
                ("delivered", Sep_util.Json.Int rc.Sep_check.Diff.rc_delivered);
+               ("retransmit_queue", Sep_util.Json.Int rc.Sep_check.Diff.rc_retransmit_queue);
                ("stats", link_stats_json rc.Sep_check.Diff.rc_stats);
              ]);
         Sep_obs.Sink.emit sink
@@ -848,6 +853,119 @@ let recover_cmd =
           separation-violating; then pin the kernel against the reliable-channel distributed ideal \
           over a lossy link.")
     Term.(const recover_run $ seed_arg $ jobs_arg $ steps $ count $ smoke $ drop $ json_file)
+
+(* -- federate ----------------------------------------------------------------- *)
+
+let federate_run seed jobs steps count smoke chaos json_file =
+  let module F = Sep_fed.Fed in
+  let module FC = Sep_fed.Fed_campaign in
+  let steps, count = if smoke then (300, 8) else (steps, count) in
+  let specs = Sep_fed.Fed_scenarios.all in
+  Fmt.pr "== kernel federation: seed %d, %d steps ==@." seed steps;
+  let clean =
+    List.map
+      (fun (spec : F.spec) ->
+        let t = F.build spec in
+        F.run t ~steps;
+        let ob = F.finish t in
+        let mism = Sep_check.Diff.federation_vs_ideal ~steps spec in
+        Fmt.pr
+          "  %-10s %d shards  %d links  %d words shard-to-shard  %d node events  ideal-diff %s@."
+          spec.F.fs_label (F.shards t) (F.links t) ob.F.fob_delivered
+          (List.length ob.F.fob_events)
+          (if mism = [] then "clean" else "MISMATCH");
+        List.iter (fun (_, _, m) -> Fmt.pr "    MISMATCH %s@." m) mism;
+        (spec, ob, mism))
+      specs
+  in
+  let ideal_ok = List.for_all (fun (_, _, m) -> m = []) clean in
+  let reports =
+    if not chaos then []
+    else begin
+      Fmt.pr "@.== federated chaos campaign: %d seeded plans/scenario (plus directed) ==@." count;
+      List.map
+        (fun (spec : F.spec) ->
+          let r = FC.run ~jobs ~seed ~steps ~count spec in
+          let m, d, rc, v = FC.totals r in
+          Fmt.pr
+            "  %-10s %3d cases  %3d masked  %3d detected-safe  %3d recovered-safe  %3d violating  \
+             monitor %s@."
+            r.FC.fr_label (List.length r.FC.fr_cases) m d rc v
+            (if FC.monitor_clean r then "clean" else "VIOLATION");
+          List.iter
+            (fun (c : FC.case) ->
+              if c.FC.fc_outcome = Sep_robust.Campaign.Violating then
+                Fmt.pr "    VIOLATION %a@." Sep_robust.Fault_plan.pp c.FC.fc_plan)
+            r.FC.fr_cases;
+          r)
+        specs
+    end
+  in
+  let chaos_ok = List.for_all (fun r -> FC.holds r && FC.monitor_clean r) reports in
+  let ok = ideal_ok && chaos_ok in
+  Fmt.pr "@.federation %s@."
+    (if ok then "HOLDS"
+     else if not ideal_ok then "VIOLATED (federation diverged from the monolithic ideal)"
+     else "VIOLATED");
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    graceful_write @@ fun () ->
+    let oc = open_out file in
+    let line j =
+      let buf = Buffer.create 256 in
+      Sep_util.Json.to_buffer buf j;
+      Buffer.add_char buf '\n';
+      output_string oc (Buffer.contents buf)
+    in
+    List.iter
+      (fun ((spec : F.spec), (ob : F.observation), mism) ->
+        line
+          (Sep_util.Json.Obj
+             [
+               ("kind", Sep_util.Json.String "fed-run");
+               ("scenario", Sep_util.Json.String spec.F.fs_label);
+               ("steps", Sep_util.Json.Int steps);
+               ("delivered", Sep_util.Json.Int ob.F.fob_delivered);
+               ("frame_rejects", Sep_util.Json.Int ob.F.fob_frame_rejects);
+               ( "events",
+                 Sep_util.Json.List
+                   (List.map (fun (_, e) -> F.node_event_to_json e) ob.F.fob_events) );
+               ("stats", link_stats_json ob.F.fob_stats);
+               ( "ideal_mismatches",
+                 Sep_util.Json.List (List.map (fun (_, _, m) -> Sep_util.Json.String m) mism) );
+             ]))
+      clean;
+    List.iter (fun r -> output_string oc (FC.report_to_jsonl r)) reports;
+    close_out oc;
+    Fmt.pr "wrote %s@." file);
+  if ok then 0 else 1
+
+let federate_cmd =
+  let steps = Arg.(value & opt int 600 & info [ "steps" ] ~doc:"Steps per run.") in
+  let count = Arg.(value & opt int 10 & info [ "count" ] ~doc:"Seeded fault plans per scenario.") in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ] ~doc:"Small deterministic run (300 steps, 8 plans/scenario) for CI.")
+  in
+  let chaos =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Also run the federated chaos campaign: node crashes, link partitions, frame \
+                   tampering and machine faults, classified by differential trace comparison with \
+                   the online monitor attached.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write runs and campaign report as JSONL to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "federate"
+       ~doc:
+         "Run the multi-shard kernel federations (inter-shard channels over reliable links, \
+          heartbeat supervision, checkpointed failover) clean against the monolithic ideal, and \
+          with --chaos under the node-level fault campaign.")
+    Term.(const federate_run $ seed_arg $ jobs_arg $ steps $ count $ smoke $ chaos $ json_file)
 
 (* -- fuzz -------------------------------------------------------------------- *)
 
@@ -1088,6 +1206,7 @@ let main_cmd =
       metrics_cmd;
       inject_cmd;
       recover_cmd;
+      federate_cmd;
       fuzz_cmd;
     ]
 

@@ -8,6 +8,7 @@ module Config = Sep_core.Config
 module Sue = Sep_core.Sue
 module Regime_kernel = Sep_core.Regime_kernel
 module Net = Sep_distributed.Net
+module Fed = Sep_fed.Fed
 
 let inert_program = [ Isa.Label "loop"; Isa.Instr (Isa.Trap 0); Isa.Branch "loop" ]
 
@@ -183,6 +184,7 @@ type reliable_case = {
   rc_mismatches : string list;
   rc_stats : Net.link_stats;
   rc_delivered : int;  (* words received across the lossy run *)
+  rc_retransmit_queue : int;  (* net.retransmit_queue gauge at run end *)
 }
 
 (* A relay pipeline A -> B -> C, driven at one word every three steps: slow
@@ -242,10 +244,71 @@ let kernel_vs_reliable_net_case ?(link = Net.default_link_model) ~seed ~steps ()
           got)
       (Topology.colours topo)
   in
-  { rc_mismatches = mismatches; rc_stats = Net.link_stats net; rc_delivered = !delivered }
+  let rc_retransmit_queue =
+    match Sep_obs.Telemetry.find_gauge (Net.telemetry net) "net.retransmit_queue" with
+    | Some g -> int_of_float (Sep_obs.Telemetry.gauge_value g)
+    | None -> 0
+  in
+  { rc_mismatches = mismatches; rc_stats = Net.link_stats net; rc_delivered = !delivered;
+    rc_retransmit_queue }
 
 let kernel_vs_reliable_net ?link ~seed ~cases ~steps () =
   let rng = Prng.create seed in
   List.init cases (fun _ ->
       let case_seed = Int64.to_int (Prng.bits64 rng) land 0x3fffffff in
       kernel_vs_reliable_net_case ?link ~seed:case_seed ~steps ())
+
+(* -- The federation vs the monolithic ideal ----------------------------------- *)
+
+(* The federation's ideal is the same uncut global configuration on ONE
+   kernel, driven by the same input drip under the same flow-control
+   handshake the federation applies at its boundary. Crossing a physical
+   wire (and surviving a failover or a partition) may cost latency, never
+   words: every global device's federated output stream must be
+   prefix-compatible with the ideal's. *)
+let ideal_outputs (spec : Fed.spec) ~steps =
+  let t = Sue.build spec.Fed.fs_cfg in
+  let m = Sue.machine t in
+  let alphabet = Array.of_list spec.Fed.fs_alphabet in
+  let drip n =
+    if Array.length alphabet > 1 && n mod 10 = 0 then
+      alphabet.((n / 10) mod (Array.length alphabet - 1) + 1)
+    else []
+  in
+  let ndev = Machine.num_devices m in
+  let queues = Array.init ndev (fun _ -> Queue.create ()) in
+  let flat = ref [] in
+  for n = 0 to steps - 1 do
+    List.iter (fun (d, w) -> if d >= 0 && d < ndev then Queue.add w queues.(d)) (drip n);
+    let input =
+      List.concat
+        (List.init ndev (fun d ->
+             if (not (Queue.is_empty queues.(d))) && snd (Machine.device_regs m d) = 0 then
+               [ (d, Queue.pop queues.(d)) ]
+             else []))
+    in
+    List.iter (fun o -> flat := o :: !flat) (Sue.step t input)
+  done;
+  let per_dev = Array.make ndev [] in
+  List.iter (fun (d, w) -> per_dev.(d) <- w :: per_dev.(d)) !flat;
+  List.init ndev (fun d -> (d, per_dev.(d)))
+
+let federation_vs_ideal ?plan ?(steps = 600) (spec : Fed.spec) =
+  let t = Fed.build ?plan spec in
+  Fed.run t ~steps;
+  let fed = Fed.finish t in
+  let ideal = ideal_outputs spec ~steps in
+  List.filter_map
+    (fun (d, fed_words) ->
+      let ideal_words = try List.assoc d ideal with Not_found -> [] in
+      if prefix_compatible fed_words ideal_words then None
+      else
+        Some
+          ( Fed.device_owner_colour t d,
+            d,
+            Fmt.str "device %d: federation says %a, ideal says %a" d
+              Fmt.(Dump.list int)
+              fed_words
+              Fmt.(Dump.list int)
+              ideal_words ))
+    fed.Fed.fob_outputs

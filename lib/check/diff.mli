@@ -76,6 +76,9 @@ type reliable_case = {
   rc_mismatches : string list;  (** empty when the oracle held *)
   rc_stats : Sep_distributed.Net.link_stats;
   rc_delivered : int;  (** words received across the lossy run *)
+  rc_retransmit_queue : int;
+      (** the net's ["net.retransmit_queue"] gauge at run end: frames
+          still sitting in sender windows awaiting acks *)
 }
 
 val kernel_vs_reliable_net_case :
@@ -92,3 +95,20 @@ val kernel_vs_reliable_net :
   ?link:Sep_distributed.Net.link_model ->
   seed:int -> cases:int -> steps:int -> unit -> reliable_case list
 (** [cases] independent cases, link seeds drawn from [seed]. *)
+
+(** {1 The federation vs the monolithic ideal}
+
+    The third differential: the multi-shard federation
+    ({!Sep_fed.Fed}) against the same uncut global configuration on one
+    kernel, driven by the same input drip under the same flow-control
+    handshake. Crossing a physical wire may cost latency, never words. *)
+
+val federation_vs_ideal :
+  ?plan:Sep_robust.Fault_plan.t -> ?steps:int -> Sep_fed.Fed.spec ->
+  (Colour.t * int * string) list
+(** Empty when the federation is indistinguishable from the ideal: every
+    global device's federated output stream is prefix-compatible with the
+    monolithic run's ([steps] defaults to 600). With [plan], the same
+    oracle under faults — meaningful for crash and partition plans, whose
+    delay-only semantics owe prefix compatibility even mid-outage; a
+    tamper plan legitimately destroys words and will be reported. *)

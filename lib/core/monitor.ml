@@ -92,7 +92,10 @@ let check_ops t ~step fresh s =
       if not (Colour.equal c' c) then begin
         tick t 2;
         let before = sys.System.abstract c' s and after = sys.System.abstract c' s' in
-        if not (sys.System.equal_abstate before after) then
+        if
+          (not (sys.System.equal_abstate before after))
+          && not (sys.System.sanctioned_interference c c' before after)
+        then
           record t ~step fresh 2 c'
             (Fmt.str "op %s (on behalf of %a) changes %a's view from@ %a@ to@ %a"
                op.System.op_name Colour.pp c Colour.pp c' sys.System.pp_abstate before
@@ -213,8 +216,8 @@ type swatch = {
   w_first : unit -> (int * Separability.failure) option;
 }
 
-let watch ?(period = 500) ?max_failures ~inputs kernel =
-  let sys = Sue.to_system ~inputs (Sue.config kernel) in
+let watch ?(period = 500) ?max_failures ?sanction_channels ~inputs kernel =
+  let sys = Sue.to_system ?sanction_channels ~inputs (Sue.config kernel) in
   let mon = create ?max_failures sys in
   let w =
     {

@@ -75,13 +75,17 @@ type swatch
 (** A streaming watch over one {!Sue} kernel. *)
 
 val watch :
-  ?period:int -> ?max_failures:int -> inputs:Sue.input list -> Sue.t -> swatch
+  ?period:int -> ?max_failures:int -> ?sanction_channels:bool ->
+  inputs:Sue.input list -> Sue.t -> swatch
 (** Attach to a kernel (checking its initial state immediately). Call
     {!observe} after every {!Sue.step}. A deep check — snapshotting the
     kernel and feeding it to the incremental checker — runs whenever
     {!Sue.audit_count} moved since the last observation, and otherwise
     every [period] steps (default 500). [inputs] is the scenario's
-    input alphabet, needed for conditions 3 and 4. *)
+    input alphabet, needed for conditions 3 and 4. [sanction_channels]
+    is passed to {!Sue.to_system}: set it when the watched kernel runs
+    with channels connected (a federation shard), where condition 2's
+    strict reading would flag every legitimate send and receive. *)
 
 val observe : swatch -> unit
 (** The per-step probe: O(1) and allocation-free on the cheap path. *)

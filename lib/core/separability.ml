@@ -112,7 +112,10 @@ let check_ops sys acc states =
       if not (Colour.equal c' c) then begin
         tick acc 2;
         let before = sys.System.abstract c' s and after = sys.System.abstract c' s' in
-        if not (sys.System.equal_abstate before after) then
+        if
+          (not (sys.System.equal_abstate before after))
+          && not (sys.System.sanctioned_interference c c' before after)
+        then
           record acc 2 c'
             (Fmt.str "op %s (on behalf of %a) changes %a's view from@ %a@ to@ %a"
                op.System.op_name Colour.pp c Colour.pp c' sys.System.pp_abstate before

@@ -1026,11 +1026,15 @@ let ring_push t area cap w =
     true
   end
 
+(* [head mod cap] matches ring_push/ring_contents: in uncorrupted state
+   head < cap so the mod is the identity, but a flipped head word must
+   yield an in-bounds (garbage) read, not an out-of-range trap that
+   takes the whole machine model down. *)
 let ring_pop t area cap =
   let head = read_kw t area and count = read_kw t (area + 1) in
   if count = 0 then None
   else begin
-    let w = read_kw t (area + 2 + head) in
+    let w = read_kw t (area + 2 + (head mod cap)) in
     write_kw t area ((head + 1) mod cap);
     write_kw t (area + 1) (count - 1);
     Some w
@@ -1088,6 +1092,16 @@ let kernel_panic t reason =
   (* flush the flight recorder: the ring now ends with the audit instant
      for this panic, preceded by the events that led up to it *)
   ignore (Sep_obs.Trace.dump ~reason:("kernel-panic: " ^ reason))
+
+(* Model a whole-node power failure: every regime's live context is lost
+   and the machine halts in the all-parked state, exactly the halt a panic
+   leaves behind. The audit log survives (it is battery-backed in the
+   analogue) and records the outage; {!warm_reboot} then restores every
+   regime from its last checksummed checkpoint — the federation
+   supervisor's failover path. *)
+let crash t =
+  require_microcode t "crash";
+  kernel_panic t "node power failure"
 
 let fault_reason = function
   | Machine.Illegal_instruction w -> Fmt.str "illegal instruction %04x" (w : int)
@@ -1537,7 +1551,7 @@ let scramble_others rng t c =
 
 (* -- Appendix-model packaging ---------------------------------------------- *)
 
-let to_system ?(bugs = []) ?(impl = Microcode) ~inputs cfg =
+let to_system ?(bugs = []) ?(impl = Microcode) ?(sanction_channels = false) ~inputs cfg =
   let t0 = build ~bugs ~impl cfg in
   let owner_name t d = Colour.name (device_owner t d) in
   let extract c pairs = List.filter (fun (d, _) -> owner_name t0 d = Colour.name c) pairs in
@@ -1556,6 +1570,52 @@ let to_system ?(bugs = []) ?(impl = Microcode) ~inputs cfg =
   let pp_pairs ppf pairs =
     Fmt.pf ppf "%a" Fmt.(Dump.list (Dump.pair int int)) pairs
   in
+  (* Condition 2's connected-system weakening, opt-in. Proof of
+     Separability proper demands strict invisibility, and the uncut
+     system rightly fails it (E5): a send lands in the very ring the
+     receiver's abstraction reads, and a receive drains the ring the
+     sender's abstraction reads (flow-control backflow). When the
+     caller knowingly checks a *connected* system — a federation shard
+     with live intra-shard channels — those two flows are exactly what
+     the channel declaration sanctions. Sanction the interference iff
+     the whole change is confined to the contents of declared uncut
+     channels between [active] and [viewer], at the ends [viewer]
+     sees: mask those contents on both sides and demand full equality
+     of everything that remains. *)
+  let sanctioned_chans active viewer =
+    List.fold_left
+      (fun (send_ids, recv_ids) (ch : Config.channel) ->
+        if ch.Config.cut then (send_ids, recv_ids)
+        else if Colour.equal ch.Config.sender viewer
+                && Colour.equal ch.Config.receiver active
+        then (ch.Config.chan_id :: send_ids, recv_ids)
+        else if Colour.equal ch.Config.sender active
+                && Colour.equal ch.Config.receiver viewer
+        then (send_ids, ch.Config.chan_id :: recv_ids)
+        else (send_ids, recv_ids))
+      ([], []) cfg.Config.channels
+  in
+  let mask_ends ids ends =
+    Array.map
+      (fun ce ->
+        if List.mem ce.Abstract_regime.ce_chan ids then
+          { ce with Abstract_regime.ce_contents = [] }
+        else ce)
+      ends
+  in
+  let mask (send_ids, recv_ids) (a : Abstract_regime.t) =
+    { a with
+      Abstract_regime.sends = mask_ends send_ids a.Abstract_regime.sends;
+      recvs = mask_ends recv_ids a.Abstract_regime.recvs
+    }
+  in
+  let sanctioned_interference active viewer before after =
+    sanction_channels
+    &&
+    match sanctioned_chans active viewer with
+    | [], [] -> false
+    | ids -> Abstract_regime.equal (mask ids before) (mask ids after)
+  in
   {
     System.name = "sue";
     colours = Config.colours cfg;
@@ -1570,6 +1630,7 @@ let to_system ?(bugs = []) ?(impl = Microcode) ~inputs cfg =
     extract_output = extract;
     abstract = (fun c s -> phi s c);
     abop;
+    sanctioned_interference;
     equal_state = equal;
     hash_state = hash;
     equal_abstate = Abstract_regime.equal;

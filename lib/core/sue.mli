@@ -195,6 +195,16 @@ val warm_reboot : t -> Colour.t list
     itself and one {!Regime_restart} per revived regime. Returns the
     colours restored. *)
 
+val crash : t -> unit
+(** Model a whole-node power failure: park every regime (their live
+    contexts are lost) and leave the machine in the all-parked halt,
+    audited as a {!Kernel_panic} ["node power failure"]. Channel contents
+    and device registers survive — they are wires and peripherals,
+    external to the node — and so does the audit log. {!warm_reboot} is
+    the matching power-cycle: it revives every regime from its last
+    checksummed checkpoint. This is the federation supervisor's model of
+    losing a shard. *)
+
 val corrupt_checkpoint : t -> Colour.t -> unit
 (** Test hook: damage the checkpoint {!restart} would use, to exercise the
     [Bad_checkpoint] path. *)
@@ -341,9 +351,20 @@ val scramble_others : Sep_util.Prng.t -> t -> Colour.t -> t
     and 6 on instances too large to enumerate. *)
 
 val to_system :
-  ?bugs:bug list -> ?impl:impl -> inputs:input list -> Isa.stmt list Config.t ->
+  ?bugs:bug list -> ?impl:impl -> ?sanction_channels:bool ->
+  inputs:input list -> Isa.stmt list Config.t ->
   (t, input, output, Abstract_regime.t, (int * int) list) Sep_model.System.t
 (** Package a configuration as an Appendix-model system over the given
     finite input alphabet, for {!Separability}. States are immutable
     snapshots (every transition copies). The per-colour projection of
-    inputs and outputs keeps the pairs on devices owned by that colour. *)
+    inputs and outputs keeps the pairs on devices owned by that colour.
+
+    [sanction_channels] (default [false]) opts into condition 2's
+    connected-system weakening: interference confined to the contents
+    of a declared {e uncut} channel between the active and viewing
+    colours is sanctioned rather than flagged. Leave it off to check
+    Proof of Separability proper — under which an uncut system rightly
+    fails (the paper's wire-cutting argument) — and turn it on only
+    when knowingly checking a system that runs with its channels
+    connected, such as a federation shard. On a fully cut
+    configuration it never fires, so the two readings coincide. *)

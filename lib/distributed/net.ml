@@ -48,6 +48,7 @@ type link_stats = {
   ls_retransmits : int;
   ls_acks : int;
   ls_backoff_ceiling : int;
+  ls_partition_drops : int;
 }
 
 type node = {
@@ -65,8 +66,10 @@ type t = {
   rel : rel_wire option array;  (* indexed by wire id; [Some] iff reliable *)
   link : link_model option;
   rng : Prng.t option;
+  up : bool array;  (* indexed by wire id; [false] while the line is partitioned *)
   mutable dropped : int;
   mutable lossy_dropped : int;
+  mutable partition_dropped : int;
   mutable retransmits : int;
   mutable acks_sent : int;
   mutable backoff_ceiling : int;
@@ -123,8 +126,10 @@ let build ?link topo =
     rel = Array.of_list (List.map rel_of topo.Topology.wires);
     link;
     rng = Option.map (fun lm -> Prng.create lm.lm_seed) link;
+    up = Array.make (List.length topo.Topology.wires) true;
     dropped = 0;
     lossy_dropped = 0;
+    partition_dropped = 0;
     retransmits = 0;
     acks_sent = 0;
     backoff_ceiling = 0;
@@ -146,8 +151,13 @@ let roll t p =
 
 (* Put a frame on the line through the link model: it may be destroyed,
    duplicated, or spliced in just before the last frame in transit (so a
-   later frame arrives first — an out-of-order line). *)
-let place_data t rw fr =
+   later frame arrives first — an out-of-order line). A partitioned line
+   ([up.(id)] false) carries nothing: the placement vanishes without even
+   consulting the link model, exactly like a transmitter keying into a
+   severed cable. *)
+let place_data t id rw fr =
+  if not t.up.(id) then t.partition_dropped <- t.partition_dropped + 1
+  else
   match t.link with
   | None -> ()
   | Some lm ->
@@ -176,8 +186,9 @@ let place_data t rw fr =
    window, go-back-N style, and doubles the timeout up to the ceiling),
    then move pending frames into free window slots. *)
 let rel_maintenance t =
-  Array.iter
-    (function
+  Array.iteri
+    (fun id rwo ->
+      match rwo with
       | None -> ()
       | Some rw ->
         (match rw.r_acks with
@@ -196,7 +207,7 @@ let rel_maintenance t =
             List.iter
               (fun f ->
                 t.retransmits <- t.retransmits + 1;
-                place_data t rw f)
+                place_data t id rw f)
               rw.r_unacked;
             if rw.r_rto >= rto_cap then t.backoff_ceiling <- t.backoff_ceiling + 1
             else rw.r_rto <- min rto_cap (rw.r_rto * 2);
@@ -210,7 +221,7 @@ let rel_maintenance t =
             rw.r_timer <- rto_base
           end;
           rw.r_unacked <- rw.r_unacked @ [ f ];
-          place_data t rw f
+          place_data t id rw f
         done)
     t.rel
 
@@ -218,16 +229,24 @@ let rel_maintenance t =
    The ack line is as lossy as the data line; a lost ack is recovered by
    the retransmission it fails to suppress, which the receiver re-acks. *)
 let rel_flush_acks t =
-  Array.iter
-    (function
+  Array.iteri
+    (fun id rwo ->
+      match rwo with
       | None -> ()
       | Some rw ->
         if rw.r_ack_due then begin
           rw.r_ack_due <- false;
           t.acks_sent <- t.acks_sent + 1;
-          let lost = match t.link with Some lm -> roll t lm.lm_drop | None -> false in
-          if lost then t.lossy_dropped <- t.lossy_dropped + 1
-          else rw.r_acks <- rw.r_acks @ [ rw.r_expect - 1 ]
+          if not t.up.(id) then
+            (* the reverse direction of a severed cable carries nothing
+               either; the retransmission the lost ack fails to suppress
+               recovers it after the heal *)
+            t.partition_dropped <- t.partition_dropped + 1
+          else begin
+            let lost = match t.link with Some lm -> roll t lm.lm_drop | None -> false in
+            if lost then t.lossy_dropped <- t.lossy_dropped + 1
+            else rw.r_acks <- rw.r_acks @ [ rw.r_expect - 1 ]
+          end
         end)
     t.rel
 
@@ -255,7 +274,9 @@ let transmit t node actions =
           in
           Queue.add { seq = rw.r_next_seq; payload = msg; born = t.now; flow } rw.r_pending;
           rw.r_next_seq <- rw.r_next_seq + 1
-        | None -> if not (Fifo.push t.lines.(w) msg) then t.dropped <- t.dropped + 1
+        | None ->
+          if not t.up.(w) then t.partition_dropped <- t.partition_dropped + 1
+          else if not (Fifo.push t.lines.(w) msg) then t.dropped <- t.dropped + 1
       end
     | Component.Output msg as act ->
       node.obs <- Component.Did act :: node.obs;
@@ -359,7 +380,44 @@ let link_stats t =
     ls_retransmits = t.retransmits;
     ls_acks = t.acks_sent;
     ls_backoff_ceiling = t.backoff_ceiling;
+    ls_partition_drops = t.partition_dropped;
   }
+
+(* -- Partitions --------------------------------------------------------------
+
+   A partition severs the physical line: everything in transit at the
+   moment of the cut is lost, and nothing placed while the line is down
+   arrives. The endpoints are not told — the reliable sender keeps
+   retransmitting into the void (its backoff caps at [rto_cap], so a
+   partition costs a bounded retransmission rate, not a storm), and the
+   go-back-N window replays the lost tail after the heal. On a raw wire a
+   partition simply loses the traffic, as a cut does. *)
+
+let set_wire_up t ~wire up =
+  if wire < 0 || wire >= Array.length t.up then invalid_arg "Net.set_wire_up: no such wire";
+  if t.up.(wire) && not up then begin
+    (* flush the line: frames and acks in the cable are lost with it *)
+    (match t.rel.(wire) with
+    | Some rw ->
+      t.partition_dropped <- t.partition_dropped + List.length rw.r_data + List.length rw.r_acks;
+      rw.r_data <- [];
+      rw.r_acks <- []
+    | None -> ());
+    let line = t.lines.(wire) in
+    let rec drain () =
+      match Fifo.pop line with
+      | Some _ ->
+        t.partition_dropped <- t.partition_dropped + 1;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  end;
+  t.up.(wire) <- up
+
+let wire_up t ~wire =
+  if wire < 0 || wire >= Array.length t.up then invalid_arg "Net.wire_up: no such wire";
+  t.up.(wire)
 
 (* Fault injection on a physical line: rewrite (Some) or destroy (None)
    every message currently in flight on one wire. Draining and refilling

@@ -35,6 +35,7 @@ type link_stats = {
   ls_retransmits : int;  (** frames resent after a timeout *)
   ls_acks : int;  (** acks emitted by receivers *)
   ls_backoff_ceiling : int;  (** timeouts that expired already at the backoff cap *)
+  ls_partition_drops : int;  (** frames and acks lost to partitioned wires *)
 }
 
 val build : ?link:link_model -> Sep_model.Topology.t -> t
@@ -90,6 +91,19 @@ val link_stats : t -> link_stats
 (** Current line statistics. Without a link model the protocol counters
     ([ls_lossy_drops], [ls_retransmits], [ls_acks], [ls_backoff_ceiling])
     stay 0. *)
+
+val set_wire_up : t -> wire:int -> bool -> unit
+(** Partition (or heal) one physical line. Taking a wire down loses
+    everything in transit on it and discards every frame and ack placed
+    while it is down (counted in [ls_partition_drops]); the endpoints are
+    not told. A reliable wire's sender keeps retransmitting with its
+    backoff capped at the ceiling — a bounded rate, not a storm — and
+    go-back-N replays the lost tail once the wire is back up, so a healed
+    partition costs latency, never words. Raises [Invalid_argument] on an
+    unknown wire id. *)
+
+val wire_up : t -> wire:int -> bool
+(** Whether the line is currently up (the default). *)
 
 val tamper :
   t -> wire:int -> (Sep_model.Component.message -> Sep_model.Component.message option) -> int

@@ -1,0 +1,201 @@
+module Colour = Sep_model.Colour
+module Isa = Sep_hw.Isa
+module Machine = Sep_hw.Machine
+module Config = Sep_core.Config
+
+(* Register conventions follow {!Sep_core.Scenarios}: r6 = device base,
+   r5 = comparison scratch, r0/r1/r2 = trap arguments and results, r4 =
+   the word in flight across a send-retry loop. Senders RETRY a full
+   SEND (yielding between attempts) instead of dropping the word: an
+   inter-shard channel's send end is only emptied when the NIC drains
+   it, so backpressure must park the sender, not lose data — and on the
+   monolithic ideal the same loop simply waits for the receiver. *)
+
+let device_base = [ Isa.Instr (Isa.Loadi (6, 1)); Isa.Instr (Isa.Shl (6, 15)) ]
+
+(* SEND r4 on channel [ch], yielding until the kernel accepts it. *)
+let send_retry ~ch ~label ~next =
+  [
+    Isa.Label label;
+    Isa.Instr (Isa.Loadi (0, ch));
+    Isa.Instr (Isa.Mov (1, 4));
+    Isa.Instr (Isa.Trap 1);
+    Isa.Instr (Isa.Loadi (5, 1));
+    Isa.Instr (Isa.Cmp (2, 5));
+    Isa.Branch_eq next;
+    Isa.Instr (Isa.Trap 0);
+    Isa.Branch label;
+  ]
+
+(* Poll own Rx (slot 0); on a word, forward it down [ch]. *)
+let rx_to_chan ~ch ~drain =
+  device_base
+  @ [
+      Isa.Label "loop";
+      Isa.Instr (Isa.Loadi (5, 0));
+      Isa.Instr (Isa.Load (1, 6, 1));
+      Isa.Instr (Isa.Cmp (1, 5));
+      Isa.Branch_eq "idle";
+      Isa.Instr (Isa.Load (4, 6, 0));
+    ]
+  @ send_retry ~ch ~label:"send" ~next:"idle"
+  @ [ Isa.Label "idle" ]
+  @ (match drain with
+    | None -> []
+    | Some dch -> [ Isa.Instr (Isa.Loadi (0, dch)); Isa.Instr (Isa.Trap 2) ])
+  @ [ Isa.Instr (Isa.Trap 0); Isa.Branch "loop" ]
+
+(* Poll channel [ch]; emit every received word on own Tx (slot 0). *)
+let chan_to_tx ~ch =
+  device_base
+  @ [
+      Isa.Label "loop";
+      Isa.Instr (Isa.Loadi (0, ch));
+      Isa.Instr (Isa.Trap 2);
+      Isa.Instr (Isa.Loadi (5, 1));
+      Isa.Instr (Isa.Cmp (2, 5));
+      Isa.Branch_ne "yield";
+      Isa.Instr (Isa.Store (1, 6, 0));
+      Isa.Label "yield";
+      Isa.Instr (Isa.Trap 0);
+      Isa.Branch "loop";
+    ]
+
+(* -- fed-pair: the pipeline split across two nodes -------------------------- *)
+
+(* RED (node 0) reads its Rx, echoes each word to its own Tx and forwards
+   it down channel 0; BLACK (node 1) emits every channel word on the
+   network Tx. One inter-shard link, every output stream single-source. *)
+let pair_red =
+  device_base
+  @ [
+      Isa.Label "loop";
+      Isa.Instr (Isa.Loadi (5, 0));
+      Isa.Instr (Isa.Load (1, 6, 1));
+      Isa.Instr (Isa.Cmp (1, 5));
+      Isa.Branch_eq "idle";
+      Isa.Instr (Isa.Load (4, 6, 0));
+      Isa.Instr (Isa.Store (4, 6, 2));
+    ]
+  @ send_retry ~ch:0 ~label:"send" ~next:"idle"
+  @ [ Isa.Label "idle"; Isa.Instr (Isa.Trap 0); Isa.Branch "loop" ]
+
+let pair =
+  let cfg =
+    Config.make
+      ~regimes:
+        [
+          {
+            Config.colour = Colour.red;
+            part_size = 28;
+            program = pair_red;
+            devices = [ Machine.Rx; Machine.Tx ];
+          };
+          {
+            Config.colour = Colour.black;
+            part_size = 24;
+            program = chan_to_tx ~ch:0;
+            devices = [ Machine.Tx ];
+          };
+        ]
+      ~channels:[ (Colour.red, Colour.black, 2) ]
+      ()
+  in
+  {
+    Fed.fs_label = "fed-pair";
+    fs_cfg = cfg;
+    fs_placement = [ (Colour.red, 0); (Colour.black, 1) ];
+    fs_alphabet = [ []; [ (0, 1) ]; [ (0, 2) ]; [ (0, 3) ] ];
+  }
+
+(* -- fed-ring: six regimes over three nodes --------------------------------- *)
+
+(* Node 0: RED reads its Rx and forwards down the LOCAL channel 0 to
+   ORANGE (the in-kernel path the federation must leave untouched), and
+   drains channel 3 arriving from GREY across the ring. ORANGE emits
+   each word on its Tx and relays word+1 down channel 1 to GREEN.
+   Node 1: GREEN emits channel-1 words on its Tx; BLUE reads its own Rx
+   and forwards down channel 2. Node 2: VIOLET emits channel-2 words on
+   its Tx; GREY reads its own Rx and forwards down channel 3 back to
+   RED. Three inter-shard links close a ring through every node; every
+   receiver has a single source, so per-colour traces are comparable
+   word for word. *)
+let orange = Colour.make "ORANGE"
+let blue = Colour.make "BLUE"
+let violet = Colour.make "VIOLET"
+let grey = Colour.make "GREY"
+
+let ring_orange =
+  device_base
+  @ [
+      Isa.Label "loop";
+      Isa.Instr (Isa.Loadi (0, 0));
+      Isa.Instr (Isa.Trap 2);
+      Isa.Instr (Isa.Loadi (5, 1));
+      Isa.Instr (Isa.Cmp (2, 5));
+      Isa.Branch_ne "yield";
+      Isa.Instr (Isa.Store (1, 6, 0));
+      Isa.Instr (Isa.Mov (4, 1));
+      Isa.Instr (Isa.Loadi (5, 1));
+      Isa.Instr (Isa.Add (4, 5));
+    ]
+  @ send_retry ~ch:1 ~label:"relay" ~next:"yield"
+  @ [ Isa.Label "yield"; Isa.Instr (Isa.Trap 0); Isa.Branch "loop" ]
+
+let ring =
+  let cfg =
+    Config.make
+      ~regimes:
+        [
+          {
+            Config.colour = Colour.red;
+            part_size = 30;
+            program = rx_to_chan ~ch:0 ~drain:(Some 3);
+            devices = [ Machine.Rx ];
+          };
+          {
+            Config.colour = orange;
+            part_size = 30;
+            program = ring_orange;
+            devices = [ Machine.Tx ];
+          };
+          { Config.colour = Colour.green; part_size = 24; program = chan_to_tx ~ch:1;
+            devices = [ Machine.Tx ] };
+          {
+            Config.colour = blue;
+            part_size = 28;
+            program = rx_to_chan ~ch:2 ~drain:None;
+            devices = [ Machine.Rx ];
+          };
+          { Config.colour = violet; part_size = 24; program = chan_to_tx ~ch:2;
+            devices = [ Machine.Tx ] };
+          {
+            Config.colour = grey;
+            part_size = 28;
+            program = rx_to_chan ~ch:3 ~drain:None;
+            devices = [ Machine.Rx ];
+          };
+        ]
+      ~channels:
+        [
+          (Colour.red, orange, 2); (* local to node 0 *)
+          (orange, Colour.green, 2); (* node 0 -> node 1 *)
+          (blue, violet, 2); (* node 1 -> node 2 *)
+          (grey, Colour.red, 2); (* node 2 -> node 0 *)
+        ]
+      ()
+  in
+  {
+    Fed.fs_label = "fed-ring";
+    fs_cfg = cfg;
+    fs_placement =
+      [
+        (Colour.red, 0); (orange, 0); (Colour.green, 1); (blue, 1); (violet, 2); (grey, 2);
+      ];
+    (* Global devices: 0 RED Rx, 1 ORANGE Tx, 2 GREEN Tx, 3 BLUE Rx,
+       4 VIOLET Tx, 5 GREY Rx. *)
+    fs_alphabet = [ []; [ (0, 1) ]; [ (0, 2) ]; [ (3, 5) ]; [ (3, 6) ]; [ (5, 9) ] ];
+  }
+
+let all = [ pair; ring ]
+let find label = List.find_opt (fun s -> s.Fed.fs_label = label) all

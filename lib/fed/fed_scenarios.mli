@@ -1,0 +1,21 @@
+(** Federation scenarios: global configurations with shard placements.
+
+    Both keep every output stream single-source and every receiver
+    single-input, so per-colour observable traces are comparable word for
+    word against the monolithic ideal and across fault injections. *)
+
+val pair : Fed.spec
+(** Two shards, one inter-shard link: RED (node 0, Rx + Tx) echoes its
+    input words and forwards them over the federation to BLACK (node 1,
+    Tx), the split form of the pipeline scenario. *)
+
+val ring : Fed.spec
+(** Three shards, six regimes, a local channel on node 0 and three
+    inter-shard links closing a ring through every node — the smallest
+    federation where a single node outage leaves two shards that must
+    keep running unperturbed. *)
+
+val all : Fed.spec list
+
+val find : string -> Fed.spec option
+(** Look a spec up by [fs_label]. *)

@@ -16,6 +16,7 @@ type ('s, 'i, 'o, 'a, 'p) t = {
   extract_output : Colour.t -> 'o -> 'p;
   abstract : Colour.t -> 's -> 'a;
   abop : Colour.t -> 's op -> 'a abop;
+  sanctioned_interference : Colour.t -> Colour.t -> 'a -> 'a -> bool;
   equal_state : 's -> 's -> bool;
   hash_state : 's -> int;
   equal_abstate : 'a -> 'a -> bool;

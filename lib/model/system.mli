@@ -39,6 +39,16 @@ type ('s, 'i, 'o, 'a, 'p) t = {
   extract_output : Colour.t -> 'o -> 'p;  (** [EXTRACT] on outputs *)
   abstract : Colour.t -> 's -> 'a;  (** [Phi^c] *)
   abop : Colour.t -> 's op -> 'a abop;  (** [ABOP^c] *)
+  sanctioned_interference : Colour.t -> Colour.t -> 'a -> 'a -> bool;
+      (** [sanctioned_interference active viewer before after]: condition
+          2's connected-system weakening. [true] when the change an
+          operation on behalf of [active] made to [viewer]'s view is
+          confined to the contents of channels {e declared} (and not cut)
+          from [active] to [viewer] — the paper's "except via authorized
+          channels" reading, needed the moment a kernel runs with its
+          channels connected rather than cut. Fully cut systems return
+          [false] everywhere, demanding strict invisibility; Proof of
+          Separability proper applies to those. *)
   equal_state : 's -> 's -> bool;
   hash_state : 's -> int;
   equal_abstate : 'a -> 'a -> bool;

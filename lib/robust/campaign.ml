@@ -113,6 +113,10 @@ let apply r fault =
   | Spurious_irq { device } -> Machine.raise_irq m device
   | Duplicate_irq { device } -> r.dup_after <- device :: r.dup_after
   | Stuck_device { device } -> r.stuck <- device :: r.stuck
+  (* Node-level faults have no meaning against a single kernel; the
+     federation driver ({!Sep_fed.Fed}) applies them. Single-kernel plans
+     never contain them (no [node_space] is ever passed here). *)
+  | Shard_crash _ | Link_partition _ | Frame_tamper _ -> ()
 
 let remove_one x xs =
   let rec go acc = function

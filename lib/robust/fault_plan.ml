@@ -18,6 +18,20 @@ type fault =
   | Spurious_irq of { device : int }
   | Duplicate_irq of { device : int }
   | Stuck_device of { device : int }
+  (* Node-level faults, meaningful against a federation of shard kernels
+     ({!Sep_fed}): a whole node power-fails, a physical link partitions
+     for a window of steps and then heals, or the frames in flight on a
+     link are tampered with. Single-kernel campaigns never draw them
+     (they appear in the sampler pool only when a [node_space] is given)
+     and [Campaign] ignores them if handed one. *)
+  | Shard_crash of { shard : int }
+  | Link_partition of { link : int; window : int }
+  | Frame_tamper of { link : int }
+
+type node_space = {
+  ns_shards : int;
+  ns_links : int;
+}
 
 let pp_chan_end ppf = function
   | Send_end -> Fmt.string ppf "send"
@@ -33,6 +47,9 @@ let pp_fault ppf = function
   | Spurious_irq f -> Fmt.pf ppf "spurious-irq dev%d" f.device
   | Duplicate_irq f -> Fmt.pf ppf "duplicate-irq dev%d" f.device
   | Stuck_device f -> Fmt.pf ppf "stuck-device dev%d" f.device
+  | Shard_crash f -> Fmt.pf ppf "shard-crash node%d" f.shard
+  | Link_partition f -> Fmt.pf ppf "link-partition wire%d for %d" f.link f.window
+  | Frame_tamper f -> Fmt.pf ppf "frame-tamper wire%d" f.link
 
 let fault_to_json f =
   let colour c = ("colour", J.String (Colour.name c)) in
@@ -58,6 +75,10 @@ let fault_to_json f =
   | Spurious_irq f -> J.Obj [ ("type", J.String "spurious-irq"); ("device", J.Int f.device) ]
   | Duplicate_irq f -> J.Obj [ ("type", J.String "duplicate-irq"); ("device", J.Int f.device) ]
   | Stuck_device f -> J.Obj [ ("type", J.String "stuck-device"); ("device", J.Int f.device) ]
+  | Shard_crash f -> J.Obj [ ("type", J.String "shard-crash"); ("shard", J.Int f.shard) ]
+  | Link_partition f ->
+    J.Obj [ ("type", J.String "link-partition"); ("link", J.Int f.link); ("window", J.Int f.window) ]
+  | Frame_tamper f -> J.Obj [ ("type", J.String "frame-tamper"); ("link", J.Int f.link) ]
 
 type t = {
   label : string;
@@ -103,6 +124,11 @@ let target cfg = function
   | Spurious_irq { device }
   | Duplicate_irq { device }
   | Stuck_device { device } -> Some (device_owner cfg device)
+  (* Node faults target a {e set} of colours (everything hosted on the
+     shard, or every receiver routed over the link), which the federation
+     campaign computes from its placement; as single-colour targets they
+     are [None], like the kernel-fence smash. *)
+  | Shard_crash _ | Link_partition _ | Frame_tamper _ -> None
 
 let kind_name = function
   | Mem_flip _ -> "mem-flip"
@@ -114,11 +140,16 @@ let kind_name = function
   | Spurious_irq _ -> "spurious-irq"
   | Duplicate_irq _ -> "duplicate-irq"
   | Stuck_device _ -> "stuck-device"
+  | Shard_crash _ -> "shard-crash"
+  | Link_partition _ -> "link-partition"
+  | Frame_tamper _ -> "frame-tamper"
 
 (* The fault kinds a configuration offers, as samplers. Building the
    array consumes no randomness, so [generate] and [generate_multi] draw
-   the same stream a direct implementation would. *)
-let samplers cfg =
+   the same stream a direct implementation would. The node-level kinds
+   join the pool only when a [node_space] widens it, so plans generated
+   without one are unchanged, draw for draw. *)
+let samplers ?nodes cfg =
   let regimes = Array.of_list cfg.Config.regimes in
   let nregs = Array.length regimes in
   let channels = Array.of_list cfg.Config.channels in
@@ -169,26 +200,40 @@ let samplers cfg =
         (if Array.length devices > 0 then
            [ (fun rng -> Stuck_device { device = Prng.int rng (Array.length devices) }) ]
          else []);
+        (match nodes with
+        | None -> []
+        | Some ns ->
+          (if ns.ns_shards > 0 then
+             [ (fun rng -> Shard_crash { shard = Prng.int rng ns.ns_shards }) ]
+           else [])
+          @
+          if ns.ns_links > 0 then
+            [
+              (fun rng ->
+                Link_partition { link = Prng.int rng ns.ns_links; window = 4 + Prng.int rng 12 });
+              (fun rng -> Frame_tamper { link = Prng.int rng ns.ns_links });
+            ]
+          else []);
       ]
   in
   Array.of_list kinds
 
-let generate ~seed ~steps ~count cfg =
+let generate ?nodes ~seed ~steps ~count cfg =
   if steps < 3 then invalid_arg "Fault_plan.generate: needs at least 3 steps";
   if count < 0 then invalid_arg "Fault_plan.generate: negative count";
   let rng = Prng.create seed in
-  let kinds = samplers cfg in
+  let kinds = samplers ?nodes cfg in
   List.init count (fun i ->
       let at = 1 + Prng.int rng (steps - 2) in
       let fault = (Prng.choose rng kinds) rng in
       { label = Fmt.str "f%02d-%s@%d" i (kind_name fault) at; faults = [ (at, fault) ] })
 
-let generate_multi ~seed ~steps ~count ~faults_per_plan cfg =
+let generate_multi ?nodes ~seed ~steps ~count ~faults_per_plan cfg =
   if steps < 3 then invalid_arg "Fault_plan.generate_multi: needs at least 3 steps";
   if count < 0 then invalid_arg "Fault_plan.generate_multi: negative count";
   if faults_per_plan < 1 then invalid_arg "Fault_plan.generate_multi: needs at least 1 fault per plan";
   let rng = Prng.create seed in
-  let kinds = samplers cfg in
+  let kinds = samplers ?nodes cfg in
   List.init count (fun i ->
       let faults =
         List.init faults_per_plan (fun _ ->

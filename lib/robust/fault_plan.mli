@@ -41,6 +41,23 @@ type fault =
   | Stuck_device of { device : int }
       (** the device dies: status forced idle and arrivals lost from the
           fault onward *)
+  | Shard_crash of { shard : int }
+      (** a whole federation node power-fails ({!Sep_core.Sue.crash}):
+          every regime hosted on it stops until the supervisor's failover *)
+  | Link_partition of { link : int; window : int }
+      (** a physical inter-shard line is severed for [window] steps and
+          then heals ({!Sep_distributed.Net.set_wire_up}) *)
+  | Frame_tamper of { link : int }
+      (** every frame in flight on an inter-shard line is forged; the
+          federation's frame checksums reject them on arrival *)
+
+type node_space = {
+  ns_shards : int;  (** federation nodes a crash can hit *)
+  ns_links : int;  (** physical wires a partition or tampering can hit *)
+}
+(** What the node-level faults range over. The shard and link indices in
+    generated faults are drawn below these bounds; the federation driver
+    maps them onto its own topology. *)
 
 val pp_fault : Format.formatter -> fault -> unit
 val fault_to_json : fault -> Sep_util.Json.t
@@ -59,17 +76,25 @@ val target : 'p Config.t -> fault -> Colour.t option
 (** The colour whose domain the fault strikes: the partition or save-area
     owner, the device owner, the channel endpoint owning the corrupted
     buffer. [None] for {!Guard_smash} — the fence belongs to the kernel,
-    so {e every} colour's trace must survive it. *)
+    so {e every} colour's trace must survive it — and for the node-level
+    faults, whose target is a {e set} of colours that only the federation's
+    placement knows ({!Sep_fed} computes it: everything hosted on the
+    crashed shard, every receiver routed over the severed or forged
+    link). *)
 
-val generate : seed:int -> steps:int -> count:int -> 'p Config.t -> t list
+val generate : ?nodes:node_space -> seed:int -> steps:int -> count:int -> 'p Config.t -> t list
 (** [count] single-fault plans against a configuration, each striking at a
     uniform step in [\[1, steps-1)] with a fault kind and location drawn
     uniformly from what the configuration offers (partitions and save
     areas always; channel, Rx-latch, interrupt and stuck-device faults
-    only when the configuration has channels or devices). Deterministic in
-    [seed]. *)
+    only when the configuration has channels or devices; shard crashes,
+    link partitions over a 4–15 step window, and frame tampering only
+    when [nodes] opens the node-level space). Deterministic in [seed];
+    plans generated without [nodes] are unchanged by its existence, draw
+    for draw. *)
 
 val generate_multi :
+  ?nodes:node_space ->
   seed:int -> steps:int -> count:int -> faults_per_plan:int -> 'p Config.t -> t list
 (** Like {!generate} but each plan composes [faults_per_plan] independent
     faults, sorted ascending by step (several may share a step). The

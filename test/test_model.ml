@@ -31,6 +31,7 @@ let counter_system n =
     extract_output = (fun c (r, b) -> if Colour.equal c Colour.red then r else b);
     abstract = (fun c (r, b) -> if Colour.equal c Colour.red then r else b);
     abop = (fun _ _ -> { System.abop_name = "noop"; abop_apply = Fun.id });
+    sanctioned_interference = (fun _ _ _ _ -> false);
     equal_state = ( = );
     hash_state = Hashtbl.hash;
     equal_abstate = ( = );

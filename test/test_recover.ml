@@ -12,6 +12,9 @@ module Abstract_regime = Sep_core.Abstract_regime
 module Separability = Sep_core.Separability
 module Recover = Sep_recover.Recover
 module Proof = Sep_recover.Proof
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Campaign = Sep_robust.Campaign
 module Net = Sep_distributed.Net
 module Diff = Sep_check.Diff
 module Fuzz = Sep_check.Fuzz
@@ -256,6 +259,50 @@ let test_reliable_net_high_loss () =
       check (Alcotest.list Alcotest.string) "oracle green at 25% drop" [] rc.Diff.rc_mismatches)
     cases
 
+let test_backoff_ceiling_under_heavy_loss () =
+  (* at 90% drop nearly every timeout fires again and again, so the
+     exponential backoff must reach (and hold at) its cap — a bounded
+     retransmission rate, not a storm — while the oracle stays green *)
+  let link = { Net.default_link_model with Net.lm_drop = 90 } in
+  let cases = Diff.kernel_vs_reliable_net ~link ~seed:3 ~cases:2 ~steps:240 () in
+  List.iter
+    (fun (rc : Diff.reliable_case) ->
+      check (Alcotest.list Alcotest.string) "oracle green at 90% drop" [] rc.Diff.rc_mismatches)
+    cases;
+  let sum f = List.fold_left (fun n rc -> n + f rc) 0 cases in
+  Alcotest.(check bool) "the backoff reached its ceiling" true
+    (sum (fun rc -> rc.Diff.rc_stats.Net.ls_backoff_ceiling) > 0);
+  Alcotest.(check bool) "retransmission carried on under the cap" true
+    (sum (fun rc -> rc.Diff.rc_stats.Net.ls_retransmits) > 0)
+
+let test_cut_wire_silent_discard () =
+  (* the wire-cutting argument must survive the reliable protocol: a send
+     onto a cut wire is silently discarded before the protocol ever sees
+     it — no frames, no acks, no retransmission storm against a wire that
+     will never answer *)
+  let a = Colour.red and b = Colour.black in
+  let src =
+    Component.stateless ~name:"src" (function
+      | Component.External m -> [ Component.Send (0, m) ]
+      | _ -> [])
+  in
+  let sink =
+    Component.stateless ~name:"sink" (function
+      | Component.Recv (_, m) -> [ Component.Output m ]
+      | _ -> [])
+  in
+  let topo =
+    Topology.cut_wire (Topology.make ~parts:[ (a, src); (b, sink) ] ~wires:[ (a, b, 2) ]) 0
+  in
+  let net = Net.build ~link:Net.default_link_model topo in
+  Net.run net ~steps:60 ~externals:(fun n ->
+      if n mod 2 = 0 then [ (a, "w" ^ string_of_int n) ] else []);
+  Alcotest.(check (list string)) "nothing crosses the cut wire" [] (Net.outputs net b);
+  let s = Net.link_stats net in
+  check Alcotest.int "the sender's protocol never engaged" 0 s.Net.ls_retransmits;
+  check Alcotest.int "no acks either" 0 s.Net.ls_acks;
+  check Alcotest.int "nothing left in flight" 0 s.Net.ls_in_flight
+
 let test_reliable_net_deterministic () =
   let stats () =
     List.map
@@ -267,6 +314,23 @@ let test_reliable_net_deterministic () =
       (Diff.kernel_vs_reliable_net ~seed:5 ~cases:2 ~steps:90 ())
   in
   Alcotest.(check bool) "same seed, same protocol behaviour" true (stats () = stats ())
+
+(* -- Give-up under a drained budget, mid-campaign ---------------------------- *)
+
+let test_campaign_give_up_on_drained_budget () =
+  (* zero restart and reboot budgets: every parked regime is immediately
+     abandoned. The fail-operational promise degrades — nothing is
+     recovered — but it degrades to fail-SAFE: abandonment keeps the
+     victim parked, and no case may end Violating. *)
+  let report =
+    Campaign.run_recovery
+      ~policy:{ Recover.max_restarts = 0; max_warm_reboots = 0 }
+      ~seed:42 ~steps:60 ~count:12 ()
+  in
+  let _, _, recovered, violating = Campaign.totals report in
+  check Alcotest.int "a drained budget recovers nothing" 0 recovered;
+  check Alcotest.int "and gives up fail-safe, never violating" 0 violating;
+  Alcotest.(check bool) "containment still holds" true (Campaign.holds report)
 
 (* -- The crash-restart fuzzer ------------------------------------------------ *)
 
@@ -318,7 +382,15 @@ let () =
         [
           Alcotest.test_case "pins the kernel under loss" `Quick test_reliable_net_pins_kernel;
           Alcotest.test_case "green at 25% drop" `Quick test_reliable_net_high_loss;
+          Alcotest.test_case "backoff ceiling at 90% drop" `Quick
+            test_backoff_ceiling_under_heavy_loss;
+          Alcotest.test_case "cut wires discard silently" `Quick test_cut_wire_silent_discard;
           Alcotest.test_case "deterministic" `Quick test_reliable_net_deterministic;
+        ] );
+      ( "drained budget",
+        [
+          Alcotest.test_case "gives up fail-safe mid-campaign" `Quick
+            test_campaign_give_up_on_drained_budget;
         ] );
       ( "crash-restart fuzz",
         [
