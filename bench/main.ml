@@ -7,7 +7,7 @@
      dune exec bench/main.exe                 all experiments + timings
      dune exec bench/main.exe -- e3 e6        selected experiments
      dune exec bench/main.exe -- timings      only the timing benches
-     dune exec bench/main.exe -- snapshot     write BENCH_PR7.json (see EXPERIMENTS.md)
+     dune exec bench/main.exe -- snapshot     write BENCH_PR8.json (see EXPERIMENTS.md)
      dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing
      dune exec bench/main.exe -- compare OLD.json NEW.json   regression gate on throughput *)
 
@@ -987,6 +987,52 @@ let e19 () =
     (federation_measures ());
   Table.print t
 
+(* -- E20: the refinement stack ----------------------------------------------------------- *)
+
+let refinement_measure () =
+  let module Stack = Sep_refine.Stack in
+  let scen, secs =
+    timed (fun () -> Stack.scenario_results ~schedules:2 ~steps:250 ~seed:42 ())
+  in
+  let checks =
+    List.fold_left (fun a (_, r) -> match r with Ok c -> a + c | Error _ -> a) 0 scen
+  in
+  let diverged = List.filter (fun (_, r) -> Result.is_error r) scen in
+  let kills, kill_secs = timed (fun () -> Stack.kill_table ~seed:42 ~attempts:12 ()) in
+  (scen, checks, secs, diverged, kills, kill_secs)
+
+let e20 () =
+  claim
+    "the kernel is verifiable as a refinement of the separability ideal: an abstract per-colour \
+     machine sits above the Sue kernel through the abstraction functions (one commuting square \
+     per instruction), a behavioural specification above the regime kernel (one per rotation), \
+     and shared Kahn workloads tie the levels' committed word streams — any seeded bug at either \
+     level breaks a square, minimally and replayably.";
+  let module Stack = Sep_refine.Stack in
+  let scen, checks, secs, diverged, kills, kill_secs = refinement_measure () in
+  let t = Table.create ~title:"E20: refinement kill table (seed 42, 12 attempts/bug)"
+      ~columns:[ "bug"; "level"; "scenario"; "attempt"; "step"; "size"; "shrunk"; "status" ] in
+  List.iter
+    (fun (k : Stack.kill) ->
+      Table.add_row t
+        [
+          k.Stack.k_bug;
+          k.Stack.k_level;
+          k.Stack.k_scenario;
+          string_of_int k.Stack.k_attempts;
+          string_of_int k.Stack.k_step;
+          string_of_int k.Stack.k_original_size;
+          string_of_int k.Stack.k_shrunk_size;
+          (if k.Stack.k_killed then "killed" else "SURVIVED");
+        ])
+    kills;
+  Table.print t;
+  let killed = List.length (List.filter (fun k -> k.Stack.k_killed) kills) in
+  Fmt.pr "lockstep: %d scenario runs, %d divergences, %d commuting-square checks (%.0f checks/s)@."
+    (List.length scen) (List.length diverged) checks
+    (if secs > 0.0 then float_of_int checks /. secs else 0.0);
+  Fmt.pr "kills: %d/%d seeded bugs caught in %.2fs@." killed (List.length kills) kill_secs
+
 (* -- bechamel timings -------------------------------------------------------------------- *)
 
 let timings () =
@@ -1334,9 +1380,28 @@ let snapshot_json () =
     in
     Json.Obj [ ("runs", Json.List runs) ]
   in
+  let refinement =
+    let module Stack = Sep_refine.Stack in
+    let scen, checks, secs, diverged, kills, kill_secs = refinement_measure () in
+    let killed = List.length (List.filter (fun k -> k.Stack.k_killed) kills) in
+    Json.Obj
+      [
+        ("seed", Json.Int 42);
+        ("scenario_runs", Json.Int (List.length scen));
+        ("divergences", Json.Int (List.length diverged));
+        ("checks", Json.Int checks);
+        ("seconds", Json.Float secs);
+        ( "checks_per_sec",
+          Json.Float (if secs > 0.0 then float_of_int checks /. secs else 0.0) );
+        ("bugs", Json.Int (List.length kills));
+        ("killed", Json.Int killed);
+        ("kill_seconds", Json.Float kill_secs);
+        ("kills", Json.List (List.map Stack.kill_to_json kills));
+      ]
+  in
   Json.Obj
     [
-      ("schema", Json.String "rushby-bench/7");
+      ("schema", Json.String "rushby-bench/8");
       ("generated_at_unix", Json.Float (Unix.time ()));
       ("ocaml_version", Json.String Sys.ocaml_version);
       ("experiments", Json.List check_experiments);
@@ -1348,6 +1413,7 @@ let snapshot_json () =
       ("monitor", monitor);
       ("latency", latency);
       ("federation", federation);
+      ("refinement", refinement);
       ("spans", Sep_obs.Span.to_json ());
     ]
 
@@ -1356,7 +1422,7 @@ let validate_snapshot json =
   let require_obj name v = match v with Some (Json.Obj _ as o) -> Ok o | _ -> fail ("missing object " ^ name) in
   let require_list name v = match v with Some (Json.List l) -> Ok l | _ -> fail ("missing list " ^ name) in
   match Json.member "schema" json with
-  | Some (Json.String "rushby-bench/7") -> (
+  | Some (Json.String "rushby-bench/8") -> (
     match require_list "experiments" (Json.member "experiments" json) with
     | Error e -> fail e
     | Ok experiments -> (
@@ -1420,7 +1486,25 @@ let validate_snapshot json =
                     (require_list "fuzz.kills" (Json.member "kills" fuzz)))
             with
             | Error e -> fail e
-            | Ok (fuzz_scenarios, fuzz_kills) ->
+            | Ok (fuzz_scenarios, fuzz_kills) -> (
+              match require_obj "refinement" (Json.member "refinement" json) with
+              | Error e -> fail e
+              | Ok refinement when
+                  List.exists
+                    (fun k -> Json.member k refinement = None)
+                    [ "scenario_runs"; "divergences"; "checks"; "checks_per_sec"; "bugs";
+                      "killed"; "kills" ] ->
+                fail "malformed refinement entry"
+              | Ok refinement ->
+              let refinement_kills =
+                match Json.member "kills" refinement with Some (Json.List l) -> l | _ -> []
+              in
+              let refinement_kill_ok k =
+                List.for_all
+                  (fun key -> Json.member key k <> None)
+                  [ "bug"; "level"; "killed"; "seed"; "scenario"; "step"; "original_size";
+                    "shrunk_size" ]
+              in
               let exp_ok e =
                 List.for_all
                   (fun k -> Json.member k e <> None)
@@ -1466,16 +1550,18 @@ let validate_snapshot json =
               else if not (List.for_all fuzz_scenario_ok fuzz_scenarios) then
                 fail "malformed fuzz scenario entry"
               else if not (List.for_all fuzz_kill_ok fuzz_kills) then fail "malformed fuzz kill entry"
+              else if not (List.for_all refinement_kill_ok refinement_kills) then
+                fail "malformed refinement kill entry"
               else if
                 experiments = [] || runs = [] || monitor_runs = [] || federation_runs = []
-                || fuzz_scenarios = [] || fuzz_kills = []
+                || fuzz_scenarios = [] || fuzz_kills = [] || refinement_kills = []
               then fail "empty snapshot"
-              else Ok (List.length experiments, List.length runs)))))))))))
+              else Ok (List.length experiments, List.length runs))))))))))))
   | _ -> fail "missing or unexpected schema tag"
 
 let snapshot_main args =
   let check_only = ref false in
-  let out = ref "BENCH_PR7.json" in
+  let out = ref "BENCH_PR8.json" in
   let rec parse = function
     | [] -> Ok ()
     | "--check" :: rest ->
@@ -1564,6 +1650,12 @@ let rates json =
           | _ -> ())
         runs
     | _ -> ())
+  | None -> ());
+  (match Json.member "refinement" json with
+  | Some r -> (
+    match Json.member "checks_per_sec" r with
+    | Some v -> add "refinement.checks_per_sec" v
+    | None -> ())
   | None -> ());
   (match Json.member "federation" json with
   | Some f ->
@@ -1660,6 +1752,7 @@ let experiments =
     ("e17", e17);
     ("e18", e18);
     ("e19", e19);
+    ("e20", e20);
     ("timings", timings);
   ]
 

@@ -8,6 +8,8 @@
 # condition/isolation failure or surviving mutant), a federation smoke
 # run with node-fault chaos (exit 1 on an ideal-differential mismatch,
 # a violating chaos outcome or an unclean shard monitor), a
+# refinement-stack smoke run (exit 1 on a lockstep divergence on a clean
+# kernel or a seeded bug the bisimulation fails to kill), a
 # parallel-determinism
 # check (the -j 2 JSON reports must be byte-identical to -j 1), a
 # fresh self-validating bench snapshot gated against the committed one
@@ -28,6 +30,7 @@ dune exec bin/rushby.exe -- recover --smoke
 # (the full-budget run covers it).
 dune exec bin/rushby.exe -- fuzz --smoke --seed 5
 dune exec bin/rushby.exe -- federate --smoke --chaos
+dune exec bin/rushby.exe -- refine --smoke
 
 # Determinism across job counts: sharded parallel runs must reproduce the
 # sequential reports byte for byte.
@@ -54,6 +57,9 @@ diff "$tmpdir/fuzz-j1.jsonl" "$tmpdir/fuzz-j2.jsonl"
 dune exec bin/rushby.exe -- federate --smoke --chaos -j 1 --json "$tmpdir/fed-j1.jsonl"
 dune exec bin/rushby.exe -- federate --smoke --chaos -j 2 --json "$tmpdir/fed-j2.jsonl"
 diff "$tmpdir/fed-j1.jsonl" "$tmpdir/fed-j2.jsonl"
+dune exec bin/rushby.exe -- refine --smoke -j 1 --json "$tmpdir/refine-j1.jsonl"
+dune exec bin/rushby.exe -- refine --smoke -j 2 --json "$tmpdir/refine-j2.jsonl"
+diff "$tmpdir/refine-j1.jsonl" "$tmpdir/refine-j2.jsonl"
 
 # The corpus directory ships non-empty, but guard the glob anyway: an
 # unexpanded pattern would otherwise reach --replay-corpus verbatim.

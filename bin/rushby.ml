@@ -1186,6 +1186,169 @@ let fuzz_cmd =
       $ scenario_arg $ bugs_arg $ impl_arg $ walks_arg $ walk_len_arg $ scrambles_arg
       $ emit_corpus)
 
+(* -- refine ------------------------------------------------------------------ *)
+
+let refine_replay seed bug =
+  let module Stack = Sep_refine.Stack in
+  match bug with
+  | None ->
+    Fmt.epr "rushby: --replay needs --bug (one of: %s)@." (String.concat ", " Stack.known_bugs);
+    1
+  | Some bug -> (
+    match Stack.replay ~seed ~bug with
+    | Error msg ->
+      Fmt.epr "rushby: %s@." msg;
+      1
+    | Ok None ->
+      Fmt.pr "seed %d does not expose %s: the stack stays in lockstep@." seed bug;
+      0
+    | Ok (Some k) ->
+      Fmt.pr "seed %d diverges %s at step %d (%s, workload %d -> %d in %d shrinks)@." seed
+        k.Stack.k_bug k.Stack.k_step k.Stack.k_scenario k.Stack.k_original_size
+        k.Stack.k_shrunk_size k.Stack.k_shrink_steps;
+      1)
+
+let refine_full smoke seed jobs json_file =
+  let module Stack = Sep_refine.Stack in
+  let module Kact = Sep_refine.Kact in
+  let schedules, steps, machine_cases, stack_cases, attempts =
+    if smoke then (1, 200, 6, 5, 10) else (3, 300, 20, 15, 20)
+  in
+  let scenarios = Stack.scenario_results ~schedules ~steps ~seed () in
+  let machine_runs =
+    List.init machine_cases (fun i ->
+        let cseed = seed + (101 * (i + 1)) in
+        let cfg, schedule = Sep_check.Gen.run ~seed:cseed Stack.machine_case in
+        (cseed, Stack.check_machine cfg ~schedule ~steps))
+  in
+  let stack_runs =
+    List.init stack_cases (fun i ->
+        let cseed = seed + (211 * (i + 1)) in
+        (cseed, Stack.check_stack (Sep_check.Gen.run ~seed:cseed (Kact.gen ()))))
+  in
+  let kills = Stack.kill_table ~jobs ~seed ~attempts () in
+  let checks =
+    List.fold_left
+      (fun acc (_, r) -> match r with Ok c -> acc + c | Error _ -> acc)
+      0
+      (List.map (fun (l, r) -> (l, r)) scenarios
+      @ List.map (fun (s, r) -> (string_of_int s, r)) machine_runs
+      @ List.map (fun (s, r) -> (string_of_int s, r)) stack_runs)
+  in
+  let clean_failures =
+    List.filter_map (fun (label, r) -> match r with Ok _ -> None | Error d -> Some (label, d))
+      (scenarios
+      @ List.map (fun (s, r) -> (Fmt.str "machine seed %d" s, r)) machine_runs
+      @ List.map (fun (s, r) -> (Fmt.str "stack seed %d" s, r)) stack_runs)
+  in
+  let killed = List.filter (fun k -> k.Stack.k_killed) kills in
+  Fmt.pr "== refinement stack: seed %d, %d scenario runs, %d machine + %d stack workloads ==@." seed
+    (List.length scenarios) machine_cases stack_cases;
+  Fmt.pr "  lockstep: %d commuting-square checks, %d divergence%s@." checks
+    (List.length clean_failures)
+    (if List.compare_length_with clean_failures 1 = 0 then "" else "s");
+  List.iter (fun (label, d) -> Fmt.pr "    DIVERGED %s: %a@." label Stack.pp_divergence d)
+    clean_failures;
+  Fmt.pr "  kills: %d/%d seeded bugs caught@." (List.length killed) (List.length kills);
+  List.iter
+    (fun (k : Stack.kill) ->
+      if k.Stack.k_killed then
+        Fmt.pr "    %-26s %-13s step %-3d  %2d -> %2d  (%s)@." k.Stack.k_bug k.Stack.k_scenario
+          k.Stack.k_step k.Stack.k_original_size k.Stack.k_shrunk_size (Stack.replay_command k)
+      else Fmt.pr "    %-26s SURVIVED@." k.Stack.k_bug)
+    kills;
+  let ok = clean_failures = [] && List.length killed = List.length kills in
+  Fmt.pr "refinement %s@." (if ok then "HOLDS" else "VIOLATED");
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    graceful_write @@ fun () ->
+    let oc = open_out file in
+    let line j =
+      let buf = Buffer.create 256 in
+      Sep_util.Json.to_buffer buf j;
+      Buffer.add_char buf '\n';
+      output_string oc (Buffer.contents buf)
+    in
+    let open Sep_util.Json in
+    line
+      (Obj
+         [
+           ("kind", String "refine-header");
+           ("schema", String "rushby-refine/1");
+           ("seed", Int seed);
+           ("smoke", Bool smoke);
+         ]);
+    let result_line kind label r =
+      line
+        (Obj
+           ([ ("kind", String kind); ("label", String label) ]
+           @
+           match r with
+           | Ok c -> [ ("ok", Bool true); ("checks", Int c) ]
+           | Error d -> [ ("ok", Bool false); ("divergence", Stack.divergence_to_json d) ]))
+    in
+    List.iter (fun (label, r) -> result_line "refine-scenario" label r) scenarios;
+    List.iter (fun (s, r) -> result_line "refine-machine" (string_of_int s) r) machine_runs;
+    List.iter (fun (s, r) -> result_line "refine-stack" (string_of_int s) r) stack_runs;
+    List.iter
+      (fun k ->
+        match Stack.kill_to_json k with
+        | Obj kvs ->
+          line
+            (Obj
+               (("kind", String "refine-kill")
+               :: (kvs @ [ ("replay", String (Stack.replay_command k)) ])))
+        | other -> line other)
+      kills;
+    line
+      (Obj
+         [
+           ("kind", String "refine-summary");
+           ("checks", Int checks);
+           ("kills", Int (List.length killed));
+           ("bugs", Int (List.length kills));
+           ("ok", Bool ok);
+         ]);
+    close_out oc;
+    Fmt.pr "wrote %s@." file);
+  if ok then 0 else 1
+
+let refine_run smoke seed jobs json_file replay bug =
+  match replay with
+  | Some rseed -> refine_replay rseed bug
+  | None -> refine_full smoke seed jobs json_file
+
+let refine_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ] ~doc:"Small deterministic budgets (one schedule per scenario) for CI.")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write scenario runs, workload runs, kill table and summary as JSONL to $(docv).")
+  in
+  let replay =
+    Arg.(value & opt (some int) None
+         & info [ "replay" ] ~docv:"SEED"
+             ~doc:"Replay one detection attempt (with --bug) and exit 1 iff it diverges.")
+  in
+  let bug =
+    Arg.(value & opt (some string) None
+         & info [ "bug" ] ~docv:"NAME" ~doc:"Seeded bug name for --replay.")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Prove the three-level refinement in lockstep: an abstract per-colour specification above \
+          the Sue machine kernel (via the abstraction functions, one commuting square per \
+          instruction) and a behavioural specification above the regime kernel (one square per \
+          rotation), tied across levels by Kahn-network word streams on shared workloads; then \
+          race every seeded kernel bug against the stack, shrinking each divergence to a minimal \
+          replayable workload.")
+    Term.(const refine_run $ smoke $ seed_arg $ jobs_arg $ json_file $ replay $ bug)
+
 let main_cmd =
   let doc = "reproduction of Rushby's separation kernel and Proof of Separability (SOSP 1981)" in
   Cmd.group (Cmd.info "rushby" ~version:"1.0.0" ~doc)
@@ -1208,6 +1371,7 @@ let main_cmd =
       recover_cmd;
       federate_cmd;
       fuzz_cmd;
+      refine_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -80,6 +80,7 @@ let event_key (e : Ktrace.event) =
   | Ktrace.Stalled -> "e:stall"
   | Ktrace.Save_corrupt c -> "e:save-corrupt:" ^ Colour.name c
   | Ktrace.Guard_breached _ -> "e:guard-breach"
+  | Ktrace.Channel_corrupt _ -> "e:channel-corrupt"
   | Ktrace.Watchdog_fired c -> "e:watchdog:" ^ Colour.name c
   | Ktrace.Kernel_panicked _ -> "e:panic"
   | Ktrace.Restarted c -> "e:restarted:" ^ Colour.name c

@@ -13,6 +13,7 @@ type event =
   | Stalled
   | Save_corrupt of Colour.t
   | Guard_breached of { addr : int }
+  | Channel_corrupt of { addr : int }
   | Watchdog_fired of Colour.t
   | Kernel_panicked of { reason : string }
   | Restarted of Colour.t
@@ -25,6 +26,7 @@ type event =
 let event_of_fault = function
   | Sue.Save_area_corrupt c -> Save_corrupt c
   | Sue.Guard_breach addr -> Guard_breached { addr }
+  | Sue.Channel_head_corrupt addr -> Channel_corrupt { addr }
   | Sue.Watchdog_expired c -> Watchdog_fired c
   | Sue.Kernel_panic reason -> Kernel_panicked { reason }
   | Sue.Regime_restart c -> Restarted c
@@ -43,6 +45,7 @@ let pp_event ppf = function
   | Stalled -> Fmt.string ppf "all regimes waiting"
   | Save_corrupt c -> Fmt.pf ppf "AUDIT save area of %a corrupt; parked" Colour.pp c
   | Guard_breached g -> Fmt.pf ppf "AUDIT guard %04x breached; repaired" g.addr
+  | Channel_corrupt g -> Fmt.pf ppf "AUDIT channel head %04x corrupt; repaired" g.addr
   | Watchdog_fired c -> Fmt.pf ppf "AUDIT watchdog forced %a off the processor" Colour.pp c
   | Kernel_panicked k -> Fmt.pf ppf "AUDIT KERNEL PANIC: %s" k.reason
   | Restarted c -> Fmt.pf ppf "AUDIT %a restarted from its checkpoint" Colour.pp c
@@ -171,6 +174,7 @@ let event_to_json ev =
   | Stalled -> J.Obj [ ("type", J.String "stalled") ]
   | Save_corrupt c -> J.Obj [ ("type", J.String "save-corrupt"); colour c ]
   | Guard_breached g -> J.Obj [ ("type", J.String "guard-breached"); ("addr", J.Int g.addr) ]
+  | Channel_corrupt g -> J.Obj [ ("type", J.String "channel-corrupt"); ("addr", J.Int g.addr) ]
   | Watchdog_fired c -> J.Obj [ ("type", J.String "watchdog-fired"); colour c ]
   | Kernel_panicked k ->
     J.Obj [ ("type", J.String "kernel-panicked"); ("reason", J.String k.reason) ]

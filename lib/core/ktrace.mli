@@ -23,6 +23,8 @@ type event =
   | Save_corrupt of Sep_model.Colour.t
       (** audit: a save-area checksum mismatch parked this regime *)
   | Guard_breached of { addr : int }  (** audit: a guard word was overwritten (and repaired) *)
+  | Channel_corrupt of { addr : int }
+      (** audit: a channel ring's head word held an out-of-range index (and was repaired) *)
   | Watchdog_fired of Sep_model.Colour.t  (** audit: the watchdog forced this regime off *)
   | Kernel_panicked of { reason : string }  (** audit: fault inside the kernel; everything parked *)
   | Restarted of Sep_model.Colour.t
@@ -57,6 +59,7 @@ val event_to_json : event -> Sep_util.Json.t
 (** One event as a JSON object, discriminated by a ["type"] field
     ([executed], [trapped], [switched], [blocked], [parked], [woken],
     [arrived], [emitted], [stalled], [save-corrupt], [guard-breached],
+    [channel-corrupt],
     [watchdog-fired], [kernel-panicked], [restarted], [checkpoint-corrupt],
     [warm-rebooted]). Exhaustive over the constructors
     by construction: a new event cannot compile without a schema entry. *)

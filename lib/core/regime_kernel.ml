@@ -191,3 +191,10 @@ let context_switches t = t.switches
 let messages_copied t = t.copies
 let buffered t = Array.fold_left (fun acc ch -> acc + Fifo.length ch.buffer) 0 t.chans
 let drops t = t.dropped
+
+(* -- State observation, for the refinement checker ------------------------- *)
+
+let chan_count t = Array.length t.chans
+let chan_buffer t id = Fifo.to_list t.chans.(id).buffer
+let pending_externals t c = Fifo.to_list (find t c).pending_external
+let current_colour t = t.regimes.(t.current).colour

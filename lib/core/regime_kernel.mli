@@ -56,3 +56,20 @@ val buffered : t -> int
 
 val drops : t -> int
 (** Messages dropped against full kernel buffers. *)
+
+(** {1 State observation}
+
+    Read-only views of the kernel's internal state, exposed so the
+    refinement checker ({!Sep_refine}) can compare it against the
+    behavioural specification after every rotation. *)
+
+val chan_count : t -> int
+
+val chan_buffer : t -> int -> Sep_model.Component.message list
+(** Contents of one kernel channel buffer, oldest first. *)
+
+val pending_externals : t -> Sep_model.Colour.t -> Sep_model.Component.message list
+(** Inputs fielded for a colour but not yet delivered, oldest first. *)
+
+val current_colour : t -> Sep_model.Colour.t
+(** The regime holding the processor. *)

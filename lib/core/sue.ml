@@ -108,6 +108,7 @@ type layout = {
 type kernel_fault =
   | Save_area_corrupt of Colour.t
   | Guard_breach of int
+  | Channel_head_corrupt of int
   | Watchdog_expired of Colour.t
   | Kernel_panic of string
   | Regime_restart of Colour.t
@@ -117,6 +118,7 @@ type kernel_fault =
 let pp_kernel_fault ppf = function
   | Save_area_corrupt c -> Fmt.pf ppf "save area of %a corrupt" Colour.pp c
   | Guard_breach a -> Fmt.pf ppf "guard word at %04x breached" a
+  | Channel_head_corrupt a -> Fmt.pf ppf "channel head word at %04x corrupt; repaired" a
   | Watchdog_expired c -> Fmt.pf ppf "watchdog expired on %a" Colour.pp c
   | Kernel_panic reason -> Fmt.pf ppf "kernel panic: %s" reason
   | Regime_restart c -> Fmt.pf ppf "%a restarted from its checkpoint" Colour.pp c
@@ -141,6 +143,7 @@ type counts = {
   mutable ct_kernel_instrs : int;
   mutable ct_fault_parks : int;
   mutable ct_guard_breaches : int;
+  mutable ct_chan_repairs : int;
   mutable ct_watchdog_fires : int;
   mutable ct_panics : int;
   mutable ct_checkpoints : int;
@@ -183,6 +186,7 @@ type kstats = {
   ks_kernel_instrs : int;
   ks_fault_parks : int;
   ks_guard_breaches : int;
+  ks_chan_repairs : int;
   ks_watchdog_fires : int;
   ks_panics : int;
   ks_checkpoints : int;
@@ -639,6 +643,7 @@ let build ?(bugs = []) ?(impl = Microcode) ?watchdog cfg =
           ct_kernel_instrs = 0;
           ct_fault_parks = 0;
           ct_guard_breaches = 0;
+          ct_chan_repairs = 0;
           ct_watchdog_fires = 0;
           ct_panics = 0;
           ct_checkpoints = 0;
@@ -717,6 +722,7 @@ let kstats t =
     ks_kernel_instrs = t.counts.ct_kernel_instrs;
     ks_fault_parks = t.counts.ct_fault_parks;
     ks_guard_breaches = t.counts.ct_guard_breaches;
+    ks_chan_repairs = t.counts.ct_chan_repairs;
     ks_watchdog_fires = t.counts.ct_watchdog_fires;
     ks_panics = t.counts.ct_panics;
     ks_checkpoints = t.counts.ct_checkpoints;
@@ -729,8 +735,8 @@ let kstats t =
    [kstats] record, whether the step it just watched detected anything. *)
 let audit_count t =
   let c = t.counts in
-  c.ct_fault_parks + c.ct_guard_breaches + c.ct_watchdog_fires + c.ct_panics + c.ct_restarts
-  + c.ct_warm_reboots
+  c.ct_fault_parks + c.ct_guard_breaches + c.ct_chan_repairs + c.ct_watchdog_fires + c.ct_panics
+  + c.ct_restarts + c.ct_warm_reboots
 
 let reset_kstats t =
   let c = t.counts in
@@ -748,6 +754,7 @@ let reset_kstats t =
   c.ct_kernel_instrs <- 0;
   c.ct_fault_parks <- 0;
   c.ct_guard_breaches <- 0;
+  c.ct_chan_repairs <- 0;
   c.ct_watchdog_fires <- 0;
   c.ct_panics <- 0;
   c.ct_checkpoints <- 0;
@@ -777,6 +784,7 @@ let telemetry t =
   set "sue.kernel_instrs" s.ks_kernel_instrs;
   set "sue.fault_parks" s.ks_fault_parks;
   set "sue.guard_breaches" s.ks_guard_breaches;
+  set "sue.chan_repairs" s.ks_chan_repairs;
   set "sue.watchdog_fires" s.ks_watchdog_fires;
   set "sue.panics" s.ks_panics;
   set "sue.checkpoints" s.ks_checkpoints;
@@ -1026,15 +1034,26 @@ let ring_push t area cap w =
     true
   end
 
-(* [head mod cap] matches ring_push/ring_contents: in uncorrupted state
-   head < cap so the mod is the identity, but a flipped head word must
-   yield an in-bounds (garbage) read, not an out-of-range trap that
-   takes the whole machine model down. *)
+(* In uncorrupted state head < cap; a flipped head word must yield an
+   in-bounds (garbage) read, not an out-of-range trap that takes the whole
+   machine model down. The corruption is audited and the head word
+   repaired (mod cap), so one flip is reported once, like a guard
+   breach. *)
 let ring_pop t area cap =
   let head = read_kw t area and count = read_kw t (area + 1) in
   if count = 0 then None
   else begin
-    let w = read_kw t (area + 2 + (head mod cap)) in
+    let head =
+      if head >= cap || head < 0 then begin
+        let repaired = ((head mod cap) + cap) mod cap in
+        t.counts.ct_chan_repairs <- t.counts.ct_chan_repairs + 1;
+        record_fault t (Channel_head_corrupt area);
+        write_kw t area repaired;
+        repaired
+      end
+      else head
+    in
+    let w = read_kw t (area + 2 + head) in
     write_kw t area ((head + 1) mod cap);
     write_kw t (area + 1) (count - 1);
     Some w

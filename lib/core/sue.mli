@@ -122,6 +122,10 @@ type kernel_fault =
   | Save_area_corrupt of Colour.t
       (** a save-area checksum mismatch parked its regime before restore *)
   | Guard_breach of int  (** a guard word at this physical address was overwritten (and repaired) *)
+  | Channel_head_corrupt of int
+      (** a channel ring's head word (at this physical address) held an
+          out-of-range index when RECV popped; the read stays in bounds,
+          the head word is repaired *)
   | Watchdog_expired of Colour.t  (** the watchdog forced this regime off the processor *)
   | Kernel_panic of string
       (** a trap, machine fault or non-termination {e inside} the kernel:
@@ -235,6 +239,7 @@ type kstats = {
   ks_kernel_instrs : int;  (** kernel-mode instructions ([Assembly] only) *)
   ks_fault_parks : int;  (** regimes parked by save-area checksum mismatches *)
   ks_guard_breaches : int;  (** guard words found overwritten (and repaired) *)
+  ks_chan_repairs : int;  (** channel ring head words found out of range (and repaired) *)
   ks_watchdog_fires : int;  (** forced yields by the watchdog *)
   ks_panics : int;  (** kernel panics (faults inside the kernel) *)
   ks_checkpoints : int;  (** regime checkpoints captured *)

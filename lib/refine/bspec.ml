@@ -1,0 +1,202 @@
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Fifo = Sep_util.Fifo
+module Regime_kernel = Sep_core.Regime_kernel
+
+type regime = {
+  colour : Colour.t;
+  inst : Component.instance;
+  pending : Component.message Fifo.t;
+  in_chans : int list;
+  mutable obs : Component.obs list;  (* reversed *)
+  mutable outs : Component.message list;  (* reversed *)
+}
+
+type t = {
+  regimes : regime array;
+  bufs : Component.message Fifo.t array;
+  cut : bool array;
+  src_of : int array;
+  dst_of : int array;
+  mutable current : int;
+  mutable switches : int;
+  mutable copies : int;
+  mutable dropped : int;
+}
+
+let external_queue_capacity = 1024
+
+let build topo =
+  (match Topology.validate topo with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Bspec.build: " ^ msg));
+  let colours = Array.of_list (Topology.colours topo) in
+  let index_of c =
+    let rec find i = if Colour.equal colours.(i) c then i else find (i + 1) in
+    find 0
+  in
+  let wires = Array.of_list topo.Topology.wires in
+  let regime r_idx (colour, comp) =
+    let in_chans = ref [] in
+    Array.iteri
+      (fun id (w : Topology.wire) -> if index_of w.Topology.dst = r_idx then in_chans := id :: !in_chans)
+      wires;
+    {
+      colour;
+      inst = Component.instantiate comp;
+      pending = Fifo.create ~capacity:external_queue_capacity;
+      in_chans = List.sort Int.compare !in_chans;
+      obs = [];
+      outs = [];
+    }
+  in
+  {
+    regimes = Array.of_list (List.mapi regime topo.Topology.parts);
+    bufs = Array.map (fun (w : Topology.wire) -> Fifo.create ~capacity:w.Topology.capacity) wires;
+    cut = Array.map (fun (w : Topology.wire) -> w.Topology.cut) wires;
+    src_of = Array.map (fun (w : Topology.wire) -> index_of w.Topology.src) wires;
+    dst_of = Array.map (fun (w : Topology.wire) -> index_of w.Topology.dst) wires;
+    current = 0;
+    switches = 0;
+    copies = 0;
+    dropped = 0;
+  }
+
+let copy_in t sender chan_id msg =
+  if chan_id < 0 || chan_id >= Array.length t.bufs || t.src_of.(chan_id) <> sender then
+    t.dropped <- t.dropped + 1
+  else if t.cut.(chan_id) then () (* the far end was aliased away *)
+  else if Fifo.push t.bufs.(chan_id) msg then t.copies <- t.copies + 1
+  else t.dropped <- t.dropped + 1
+
+let deliver t r_idx ev =
+  let r = t.regimes.(r_idx) in
+  r.obs <- Component.Saw ev :: r.obs;
+  List.iter
+    (function
+      | Component.Send (chan_id, msg) as act ->
+        r.obs <- Component.Did act :: r.obs;
+        copy_in t r_idx chan_id msg
+      | Component.Output msg as act ->
+        r.obs <- Component.Did act :: r.obs;
+        r.outs <- msg :: r.outs)
+    (Component.feed r.inst ev)
+
+let field_externals t externals =
+  List.iter
+    (fun (c, msg) ->
+      Array.iter
+        (fun r ->
+          if Colour.equal r.colour c then
+            if not (Fifo.push r.pending msg) then t.dropped <- t.dropped + 1)
+        t.regimes)
+    externals
+
+let quantum t r_idx deliverable =
+  if t.current <> r_idx then begin
+    t.current <- r_idx;
+    t.switches <- t.switches + 1
+  end;
+  let r = t.regimes.(r_idx) in
+  let rec drain () =
+    match Fifo.pop r.pending with
+    | Some msg ->
+      deliver t r_idx (Component.External msg);
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  List.iter
+    (fun chan_id ->
+      if deliverable.(chan_id) > 0 then begin
+        deliverable.(chan_id) <- 0;
+        match Fifo.pop t.bufs.(chan_id) with
+        | Some msg ->
+          t.copies <- t.copies + 1;
+          deliver t r_idx (Component.Recv (chan_id, msg))
+        | None -> ()
+      end)
+    r.in_chans
+
+let step t ~externals =
+  field_externals t externals;
+  let deliverable = Array.map (fun buf -> min 1 (Fifo.length buf)) t.bufs in
+  for r_idx = 0 to Array.length t.regimes - 1 do
+    quantum t r_idx deliverable
+  done
+
+let find t c =
+  let rec search i =
+    if i >= Array.length t.regimes then raise Not_found
+    else if Colour.equal t.regimes.(i).colour c then t.regimes.(i)
+    else search (i + 1)
+  in
+  search 0
+
+let trace t c = List.rev (find t c).obs
+let outputs t c = List.rev (find t c).outs
+let chan_buffer t id = Fifo.to_list t.bufs.(id)
+let chan_count t = Array.length t.bufs
+let context_switches t = t.switches
+let messages_copied t = t.copies
+let buffered t = Array.fold_left (fun acc b -> acc + Fifo.length b) 0 t.bufs
+let drops t = t.dropped
+let current_colour t = t.regimes.(t.current).colour
+
+(* -- The simulation relation ----------------------------------------------- *)
+
+let first_difference xs ys =
+  let rec walk i xs ys =
+    match (xs, ys) with
+    | [], [] -> None
+    | x :: xs', y :: ys' -> if Component.equal_obs x y then walk (i + 1) xs' ys' else Some i
+    | _, _ -> Some i
+  in
+  walk 0 xs ys
+
+let agrees t k =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_colour acc r =
+    match acc with
+    | Error _ -> acc
+    | Ok () -> begin
+      let spec_trace = List.rev r.obs in
+      let kern_trace = Regime_kernel.trace k r.colour in
+      match first_difference spec_trace kern_trace with
+      | Some i ->
+        err "trace of %a diverges at obs %d (spec %d events, kernel %d)" Colour.pp r.colour i
+          (List.length spec_trace) (List.length kern_trace)
+      | None ->
+        if Regime_kernel.outputs k r.colour <> List.rev r.outs then
+          err "outputs of %a diverge" Colour.pp r.colour
+        else Ok ()
+    end
+  in
+  let base = Array.fold_left check_colour (Ok ()) t.regimes in
+  let check_chan acc id =
+    match acc with
+    | Error _ -> acc
+    | Ok () ->
+      let spec = chan_buffer t id and kern = Regime_kernel.chan_buffer k id in
+      if spec <> kern then
+        err "channel %d buffer diverges (spec holds %d, kernel %d)" id (List.length spec)
+          (List.length kern)
+      else Ok ()
+  in
+  let base = List.fold_left check_chan base (List.init (Array.length t.bufs) Fun.id) in
+  match base with
+  | Error _ as e -> e
+  | Ok () ->
+    if Regime_kernel.context_switches k <> t.switches then
+      err "context switches diverge (spec %d, kernel %d)" t.switches
+        (Regime_kernel.context_switches k)
+    else if Regime_kernel.messages_copied k <> t.copies then
+      err "copy accounting diverges (spec %d, kernel %d)" t.copies (Regime_kernel.messages_copied k)
+    else if Regime_kernel.buffered k <> buffered t then
+      err "buffered totals diverge (spec %d, kernel %d)" (buffered t) (Regime_kernel.buffered k)
+    else if Regime_kernel.drops k <> t.dropped then
+      err "drop accounting diverges (spec %d, kernel %d)" t.dropped (Regime_kernel.drops k)
+    else if not (Colour.equal (Regime_kernel.current_colour k) (current_colour t)) then
+      err "processor position diverges"
+    else Ok ()

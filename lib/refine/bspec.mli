@@ -1,0 +1,43 @@
+(** The behavioural abstract specification: the ideal distributed system
+    that {!Sep_core.Regime_kernel} must be indistinguishable from.
+
+    Each colour's component runs on a machine of its own (a private
+    instance), and the only shared objects are the declared channels,
+    modelled as kernel-free message buffers with the same capacities.
+    Delivery follows the same discipline the behavioural kernel documents
+    — externals first, then at most one already-in-flight message per
+    incoming channel in channel order, per regime visit, regimes in
+    topology order — so a correct kernel produces {e identical} traces,
+    outputs, buffer contents and accounting at every rotation; any
+    deviation is a refinement violation. *)
+
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+
+type t
+
+val build : Topology.t -> t
+(** Instantiates its own copies of the topology's components. *)
+
+val step : t -> externals:(Colour.t * Component.message) list -> unit
+(** One full rotation, mirroring {!Sep_core.Regime_kernel.step}. *)
+
+val trace : t -> Colour.t -> Component.obs list
+val outputs : t -> Colour.t -> Component.message list
+val chan_buffer : t -> int -> Component.message list
+val chan_count : t -> int
+val context_switches : t -> int
+val messages_copied : t -> int
+val buffered : t -> int
+val drops : t -> int
+val current_colour : t -> Colour.t
+
+(** {1 The simulation relation} *)
+
+val agrees : t -> Sep_core.Regime_kernel.t -> (unit, string) result
+(** The commuting-square check, applied after each rotation: per-colour
+    observable traces and outputs, per-channel kernel buffer contents,
+    the processor's position and the copy/switch/drop accounting must all
+    coincide. [Error] carries a human-readable description of the first
+    disagreement found. *)

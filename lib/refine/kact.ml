@@ -1,0 +1,365 @@
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Config = Sep_core.Config
+module Isa = Sep_hw.Isa
+module Word = Sep_hw.Word
+module Machine = Sep_hw.Machine
+module Json = Sep_util.Json
+module Prng = Sep_util.Prng
+module Gen = Sep_check.Gen
+
+type kop =
+  | KAdd
+  | KXor
+
+type act =
+  | KSet of int * int
+  | KArith of kop * int * int
+  | KEmit of int
+  | KSend of int * int
+  | KRecv of int * int
+
+type case = {
+  k_emitters : bool list;
+  k_chans : (int * int * int) list;
+  k_progs : act list list;
+  k_quantum : int option;
+}
+
+let pp_act ppf = function
+  | KSet (r, v) -> Fmt.pf ppf "r%d:=%d" r v
+  | KArith (KAdd, rd, rs) -> Fmt.pf ppf "r%d+=r%d" rd rs
+  | KArith (KXor, rd, rs) -> Fmt.pf ppf "r%d^=r%d" rd rs
+  | KEmit r -> Fmt.pf ppf "emit r%d" r
+  | KSend (c, r) -> Fmt.pf ppf "send ch%d r%d" c r
+  | KRecv (c, r) -> Fmt.pf ppf "recv ch%d->r%d" c r
+
+let pp_case ppf c =
+  Fmt.pf ppf "@[<v>quantum=%a chans=%a@ %a@]"
+    Fmt.(Dump.option int)
+    c.k_quantum
+    Fmt.(Dump.list (Dump.pair int (Dump.pair int int)))
+    (List.map (fun (s, r, cap) -> (s, (r, cap))) c.k_chans)
+    Fmt.(Dump.list (Dump.list pp_act))
+    c.k_progs
+
+let act_to_json = function
+  | KSet (r, v) -> Json.List [ Json.String "set"; Json.Int r; Json.Int v ]
+  | KArith (op, rd, rs) ->
+    Json.List
+      [ Json.String (match op with KAdd -> "add" | KXor -> "xor"); Json.Int rd; Json.Int rs ]
+  | KEmit r -> Json.List [ Json.String "emit"; Json.Int r ]
+  | KSend (c, r) -> Json.List [ Json.String "send"; Json.Int c; Json.Int r ]
+  | KRecv (c, r) -> Json.List [ Json.String "recv"; Json.Int c; Json.Int r ]
+
+let case_to_json c =
+  Json.Obj
+    [
+      ("quantum", match c.k_quantum with Some q -> Json.Int q | None -> Json.Null);
+      ( "channels",
+        Json.List
+          (List.map
+             (fun (s, r, cap) -> Json.List [ Json.Int s; Json.Int r; Json.Int cap ])
+             c.k_chans) );
+      ("programs", Json.List (List.map (fun p -> Json.List (List.map act_to_json p)) c.k_progs));
+    ]
+
+let size c = List.fold_left (fun acc p -> acc + List.length p) 0 c.k_progs
+
+(* -- Generation ------------------------------------------------------------ *)
+
+let user_reg rng = Prng.int_in rng 3 5
+
+let insert_at pos a prog =
+  let rec go i = function
+    | rest when i = pos -> a :: rest
+    | [] -> [ a ]
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  go 0 prog
+
+let gen ?(max_regimes = 3) ?(max_actions = 5) () rng =
+  let n = Prng.int_in rng 2 max_regimes in
+  let emitters = List.init n (fun _ -> Prng.bool rng) in
+  (* acyclic channel graph: sender index strictly below receiver index *)
+  let nchan = Prng.int_in rng 1 2 in
+  let endpoints =
+    List.init nchan (fun _ ->
+        let s = Prng.int rng (n - 1) in
+        let r = Prng.int_in rng (s + 1) (n - 1) in
+        (s, r))
+  in
+  let base i =
+    let len = Prng.int rng (max_actions + 1) in
+    List.init len (fun _ ->
+        match Prng.int rng 3 with
+        | 0 -> KSet (user_reg rng, Prng.int rng 256)
+        | 1 ->
+          KArith ((if Prng.bool rng then KAdd else KXor), user_reg rng, user_reg rng)
+        | _ ->
+          if List.nth emitters i then KEmit (user_reg rng) else KSet (user_reg rng, Prng.int rng 256))
+  in
+  let progs = Array.of_list (List.init n base) in
+  (* guarantee traffic: one or two sends per channel, inserted at random
+     positions in the sender's program *)
+  List.iteri
+    (fun id (s, _) ->
+      for _ = 1 to Prng.int_in rng 1 2 do
+        progs.(s) <-
+          insert_at (Prng.int rng (List.length progs.(s) + 1)) (KSend (id, user_reg rng)) progs.(s)
+      done)
+    endpoints;
+  (* distribute receives: at most as many as the channel's sends, inserted
+     at random positions in the receiver's program *)
+  List.iteri
+    (fun id (s, r) ->
+      let sends =
+        List.length (List.filter (function KSend (c, _) -> c = id | _ -> false) progs.(s))
+      in
+      let k = Prng.int rng (sends + 1) in
+      for _ = 1 to k do
+        progs.(r) <-
+          insert_at (Prng.int rng (List.length progs.(r) + 1)) (KRecv (id, user_reg rng)) progs.(r)
+      done)
+    endpoints;
+  let chans =
+    List.mapi
+      (fun id (s, r) ->
+        let sends =
+          List.length (List.filter (function KSend (c, _) -> c = id | _ -> false) progs.(s))
+        in
+        (s, r, max 1 sends))
+      endpoints
+  in
+  let quantum = if Prng.bool rng then None else Some (Prng.int_in rng 3 6) in
+  { k_emitters = emitters; k_chans = chans; k_progs = Array.to_list progs; k_quantum = quantum }
+
+(* -- Shrinking ------------------------------------------------------------- *)
+
+let shrink c =
+  let drop_one =
+    List.concat
+      (List.mapi
+         (fun i p ->
+           List.mapi
+             (fun j _ ->
+               let progs =
+                 List.mapi
+                   (fun i' p' -> if i' = i then List.filteri (fun j' _ -> j' <> j) p' else p')
+                   c.k_progs
+               in
+               { c with k_progs = progs })
+             p)
+         c.k_progs)
+  in
+  let drop_quantum = match c.k_quantum with Some _ -> [ { c with k_quantum = None } ] | None -> [] in
+  List.to_seq (drop_one @ drop_quantum)
+
+(* -- Reference evaluation: the Kahn network, run directly ------------------ *)
+
+type outcome = {
+  o_sent : int list array;
+  o_bound : int list array;
+  o_emitted : int list array;
+  o_regs : int array array;
+}
+
+let word_op op a b = match op with KAdd -> Word.add a b | KXor -> Word.logxor a b
+
+let eval c =
+  let n = List.length c.k_progs in
+  let nchan = List.length c.k_chans in
+  let pos = Array.of_list c.k_progs in
+  let regs = Array.init n (fun _ -> Array.make Isa.num_regs 0) in
+  let queues = Array.make nchan [] in
+  let sent = Array.make nchan [] and bound = Array.make nchan [] in
+  let emitted = Array.make n [] in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    for i = 0 to n - 1 do
+      let rec run () =
+        match pos.(i) with
+        | [] -> ()
+        | KSet (r, v) :: rest ->
+          regs.(i).(r) <- v;
+          pos.(i) <- rest;
+          progressed := true;
+          run ()
+        | KArith (op, rd, rs) :: rest ->
+          regs.(i).(rd) <- word_op op regs.(i).(rd) regs.(i).(rs);
+          pos.(i) <- rest;
+          progressed := true;
+          run ()
+        | KEmit r :: rest ->
+          emitted.(i) <- regs.(i).(r) :: emitted.(i);
+          pos.(i) <- rest;
+          progressed := true;
+          run ()
+        | KSend (ch, r) :: rest ->
+          sent.(ch) <- regs.(i).(r) :: sent.(ch);
+          queues.(ch) <- queues.(ch) @ [ regs.(i).(r) ];
+          pos.(i) <- rest;
+          progressed := true;
+          run ()
+        | KRecv (ch, rd) :: rest -> begin
+          match queues.(ch) with
+          | [] -> () (* blocked: an upstream program may still produce *)
+          | w :: ws ->
+            queues.(ch) <- ws;
+            regs.(i).(rd) <- w;
+            bound.(ch) <- w :: bound.(ch);
+            pos.(i) <- rest;
+            progressed := true;
+            run ()
+        end
+      in
+      run ()
+    done
+  done;
+  {
+    o_sent = Array.map List.rev sent;
+    o_bound = Array.map List.rev bound;
+    o_emitted = Array.map List.rev emitted;
+    o_regs = regs;
+  }
+
+(* -- Machine-level rendering ----------------------------------------------- *)
+
+let render_isa prog =
+  let n = ref 0 in
+  let body =
+    List.concat_map
+      (fun a ->
+        match a with
+        | KSet (r, v) -> [ Isa.Instr (Isa.Loadi (r, v)) ]
+        | KArith (op, rd, rs) ->
+          [ Isa.Instr (match op with KAdd -> Isa.Add (rd, rs) | KXor -> Isa.Xor (rd, rs)) ]
+        | KEmit r ->
+          (* R6 := device window base, then arm the transmitter (slot 0) *)
+          [ Isa.Instr (Isa.Loadi (6, 1)); Isa.Instr (Isa.Shl (6, 15)); Isa.Instr (Isa.Store (r, 6, 0)) ]
+        | KSend (c, r) ->
+          [ Isa.Instr (Isa.Loadi (0, c)); Isa.Instr (Isa.Mov (1, r)); Isa.Instr (Isa.Trap 1) ]
+        | KRecv (c, rd) ->
+          (* blocking receive: poll, yield while empty *)
+          incr n;
+          let retry = Fmt.str "kr%d" !n and got = Fmt.str "kg%d" !n in
+          [
+            Isa.Label retry;
+            Isa.Instr (Isa.Loadi (0, c));
+            Isa.Instr (Isa.Trap 2);
+            Isa.Instr (Isa.Loadi (6, 1));
+            Isa.Instr (Isa.Cmp (2, 6));
+            Isa.Branch_eq got;
+            Isa.Instr (Isa.Trap 0);
+            Isa.Branch retry;
+            Isa.Label got;
+            Isa.Instr (Isa.Mov (rd, 1));
+          ])
+      prog
+  in
+  body @ [ Isa.Instr Isa.Halt ]
+
+let to_config c =
+  let regimes =
+    List.mapi
+      (fun i prog ->
+        let rendered = render_isa prog in
+        {
+          Config.colour = Colour.of_index i;
+          part_size = Array.length (Isa.assemble rendered) + 6;
+          program = rendered;
+          devices = (if List.nth c.k_emitters i then [ Machine.Tx ] else []);
+        })
+      c.k_progs
+  in
+  let channels =
+    List.map (fun (s, r, cap) -> (Colour.of_index s, Colour.of_index r, cap)) c.k_chans
+  in
+  Config.make ?quantum:c.k_quantum ~regimes ~channels ()
+
+(* -- Behavioural rendering ------------------------------------------------- *)
+
+type probe = {
+  mutable p_regs : int array;
+  mutable p_bound : int list;
+}
+
+let new_probe () = { p_regs = Array.make Isa.num_regs 0; p_bound = [] }
+
+let component name prog probe =
+  let init = (prog, Array.make Isa.num_regs 0, ([] : (int * int list) list)) in
+  let step (pos, regs0, stash0) ev =
+    let regs = Array.copy regs0 in
+    let stash = ref stash0 in
+    let acts = ref [] in
+    let push c w =
+      stash :=
+        (match List.assoc_opt c !stash with
+        | Some ws -> (c, ws @ [ w ]) :: List.remove_assoc c !stash
+        | None -> (c, [ w ]) :: !stash)
+    in
+    let pop c =
+      match List.assoc_opt c !stash with
+      | Some (w :: ws) ->
+        stash := (c, ws) :: List.remove_assoc c !stash;
+        Some w
+      | Some [] | None -> None
+    in
+    (match ev with
+    | Component.Recv (c, msg) -> (
+      match int_of_string_opt msg with Some w -> push c w | None -> ())
+    | Component.External _ -> ());
+    let rec run pos =
+      match pos with
+      | [] -> pos
+      | KSet (r, v) :: rest ->
+        regs.(r) <- v;
+        run rest
+      | KArith (op, rd, rs) :: rest ->
+        regs.(rd) <- word_op op regs.(rd) regs.(rs);
+        run rest
+      | KEmit r :: rest ->
+        acts := Component.Output (string_of_int regs.(r)) :: !acts;
+        run rest
+      | KSend (c, r) :: rest ->
+        acts := Component.Send (c, string_of_int regs.(r)) :: !acts;
+        run rest
+      | KRecv (c, rd) :: rest -> begin
+        match pop c with
+        | Some w ->
+          regs.(rd) <- w;
+          probe.p_bound <- w :: probe.p_bound;
+          run rest
+        | None -> pos
+      end
+    in
+    let pos' = run pos in
+    probe.p_regs <- Array.copy regs;
+    ((pos', regs, !stash), List.rev !acts)
+  in
+  Component.make ~name ~init ~step
+
+let to_topology c ~probes =
+  let parts =
+    List.mapi
+      (fun i prog ->
+        let colour = Colour.of_index i in
+        (colour, component (Colour.name colour) prog probes.(i)))
+      c.k_progs
+  in
+  let wires =
+    List.map (fun (s, r, cap) -> (Colour.of_index s, Colour.of_index r, cap)) c.k_chans
+  in
+  Topology.make ~parts ~wires
+
+(* -- Budgets --------------------------------------------------------------- *)
+
+let sue_steps c =
+  let n = List.length c.k_progs in
+  (* every action is at most ten instructions; a blocked receive burns a
+     handful of steps per spin and unblocks within one full rotation *)
+  (256 + (40 * size c)) * (n + 1)
+
+let rotations c = size c + List.fold_left (fun acc (_, _, cap) -> acc + cap) 0 c.k_chans + 8

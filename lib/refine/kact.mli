@@ -1,0 +1,99 @@
+(** Cross-level workloads: one program, three renderings.
+
+    The refinement stack compares three implementations of the same
+    design — the abstract specification, the behavioural kernel and the
+    machine kernel — so it needs workloads expressible at every level. A
+    {!case} is a tiny Kahn-style dataflow program per colour over the
+    declared channels: register arithmetic, words emitted on the colour's
+    transmitter, words sent down channels, and {e blocking} receives.
+    Blocking is the point: a Kahn network's committed word streams are a
+    function of the programs alone, independent of how a substrate
+    schedules or batches delivery — exactly the invariant that lets a
+    per-instruction machine kernel and a per-rotation behavioural kernel
+    be compared at all.
+
+    Channel graphs are generated acyclic (sender index below receiver
+    index) with at most as many receives as sends per channel, so a full
+    evaluation always terminates; channel capacities are sized to the
+    send count so no level ever observes a full buffer. *)
+
+module Colour = Sep_model.Colour
+module Component = Sep_model.Component
+module Topology = Sep_model.Topology
+module Config = Sep_core.Config
+module Gen = Sep_check.Gen
+
+type kop =
+  | KAdd
+  | KXor
+
+type act =
+  | KSet of int * int  (** register (3–5), value below 256 *)
+  | KArith of kop * int * int  (** dst, src in 3–5 *)
+  | KEmit of int  (** emit the register's word on the colour's transmitter *)
+  | KSend of int * int  (** channel, register *)
+  | KRecv of int * int  (** channel, destination register — blocking *)
+
+type case = {
+  k_emitters : bool list;  (** per colour: owns a Tx device *)
+  k_chans : (int * int * int) list;
+      (** (sender index, receiver index, capacity); sender < receiver *)
+  k_progs : act list list;  (** one program per colour *)
+  k_quantum : int option;
+}
+
+val pp_act : Format.formatter -> act -> unit
+val pp_case : Format.formatter -> case -> unit
+val case_to_json : case -> Sep_util.Json.t
+
+val gen : ?max_regimes:int -> ?max_actions:int -> unit -> case Gen.t
+
+val shrink : case -> case Seq.t
+(** Drop actions one at a time (receives first lose their senders'
+    partners naturally — an orphaned receive just blocks forever, which
+    every level represents), then drop the preemption quantum. *)
+
+val size : case -> int
+(** Total action count, the size shrinking minimizes. *)
+
+(** {1 Reference evaluation} *)
+
+type outcome = {
+  o_sent : int list array;  (** per channel, send order *)
+  o_bound : int list array;  (** per channel, words bound by receives *)
+  o_emitted : int list array;  (** per colour *)
+  o_regs : int array array;  (** per colour, final register file *)
+}
+
+val eval : case -> outcome
+(** Run the Kahn network to completion (or to a blocked fixpoint when
+    receives were orphaned by shrinking): the committed word streams
+    every level must reproduce. *)
+
+(** {1 Renderings} *)
+
+val to_config : case -> Sep_hw.Isa.stmt list Config.t
+(** Machine-level: receives compile to poll/yield retry loops, programs
+    end in WAIT. *)
+
+type probe = {
+  mutable p_regs : int array;
+  mutable p_bound : int list;  (** reversed *)
+}
+(** Instrumentation a hosted component writes through: its current
+    register file and the words its receives have bound — state the
+    behavioural kernel has no other window onto. *)
+
+val new_probe : unit -> probe
+
+val to_topology : case -> probes:probe array -> Topology.t
+(** Behavioural: each program as an event-driven component (ticked once
+    to start, then driven by deliveries), writing through its probe.
+    Build a fresh probe array per topology — probes are per-component
+    instrumentation, not shared. *)
+
+val sue_steps : case -> int
+(** A machine-step budget generous enough for the network to quiesce. *)
+
+val rotations : case -> int
+(** A rotation budget for the behavioural levels. *)

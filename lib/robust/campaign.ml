@@ -439,6 +439,7 @@ let detection_to_json f =
   match (f : Sue.kernel_fault) with
   | Sue.Save_area_corrupt c -> J.String ("save-area-corrupt:" ^ Colour.name c)
   | Sue.Guard_breach a -> J.String (Fmt.str "guard-breach:%04x" a)
+  | Sue.Channel_head_corrupt a -> J.String (Fmt.str "channel-head-corrupt:%04x" a)
   | Sue.Watchdog_expired c -> J.String ("watchdog-expired:" ^ Colour.name c)
   | Sue.Kernel_panic reason -> J.String ("kernel-panic:" ^ reason)
   | Sue.Regime_restart c -> J.String ("regime-restart:" ^ Colour.name c)

@@ -40,6 +40,99 @@ let test_uncut_fails () =
   let conds = Separability.failing_conditions r in
   Alcotest.(check bool) "the shared buffer shows up as interference" true (List.mem 2 conds)
 
+(* Condition 2's connected-system weakening: with [sanction_channels] the
+   uncut pipeline verifies, because every interference the checker sees is
+   confined to the declared channel's contents. *)
+let test_sanctioned_uncut_verifies () =
+  let inst = Scenarios.pipeline in
+  let sys =
+    Sue.to_system ~sanction_channels:true ~inputs:inst.alphabet (Config.cut_none inst.cfg)
+  in
+  let r = Separability.check sys in
+  Alcotest.(check bool)
+    (Fmt.str "sanctioned uncut pipeline verified (%d states)" r.Separability.states)
+    true (Separability.verified r)
+
+(* The sanction covers interference in both directions across an uncut
+   ring: the sender perturbs the receiver's view (data arrives) and the
+   receiver perturbs the sender's (capacity frees up). Two opposed uncut
+   channels exercise both at once. *)
+let test_sanctioned_both_directions () =
+  let module Isa = Sep_hw.Isa in
+  let i x = Isa.Instr x in
+  let prog mine other =
+    [
+      i (Isa.Loadi (0, mine));
+      i (Isa.Loadi (1, 40 + mine));
+      i (Isa.Trap 1);
+      i (Isa.Loadi (0, other));
+      i (Isa.Trap 2);
+      i (Isa.Trap 0);
+      i Isa.Halt;
+    ]
+  in
+  let module Colour = Sep_model.Colour in
+  let regime colour program = { Config.colour; part_size = 16; program; devices = [] } in
+  let cfg =
+    Config.make
+      ~regimes:[ regime Colour.red (prog 0 1); regime Colour.black (prog 1 0) ]
+      ~channels:[ (Colour.red, Colour.black, 1); (Colour.black, Colour.red, 1) ]
+      ()
+  in
+  let strict = Separability.check (Sue.to_system ~inputs:[ [] ] cfg) in
+  Alcotest.(check bool) "strict reading flags both uncut rings" false
+    (Separability.verified strict);
+  Alcotest.(check bool) "as condition 2" true
+    (List.mem 2 (Separability.failing_conditions strict));
+  let sanctioned =
+    Separability.check (Sue.to_system ~sanction_channels:true ~inputs:[ [] ] cfg)
+  in
+  Alcotest.(check bool) "sanction accepts interference both ways" true
+    (Separability.verified sanctioned)
+
+(* The sanction is narrow: interference that is not confined to declared
+   channel contents — here a register smuggled across a context switch —
+   is still rejected. *)
+let test_sanction_rejects_noise_outside_channels () =
+  let inst = Scenarios.pipeline in
+  let sys =
+    Sue.to_system ~bugs:[ Sue.Partition_hole ] ~sanction_channels:true ~inputs:inst.alphabet
+      (Config.cut_none inst.cfg)
+  in
+  let r = Separability.check sys in
+  Alcotest.(check bool) "partition hole not sanctioned" false (Separability.verified r)
+
+(* On a fully cut configuration the sanction never fires: both readings
+   coincide, so turning it on cannot mask a genuine violation there. *)
+let test_sanction_noop_when_cut () =
+  let inst = Scenarios.pipeline in
+  let sys =
+    Sue.to_system ~sanction_channels:true ~inputs:inst.alphabet (Config.cut_all inst.cfg)
+  in
+  Alcotest.(check bool) "cut + sanction verifies" true
+    (Separability.verified (Separability.check sys));
+  let buggy =
+    Sue.to_system ~bugs:[ Sue.Output_leak ] ~sanction_channels:true ~inputs:inst.alphabet
+      (Config.cut_all inst.cfg)
+  in
+  Alcotest.(check bool) "cut + sanction still catches a leak" false
+    (Separability.verified (Separability.check buggy))
+
+(* Pin the default: omitting the flag is the strict reading (E5). *)
+let test_sanction_off_by_default () =
+  let inst = Scenarios.pipeline in
+  let implicit =
+    Separability.check (Sue.to_system ~inputs:inst.alphabet (Config.cut_none inst.cfg))
+  in
+  let explicit =
+    Separability.check
+      (Sue.to_system ~sanction_channels:false ~inputs:inst.alphabet (Config.cut_none inst.cfg))
+  in
+  Alcotest.(check bool) "implicit default is strict" false (Separability.verified implicit);
+  Alcotest.(check (list int)) "explicit false agrees"
+    (Separability.failing_conditions implicit)
+    (Separability.failing_conditions explicit)
+
 let test_cut_verifies () =
   (* cut_all of an already-cut config is idempotent and verified *)
   let inst = Scenarios.pipeline in
@@ -376,6 +469,15 @@ let () =
         [
           Alcotest.test_case "uncut fails" `Slow test_uncut_fails;
           Alcotest.test_case "cut verifies" `Slow test_cut_verifies;
+        ] );
+      ( "sanctioned channels",
+        [
+          Alcotest.test_case "uncut verifies under sanction" `Slow test_sanctioned_uncut_verifies;
+          Alcotest.test_case "both directions sanctioned" `Quick test_sanctioned_both_directions;
+          Alcotest.test_case "noise outside channels rejected" `Slow
+            test_sanction_rejects_noise_outside_channels;
+          Alcotest.test_case "no-op on cut configs" `Slow test_sanction_noop_when_cut;
+          Alcotest.test_case "off by default" `Slow test_sanction_off_by_default;
         ] );
       ( "checker mechanics",
         [

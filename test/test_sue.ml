@@ -167,6 +167,57 @@ let test_channel_bad_id () =
   let red = Sue.phi t Colour.red in
   Alcotest.(check int) "unknown channel" 2 red.AR.regs.(2)
 
+(* A flipped ring head word must not take RECV out of bounds: the pop
+   repairs the head (mod capacity), audits exactly one
+   [Channel_head_corrupt], and still delivers the buffered word. *)
+let test_ring_head_corruption_repaired () =
+  (* delay the receiver one quantum so the word is in flight when we
+     corrupt the head *)
+  let receiver = [ i (Isa.Trap 0); i (Isa.Loadi (0, 0)); i (Isa.Trap 2); i Isa.Halt ] in
+  let t = build sender_prog receiver ~red_devices:[] ~black_devices:[] () in
+  let send_area, _, cap = Option.get (Sue.channel_area t 0) in
+  let m = Sue.machine t in
+  let rec fill n =
+    if n = 0 then Alcotest.fail "send never landed"
+    else if Machine.read_phys m (send_area + 1) = 0 then begin
+      ignore (Sue.step t []);
+      fill (n - 1)
+    end
+  in
+  fill 20;
+  (* head := a multiple of cap beyond the ring: out of range, but congruent
+     to the true head so the repair is lossless *)
+  Machine.write_phys m send_area (3 * cap);
+  run_steps t 10;
+  let black = Sue.phi t Colour.black in
+  Alcotest.(check int) "word still delivered" 42 black.AR.regs.(1);
+  Alcotest.(check int) "recv status ok" 1 black.AR.regs.(2);
+  let head = Machine.read_phys m send_area in
+  Alcotest.(check bool) "head repaired in bounds" true (head >= 0 && head < cap);
+  let corruptions =
+    List.filter (function Sue.Channel_head_corrupt _ -> true | _ -> false) (Sue.drain_faults t)
+  in
+  (match corruptions with
+  | [ Sue.Channel_head_corrupt addr ] ->
+    Alcotest.(check int) "audit names the ring" send_area addr
+  | faults -> Alcotest.failf "expected one channel audit, got %d" (List.length faults));
+  Alcotest.(check bool) "audit counted" true (Sue.audit_count t >= 1)
+
+let test_ring_head_corruption_empty_ring_ignored () =
+  (* with the ring empty the pop never dereferences the head, so a corrupt
+     head word on an empty ring is not (yet) an audit event *)
+  let receiver = [ i (Isa.Loadi (0, 0)); i (Isa.Trap 2); i (Isa.Trap 0); i Isa.Halt ] in
+  let t = build spin receiver ~red_devices:[] ~black_devices:[] () in
+  let send_area, _, cap = Option.get (Sue.channel_area t 0) in
+  Machine.write_phys (Sue.machine t) send_area (5 * cap);
+  run_steps t 10;
+  let black = Sue.phi t Colour.black in
+  Alcotest.(check int) "recv found nothing" 0 black.AR.regs.(2);
+  Alcotest.(check (list int)) "no audit for an undereferenced head" []
+    (List.filter_map
+       (function Sue.Channel_head_corrupt a -> Some a | _ -> None)
+       (Sue.drain_faults t))
+
 (* -- faults and parking ------------------------------------------------------- *)
 
 let test_fault_parks () =
@@ -605,6 +656,9 @@ let () =
           Alcotest.test_case "capacity" `Quick test_channel_capacity;
           Alcotest.test_case "wrong owner" `Quick test_channel_wrong_owner;
           Alcotest.test_case "bad id" `Quick test_channel_bad_id;
+          Alcotest.test_case "head corruption repaired" `Quick test_ring_head_corruption_repaired;
+          Alcotest.test_case "empty ring corruption inert" `Quick
+            test_ring_head_corruption_empty_ring_ignored;
         ] );
       ( "faults",
         [

@@ -1,10 +1,13 @@
-(* Tests for Sep_util: PRNG, bounded FIFO, bit codecs, statistics, tables. *)
+(* Tests for Sep_util: PRNG, bounded FIFO, bit codecs, statistics, tables,
+   JSON round-trips. *)
 
 module Prng = Sep_util.Prng
 module Fifo = Sep_util.Fifo
 module Bits = Sep_util.Bits
 module Stats = Sep_util.Stats
 module Table = Sep_util.Table
+module Json = Sep_util.Json
+module Gen = Sep_check.Gen
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -208,6 +211,62 @@ let test_table_too_many_cells () =
   Alcotest.check_raises "too many cells" (Invalid_argument "Table.add_row: too many cells")
     (fun () -> Table.add_row t [ "1"; "2" ])
 
+(* -- Json round-trips -------------------------------------------------------- *)
+
+let reparse ctx s =
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s: %s does not parse back: %s" ctx s e
+
+(* print -> parse -> print is a fixpoint on generated values: one hop may
+   normalise (e.g. escape forms), after which the text is stable. *)
+let json_roundtrip_fuzz () =
+  for seed = 1 to 300 do
+    let j = Gen.run ~seed (Gen.json ()) in
+    let s = Json.to_string j in
+    let s' = Json.to_string (reparse (Fmt.str "seed %d" seed) s) in
+    Alcotest.(check string) (Fmt.str "seed %d fixpoint" seed) s s'
+  done
+
+let json_utf8_strings () =
+  for seed = 1 to 200 do
+    let raw = Gen.run ~seed (Gen.utf8_string ~max_len:24) in
+    let j = Json.String raw in
+    let back = reparse (Fmt.str "seed %d" seed) (Json.to_string j) in
+    Alcotest.(check bool) (Fmt.str "seed %d string survives" seed) true (Json.equal j back)
+  done
+
+let json_surrogate_pairs () =
+  (* a supplementary-plane escape decodes to one UTF-8 code point and then
+     round-trips as itself *)
+  (match Json.parse {|"😀"|} with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "surrogate pair decodes" "\xf0\x9f\x98\x80" s;
+    let printed = Json.to_string (Json.String s) in
+    Alcotest.(check bool) "and reprints equal" true
+      (Json.equal (Json.String s) (reparse "surrogate" printed))
+  | Ok j -> Alcotest.failf "expected a string, got %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "surrogate pair rejected: %s" e);
+  (match Json.parse {|"\uD83D"|} with
+  | Ok _ -> Alcotest.fail "lone surrogate accepted"
+  | Error _ -> ())
+
+let json_deep_nesting () =
+  let deep = ref (Json.Int 7) in
+  for i = 1 to 200 do
+    deep := if i mod 2 = 0 then Json.List [ !deep ] else Json.Obj [ ("k", !deep) ]
+  done;
+  let s = Json.to_string !deep in
+  Alcotest.(check bool) "200 levels round-trip" true (Json.equal !deep (reparse "deep" s));
+  for seed = 1 to 40 do
+    let j = Gen.run ~seed (Gen.json ~depth:8 ()) in
+    let s = Json.to_string j in
+    Alcotest.(check string)
+      (Fmt.str "seed %d deep fixpoint" seed)
+      s
+      (Json.to_string (reparse (Fmt.str "deep seed %d" seed) s))
+  done
+
 let () =
   Alcotest.run "util"
     [
@@ -249,5 +308,12 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "print-parse-print fixpoint" `Quick json_roundtrip_fuzz;
+          Alcotest.test_case "utf8 strings survive" `Quick json_utf8_strings;
+          Alcotest.test_case "surrogate pairs" `Quick json_surrogate_pairs;
+          Alcotest.test_case "deep nesting" `Quick json_deep_nesting;
         ] );
     ]
