@@ -1,13 +1,13 @@
 (* Benchmark and experiment harness.
 
-   One driver per reproduced claim of the paper (E1-E18, indexed in
+   One driver per reproduced claim of the paper (E1-E21, indexed in
    DESIGN.md and EXPERIMENTS.md), each printing the table that supports
    it, followed by bechamel timings of the core operations.
 
      dune exec bench/main.exe                 all experiments + timings
      dune exec bench/main.exe -- e3 e6        selected experiments
      dune exec bench/main.exe -- timings      only the timing benches
-     dune exec bench/main.exe -- snapshot     write BENCH_PR8.json (see EXPERIMENTS.md)
+     dune exec bench/main.exe -- snapshot     write BENCH_PR9.json (see EXPERIMENTS.md)
      dune exec bench/main.exe -- snapshot --check   validate the writer, write nothing
      dune exec bench/main.exe -- compare OLD.json NEW.json   regression gate on throughput *)
 
@@ -987,6 +987,121 @@ let e19 () =
     (federation_measures ());
   Table.print t
 
+(* -- E21: services over the federation ----------------------------------------- *)
+
+(* One service run: end-to-end requests carried by the Sep_svc layer on
+   top of the federation, clean and under a directed node-fault plan.
+   The throughput metric is resolved requests per second of wall clock;
+   the contract column is the exactly-once audit (lost = committed
+   outcome without a ledger effect, dup = one (client, rid) committed
+   twice). *)
+type svc_measure = {
+  sm_label : string;
+  sm_faulty : bool;
+  sm_steps : int;
+  sm_seconds : float;
+  sm_requests : int;
+  sm_committed : int;
+  sm_requests_per_sec : float;
+  sm_retries : int;
+  sm_dedup_hits : int;
+  sm_shed : int;
+  sm_rtt_p50 : float;
+  sm_rtt_p95 : float;
+  sm_contract_ok : bool;
+  sm_violating : bool;  (* the online monitor flagged a shard *)
+}
+
+let measure_service ?plan ?(steps = 2_500) (dep : Sep_svc.Svc.deployment) =
+  let module Svc = Sep_svc.Svc in
+  let (t, res), secs =
+    timed_best (fun () ->
+        let t = Svc.build ?plan ~monitor:true ~seed:42 dep in
+        Svc.run t ~steps;
+        (t, Svc.finish t))
+  in
+  let tel = Svc.telemetry t in
+  let kv name =
+    match Sep_obs.Telemetry.find_counter tel name with
+    | Some c -> Sep_obs.Telemetry.counter_value c
+    | None -> 0
+  in
+  let rtt = Sep_obs.Telemetry.histogram tel "svc.rtt_steps" in
+  let c = res.Svc.sr_contract in
+  {
+    sm_label = dep.Svc.dp_name;
+    sm_faulty = plan <> None;
+    sm_steps = steps;
+    sm_seconds = secs;
+    sm_requests = c.Svc.ct_requests;
+    sm_committed = c.Svc.ct_committed;
+    sm_requests_per_sec =
+      (if secs > 0.0 then float_of_int c.Svc.ct_resolved /. secs else 0.0);
+    sm_retries = kv "svc.retries";
+    sm_dedup_hits = kv "svc.dedup_hits";
+    sm_shed = kv "svc.shed";
+    sm_rtt_p50 = Sep_obs.Telemetry.p50 rtt;
+    sm_rtt_p95 = Sep_obs.Telemetry.p95 rtt;
+    sm_contract_ok = c.Svc.ct_ok;
+    sm_violating = res.Svc.sr_fed.Sep_fed.Fed.fob_first_violation <> None;
+  }
+
+(* The directed faulty workload: crash the first replica shard a third
+   of the way in (clients fail over, the replay cache absorbs the
+   retries) and partition the first wire two thirds in (deadline
+   timeouts and backoff, never a duplicated effect). *)
+let service_fault_plan (dep : Sep_svc.Svc.deployment) ~steps =
+  let spec = Sep_svc.Svc.spec_of dep in
+  {
+    Sep_robust.Fault_plan.label = "bench-service-faults";
+    faults =
+      [
+        (steps / 3, Sep_robust.Fault_plan.Shard_crash { shard = 1 });
+        ( 2 * steps / 3,
+          Sep_robust.Fault_plan.Link_partition
+            { link = min 1 (Sep_fed.Fed.nlinks_of spec - 1); window = 60 } );
+      ];
+  }
+
+let service_measures ?(steps = 2_500) () =
+  List.concat_map
+    (fun (dep : Sep_svc.Svc.deployment) ->
+      [
+        measure_service ~steps dep;
+        measure_service ~plan:(service_fault_plan dep ~steps) ~steps dep;
+      ])
+    Sep_apps.Fed_services.all
+
+let e21 () =
+  claim
+    "the section 6 services survive node faults as federation applications: clients retry with \
+     capped backoff and fail over across replicas, servers deduplicate replays for exactly-once \
+     effects, overload sheds definite rejections — every accepted request ends in exactly one \
+     committed effect or a definite client-visible failure, clean and under crashes alike.";
+  let t = Table.create
+      ~title:"E21: service throughput and contract, clean vs node faults (2500 steps, best of 3)"
+      ~columns:[ "service"; "workload"; "requests"; "committed"; "req/s"; "retries"; "dedup";
+                 "shed"; "rtt p50"; "rtt p95"; "contract"; "monitor" ] in
+  List.iter
+    (fun m ->
+      Table.add_row t
+        [
+          m.sm_label;
+          (if m.sm_faulty then "node faults" else "clean");
+          string_of_int m.sm_requests;
+          string_of_int m.sm_committed;
+          Fmt.str "%.0f" m.sm_requests_per_sec;
+          string_of_int m.sm_retries;
+          string_of_int m.sm_dedup_hits;
+          string_of_int m.sm_shed;
+          Fmt.str "%.0f" m.sm_rtt_p50;
+          Fmt.str "%.0f" m.sm_rtt_p95;
+          (if m.sm_contract_ok then "ok" else "BROKEN");
+          (if m.sm_violating then "VIOLATION" else "clean");
+        ])
+    (service_measures ());
+  Table.print t
+
 (* -- E20: the refinement stack ----------------------------------------------------------- *)
 
 let refinement_measure () =
@@ -1380,6 +1495,31 @@ let snapshot_json () =
     in
     Json.Obj [ ("runs", Json.List runs) ]
   in
+  let services =
+    let runs =
+      List.map
+        (fun m ->
+          Json.Obj
+            [
+              ("label", Json.String m.sm_label);
+              ("workload", Json.String (if m.sm_faulty then "node-faults" else "clean"));
+              ("steps", Json.Int m.sm_steps);
+              ("seconds", Json.Float m.sm_seconds);
+              ("requests", Json.Int m.sm_requests);
+              ("committed", Json.Int m.sm_committed);
+              ("requests_per_sec", Json.Float m.sm_requests_per_sec);
+              ("retries", Json.Int m.sm_retries);
+              ("dedup_hits", Json.Int m.sm_dedup_hits);
+              ("shed", Json.Int m.sm_shed);
+              ("rtt_p50", Json.Float m.sm_rtt_p50);
+              ("rtt_p95", Json.Float m.sm_rtt_p95);
+              ("contract_ok", Json.Bool m.sm_contract_ok);
+              ("monitor_clean", Json.Bool (not m.sm_violating));
+            ])
+        (service_measures ())
+    in
+    Json.Obj [ ("runs", Json.List runs) ]
+  in
   let refinement =
     let module Stack = Sep_refine.Stack in
     let scen, checks, secs, diverged, kills, kill_secs = refinement_measure () in
@@ -1401,7 +1541,7 @@ let snapshot_json () =
   in
   Json.Obj
     [
-      ("schema", Json.String "rushby-bench/8");
+      ("schema", Json.String "rushby-bench/9");
       ("generated_at_unix", Json.Float (Unix.time ()));
       ("ocaml_version", Json.String Sys.ocaml_version);
       ("experiments", Json.List check_experiments);
@@ -1413,6 +1553,7 @@ let snapshot_json () =
       ("monitor", monitor);
       ("latency", latency);
       ("federation", federation);
+      ("services", services);
       ("refinement", refinement);
       ("spans", Sep_obs.Span.to_json ());
     ]
@@ -1422,7 +1563,7 @@ let validate_snapshot json =
   let require_obj name v = match v with Some (Json.Obj _ as o) -> Ok o | _ -> fail ("missing object " ^ name) in
   let require_list name v = match v with Some (Json.List l) -> Ok l | _ -> fail ("missing list " ^ name) in
   match Json.member "schema" json with
-  | Some (Json.String "rushby-bench/8") -> (
+  | Some (Json.String (("rushby-bench/8" | "rushby-bench/9") as schema)) -> (
     match require_list "experiments" (Json.member "experiments" json) with
     | Error e -> fail e
     | Ok experiments -> (
@@ -1469,6 +1610,16 @@ let validate_snapshot json =
           with
           | Error e -> fail e
           | Ok federation_runs -> (
+          (* the services section arrived with rushby-bench/9; older
+             snapshots stay valid without it *)
+          match
+            if schema = "rushby-bench/8" then Ok []
+            else
+              Result.bind (require_obj "services" (Json.member "services" json)) (fun s ->
+                  require_list "services.runs" (Json.member "runs" s))
+          with
+          | Error e -> fail e
+          | Ok services_runs -> (
           match require_obj "latency" (Json.member "latency" json) with
           | Error e -> fail e
           | Ok latency when
@@ -1541,12 +1692,21 @@ let validate_snapshot json =
                     "latency_p50"; "latency_p95"; "latency_p99"; "node_events"; "recoveries";
                     "monitor_clean" ]
               in
+              let service_ok s =
+                List.for_all
+                  (fun k -> Json.member k s <> None)
+                  [ "label"; "workload"; "steps"; "seconds"; "requests"; "committed";
+                    "requests_per_sec"; "retries"; "dedup_hits"; "shed"; "rtt_p50"; "rtt_p95";
+                    "contract_ok"; "monitor_clean" ]
+              in
               if not (List.for_all exp_ok experiments) then fail "malformed experiment entry"
               else if not (List.for_all run_ok runs) then fail "malformed kernel_run entry"
               else if not (List.for_all monitor_ok monitor_runs) then
                 fail "malformed monitor entry"
               else if not (List.for_all federation_ok federation_runs) then
                 fail "malformed federation entry"
+              else if not (List.for_all service_ok services_runs) then
+                fail "malformed services entry"
               else if not (List.for_all fuzz_scenario_ok fuzz_scenarios) then
                 fail "malformed fuzz scenario entry"
               else if not (List.for_all fuzz_kill_ok fuzz_kills) then fail "malformed fuzz kill entry"
@@ -1555,13 +1715,14 @@ let validate_snapshot json =
               else if
                 experiments = [] || runs = [] || monitor_runs = [] || federation_runs = []
                 || fuzz_scenarios = [] || fuzz_kills = [] || refinement_kills = []
+                || (schema = "rushby-bench/9" && services_runs = [])
               then fail "empty snapshot"
-              else Ok (List.length experiments, List.length runs))))))))))))
+              else Ok (List.length experiments, List.length runs)))))))))))))
   | _ -> fail "missing or unexpected schema tag"
 
 let snapshot_main args =
   let check_only = ref false in
-  let out = ref "BENCH_PR8.json" in
+  let out = ref "BENCH_PR9.json" in
   let rec parse = function
     | [] -> Ok ()
     | "--check" :: rest ->
@@ -1673,6 +1834,22 @@ let rates json =
         runs
     | _ -> ())
   | None -> ());
+  (match Json.member "services" json with
+  | Some s ->
+    (match Json.member "runs" s with
+    | Some (Json.List runs) ->
+      List.iter
+        (fun r ->
+          match
+            (str (Json.member "label" r), str (Json.member "workload" r),
+             Json.member "requests_per_sec" r)
+          with
+          | Some label, Some workload, Some v ->
+            add (Fmt.str "services.%s:%s.requests_per_sec" label workload) v
+          | _ -> ())
+        runs
+    | _ -> ())
+  | None -> ());
   List.rev !out
 
 let load_snapshot file =
@@ -1753,6 +1930,7 @@ let experiments =
     ("e18", e18);
     ("e19", e19);
     ("e20", e20);
+    ("e21", e21);
     ("timings", timings);
   ]
 

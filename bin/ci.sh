@@ -9,8 +9,10 @@
 # run with node-fault chaos (exit 1 on an ideal-differential mismatch,
 # a violating chaos outcome or an unclean shard monitor), a
 # refinement-stack smoke run (exit 1 on a lockstep divergence on a clean
-# kernel or a seeded bug the bisimulation fails to kill), a
-# parallel-determinism
+# kernel or a seeded bug the bisimulation fails to kill), a service-layer
+# smoke run plus a short chaos soak over all four §6 services (exit 1 on
+# any broken exactly-once contract, lost or duplicated effect, or unclean
+# shard monitor), a parallel-determinism
 # check (the -j 2 JSON reports must be byte-identical to -j 1), a
 # fresh self-validating bench snapshot gated against the committed one
 # (exit 1 on a >20% throughput regression), a replay of every checked-in
@@ -31,6 +33,10 @@ dune exec bin/rushby.exe -- recover --smoke
 dune exec bin/rushby.exe -- fuzz --smoke --seed 5
 dune exec bin/rushby.exe -- federate --smoke --chaos
 dune exec bin/rushby.exe -- refine --smoke
+dune exec bin/rushby.exe -- serve --smoke
+# A short soak: sustained correlated node chaos (repeated same-shard
+# crashes, flapping partitions, tamper bursts) over every §6 service.
+dune exec bin/rushby.exe -- serve --steps 5000 --count 2
 
 # Determinism across job counts: sharded parallel runs must reproduce the
 # sequential reports byte for byte.
@@ -60,6 +66,9 @@ diff "$tmpdir/fed-j1.jsonl" "$tmpdir/fed-j2.jsonl"
 dune exec bin/rushby.exe -- refine --smoke -j 1 --json "$tmpdir/refine-j1.jsonl"
 dune exec bin/rushby.exe -- refine --smoke -j 2 --json "$tmpdir/refine-j2.jsonl"
 diff "$tmpdir/refine-j1.jsonl" "$tmpdir/refine-j2.jsonl"
+dune exec bin/rushby.exe -- serve --smoke -j 1 --json "$tmpdir/serve-j1.jsonl"
+dune exec bin/rushby.exe -- serve --smoke -j 2 --json "$tmpdir/serve-j2.jsonl"
+diff "$tmpdir/serve-j1.jsonl" "$tmpdir/serve-j2.jsonl"
 
 # The corpus directory ships non-empty, but guard the glob anyway: an
 # unexpanded pattern would otherwise reach --replay-corpus verbatim.

@@ -609,6 +609,14 @@ let stats_run scenario bugs seed jobs steps impl json_file =
   Fmt.pr "@.== span profile (seconds) ==@.%a@." Sep_obs.Telemetry.pp Sep_obs.Span.registry;
   Fmt.pr "@.== parallel executor (%d jobs) ==@.%a@." jobs Sep_obs.Telemetry.pp
     Sep_par.Par.registry;
+  (* the service layer's counters from one clean replicated deployment,
+     so retries/timeouts/dedup/shed surface next to the kernel's numbers *)
+  let svc_steps = 2500 in
+  let svc = Sep_svc.Svc.build ~seed Sep_apps.Fed_services.file_server in
+  Sep_svc.Svc.run svc ~steps:svc_steps;
+  ignore (Sep_svc.Svc.finish svc);
+  let svc_tel = Sep_svc.Svc.telemetry svc in
+  Fmt.pr "@.== service layer (fed-fs, %d steps) ==@.%a@." svc_steps Sep_obs.Telemetry.pp svc_tel;
   (match json_file with
   | None -> ()
   | Some file ->
@@ -630,6 +638,14 @@ let stats_run scenario bugs seed jobs steps impl json_file =
                ("delivered", Sep_util.Json.Int rc.Sep_check.Diff.rc_delivered);
                ("retransmit_queue", Sep_util.Json.Int rc.Sep_check.Diff.rc_retransmit_queue);
                ("stats", link_stats_json rc.Sep_check.Diff.rc_stats);
+             ]);
+        Sep_obs.Sink.emit sink
+          (Sep_util.Json.Obj
+             [
+               ("kind", Sep_util.Json.String "svc_counters");
+               ("service", Sep_util.Json.String "fed-fs");
+               ("steps", Sep_util.Json.Int svc_steps);
+               ("telemetry", Sep_obs.Telemetry.to_json svc_tel);
              ]);
         Sep_obs.Sink.emit sink
           (Sep_util.Json.Obj
@@ -966,6 +982,106 @@ let federate_cmd =
           heartbeat supervision, checkpointed failover) clean against the monolithic ideal, and \
           with --chaos under the node-level fault campaign.")
     Term.(const federate_run $ seed_arg $ jobs_arg $ steps $ count $ smoke $ chaos $ json_file)
+
+(* -- serve ------------------------------------------------------------------- *)
+
+let serve_run seed jobs steps soak smoke soak_mode service json_file chrome =
+  let module S = Sep_svc.Svc in
+  let module SC = Sep_svc.Svc_campaign in
+  if chrome <> None then Sep_obs.Trace.set_enabled true;
+  let steps, soak =
+    if smoke then (2000, 1) else if soak_mode then (max steps 6000, max soak 6) else (steps, soak)
+  in
+  let deployments =
+    match service with
+    | None -> Sep_apps.Fed_services.all
+    | Some name -> (
+      match Sep_apps.Fed_services.find name with
+      | Some d -> [ d ]
+      | None ->
+        Fmt.epr "rushby: unknown service %s (have: %s)@." name
+          (String.concat ", "
+             (List.map (fun d -> d.S.dp_name) Sep_apps.Fed_services.all));
+        exit 2)
+  in
+  Fmt.pr "== services over the federation: seed %d, %d steps, %d soak plans ==@." seed steps soak;
+  let reports =
+    List.map
+      (fun (dep : S.deployment) ->
+        let r = SC.run ~jobs ~seed ~steps ~soak dep in
+        let m, d, rc, v = SC.totals r in
+        let sum f = List.fold_left (fun acc c -> acc + f c) 0 r.SC.sv_cases in
+        Fmt.pr
+          "  %-9s %3d cases  %3d masked  %3d detected-safe  %3d recovered-safe  %3d violating@."
+          r.SC.sv_name (List.length r.SC.sv_cases) m d rc v;
+        Fmt.pr
+          "            %5d requests  %4d committed  %4d retries  %4d dedup-hits  %4d shed  \
+           contract %s  monitor %s@."
+          (sum (fun c -> c.SC.sc_contract.S.ct_requests))
+          (sum (fun c -> c.SC.sc_contract.S.ct_committed))
+          (sum (fun c -> c.SC.sc_retries))
+          (sum (fun c -> c.SC.sc_dedup_hits))
+          (sum (fun c -> c.SC.sc_shed))
+          (if SC.contracts_ok r then "ok" else "BROKEN")
+          (if SC.monitor_clean r then "clean" else "VIOLATION");
+        List.iter
+          (fun (c : SC.case) ->
+            if c.SC.sc_outcome = Sep_robust.Campaign.Violating then
+              Fmt.pr "    VIOLATION %a@." Sep_robust.Fault_plan.pp c.SC.sc_plan)
+          r.SC.sv_cases;
+        r)
+      deployments
+  in
+  let ok = List.for_all (fun r -> SC.holds r && SC.monitor_clean r) reports in
+  Fmt.pr "@.service contract %s@."
+    (if ok then "HOLDS (every accepted request: exactly-once effect or definite failure)"
+     else "VIOLATED");
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    graceful_write @@ fun () ->
+    let oc = open_out file in
+    List.iter (fun r -> output_string oc (SC.report_to_jsonl r)) reports;
+    close_out oc;
+    Fmt.pr "wrote %s@." file);
+  (match chrome with None -> () | Some file -> write_chrome file);
+  if ok then 0 else 1
+
+let serve_cmd =
+  let steps = Arg.(value & opt int 5000 & info [ "steps" ] ~doc:"Service steps per case.") in
+  let soak =
+    Arg.(value & opt int 6 & info [ "count" ] ~doc:"Seeded soak plans per service (plus directed).")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Small deterministic run (2000 steps, 1 soak plan/service) for CI.")
+  in
+  let soak_mode =
+    Arg.(value & flag
+         & info [ "soak" ]
+             ~doc:"Sustained-chaos mode: at least 6000 steps and 6 soak storms per service.")
+  in
+  let service =
+    Arg.(value & opt (some string) None
+         & info [ "service" ] ~docv:"NAME"
+             ~doc:"Run a single deployment (fed-fs, fed-print, fed-auth, fed-guard).")
+  in
+  let json_file =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write campaign reports as JSONL to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Deploy the \u{00a7}6 services (MLS file server, printer, authentication, ACCAT Guard) \
+          as replicated request/response applications over the kernel federation, and verify the \
+          end-to-end contract — every accepted request commits exactly once or fails definitely — \
+          under directed strikes and sustained chaos soaks with the online separability monitor \
+          attached.")
+    Term.(
+      const serve_run $ seed_arg $ jobs_arg $ steps $ soak $ smoke $ soak_mode $ service
+      $ json_file $ chrome_arg)
 
 (* -- fuzz -------------------------------------------------------------------- *)
 
@@ -1370,6 +1486,7 @@ let main_cmd =
       inject_cmd;
       recover_cmd;
       federate_cmd;
+      serve_cmd;
       fuzz_cmd;
       refine_cmd;
     ]

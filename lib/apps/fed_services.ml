@@ -1,0 +1,186 @@
+module Svc = Sep_svc.Svc
+module Prng = Sep_util.Prng
+
+(* -- fed-fs: the MLS file server -------------------------------------------- *)
+
+(* Word encoding: READ arg = file id; WRITE arg = file id << 8 | byte.
+   Levels are small ints (0-3); client i is cleared at i mod 4, file f is
+   classified at f mod 4. Simple security and the *-property reduce to
+   two comparisons — the same mandatory checks Mls enforces over its
+   string protocol. *)
+
+let fs_read = 1
+let fs_write = 2
+let n_files = 16
+let clearance client = client mod 4
+let file_level f = f mod 4
+
+let fs_app () =
+  let files = Array.make n_files 0 in
+  let checkpoint = Array.make n_files 0 in
+  {
+    Svc.ap_apply =
+      (fun ~client ~op ~arg ->
+        if op = fs_read then begin
+          let f = arg mod n_files in
+          if clearance client >= file_level f then Svc.Ok files.(f) else Svc.Denied 0
+        end
+        else if op = fs_write then begin
+          let f = (arg lsr 8) mod n_files in
+          if file_level f >= clearance client then begin
+            files.(f) <- arg land 0xff;
+            Svc.Commit f
+          end
+          else Svc.Denied 0
+        end
+        else Svc.Notfound 0);
+    ap_checkpoint = (fun () -> Array.blit files 0 checkpoint 0 n_files);
+    ap_read_cached =
+      (fun ~client ~op ~arg ->
+        if op = fs_read && clearance client >= file_level (arg mod n_files) then
+          Some checkpoint.(arg mod n_files)
+        else None);
+    ap_degraded = (fun ~op -> if op = fs_read then Svc.Read_cached else Svc.Fail_fast);
+    ap_effectful = (fun op -> op = fs_write);
+    ap_op_name = (fun op -> if op = fs_read then "READ" else if op = fs_write then "WRITE" else "?");
+  }
+
+let fs_workload rng =
+  if Prng.int rng 3 < 2 then (fs_read, Prng.int rng n_files)
+  else (fs_write, (Prng.int rng n_files lsl 8) lor Prng.int rng 256)
+
+let file_server =
+  {
+    Svc.dp_name = "fed-fs";
+    dp_clients = 3;
+    dp_replicas = 2;
+    dp_mk_app = fs_app;
+    dp_workload = fs_workload;
+  }
+
+(* -- fed-print: the printer server ------------------------------------------ *)
+
+let pr_print = 1
+let pr_status = 2
+
+let print_app () =
+  let printed = ref 0 in
+  let checkpoint = ref 0 in
+  {
+    Svc.ap_apply =
+      (fun ~client:_ ~op ~arg:_ ->
+        if op = pr_print then begin
+          incr printed;
+          Svc.Commit !printed
+        end
+        else if op = pr_status then Svc.Ok !printed
+        else Svc.Notfound 0);
+    ap_checkpoint = (fun () -> checkpoint := !printed);
+    ap_read_cached =
+      (fun ~client:_ ~op ~arg:_ -> if op = pr_status then Some !checkpoint else None);
+    ap_degraded = (fun ~op -> if op = pr_print then Svc.Spool else Svc.Read_cached);
+    ap_effectful = (fun op -> op = pr_print);
+    ap_op_name =
+      (fun op -> if op = pr_print then "PRINT" else if op = pr_status then "STATUS" else "?");
+  }
+
+let print_workload rng =
+  if Prng.int rng 4 < 3 then (pr_print, Prng.int rng 0x10000) else (pr_status, 0)
+
+let printer =
+  {
+    Svc.dp_name = "fed-print";
+    dp_clients = 3;
+    dp_replicas = 2;
+    dp_mk_app = print_app;
+    dp_workload = print_workload;
+  }
+
+(* -- fed-auth: the authentication mechanism --------------------------------- *)
+
+(* arg packs user (4 bits) over password (12 bits); the right password is
+   derived from the user id so client workloads and the server agree
+   without sharing state. *)
+
+let au_login = 1
+let auth_password user = (user * 2654435761) land 0xfff
+
+let auth_app () =
+  let sessions = ref 0 in
+  {
+    Svc.ap_apply =
+      (fun ~client:_ ~op ~arg ->
+        if op = au_login then begin
+          let user = (arg lsr 12) land 0xf and pass = arg land 0xfff in
+          if pass = auth_password user then begin
+            incr sessions;
+            Svc.Commit (((user land 0xf) lsl 8) lor (!sessions land 0xff))
+          end
+          else Svc.Denied 0
+        end
+        else Svc.Notfound 0);
+    ap_checkpoint = (fun () -> ());
+    ap_read_cached = (fun ~client:_ ~op:_ ~arg:_ -> None);
+    ap_degraded = (fun ~op:_ -> Svc.Fail_fast);
+    ap_effectful = (fun op -> op = au_login);
+    ap_op_name = (fun op -> if op = au_login then "LOGIN" else "?");
+  }
+
+let auth_workload rng =
+  let user = Prng.int rng 8 in
+  let pass = if Prng.int rng 4 = 0 then Prng.int rng 0x1000 else auth_password user in
+  (au_login, (user lsl 12) lor pass)
+
+let auth =
+  {
+    Svc.dp_name = "fed-auth";
+    dp_clients = 3;
+    dp_replicas = 2;
+    dp_mk_app = auth_app;
+    dp_workload = auth_workload;
+  }
+
+(* -- fed-guard: the ACCAT Guard --------------------------------------------- *)
+
+(* arg's high nibble is the message's sensitivity; the sanitizer strips
+   it and the Watch Officer's standing threshold decides releasability.
+   Everything above threshold is a definite DENY — and with the Guard
+   unreachable the client fails closed, releasing nothing on its own. *)
+
+let gd_release = 1
+let gd_threshold = 2
+
+let guard_app () =
+  let released = ref 0 in
+  {
+    Svc.ap_apply =
+      (fun ~client:_ ~op ~arg ->
+        if op = gd_release then begin
+          let sensitivity = (arg lsr 12) land 0xf in
+          if sensitivity <= gd_threshold then begin
+            incr released;
+            Svc.Commit (arg land 0x0fff)
+          end
+          else Svc.Denied sensitivity
+        end
+        else Svc.Notfound 0);
+    ap_checkpoint = (fun () -> ());
+    ap_read_cached = (fun ~client:_ ~op:_ ~arg:_ -> None);
+    ap_degraded = (fun ~op:_ -> Svc.Fail_closed);
+    ap_effectful = (fun op -> op = gd_release);
+    ap_op_name = (fun op -> if op = gd_release then "RELEASE" else "?");
+  }
+
+let guard_workload rng = (gd_release, Prng.int rng 0x10000)
+
+let guard =
+  {
+    Svc.dp_name = "fed-guard";
+    dp_clients = 3;
+    dp_replicas = 2;
+    dp_mk_app = guard_app;
+    dp_workload = guard_workload;
+  }
+
+let all = [ file_server; printer; auth; guard ]
+let find name = List.find_opt (fun d -> d.Svc.dp_name = name) all

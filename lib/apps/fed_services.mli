@@ -1,0 +1,50 @@
+(** The §6 services deployed as fault-tolerant federation applications.
+
+    Each deployment packages one of the paper's example systems — the MLS
+    file server, the printer server, the authentication mechanism, the
+    ACCAT Guard — as a {!Sep_svc.Svc.deployment}: a word-level
+    request/response application behind replicated shard frontends, with
+    the degraded-mode posture §6 implies for each. These are the service
+    semantics of {!Mls} and {!Guard_app} re-expressed at word granularity
+    so they fit in a 3-word wire frame; the string-protocol originals
+    remain the reference implementations.
+
+    Degraded modes (what a client does when every replica is down):
+    - file server: reads answered from the last committed checkpoint,
+      writes fail fast;
+    - printer: jobs spool client-side and drain on rejoin, status reads
+      from the checkpoint;
+    - authentication: fails fast — nobody logs in on a dead authority;
+    - Guard: fails {e closed} — no release without the sanitizer. *)
+
+val file_server : Sep_svc.Svc.deployment
+(** [fed-fs]: 16 files, each classified at level [file mod 4]; client [i]
+    is cleared at level [i mod 4]. [READ file] (pure) obeys simple
+    security — no read up; [WRITE file byte] (effectful) obeys the
+    *-property — no write down. Denials are healthy, definite replies. *)
+
+val printer : Sep_svc.Svc.deployment
+(** [fed-print]: [PRINT word] (effectful) appends to the printout and
+    returns the job's sequence number; [STATUS] (pure) reports jobs
+    printed. *)
+
+val auth : Sep_svc.Svc.deployment
+(** [fed-auth]: [LOGIN user<<12|pass] checks [pass] against
+    {!auth_password} and, on success, commits a session and returns its
+    token; wrong passwords are [Denied]. *)
+
+val guard : Sep_svc.Svc.deployment
+(** [fed-guard]: [RELEASE word] sanitizes the word (strips the
+    sensitivity nibble) and commits the sanitized release when the
+    sensitivity is at or below the Watch Officer's threshold; above it,
+    [Denied]. *)
+
+val all : Sep_svc.Svc.deployment list
+(** The four deployments, [fed-fs] first. *)
+
+val find : string -> Sep_svc.Svc.deployment option
+(** Look a deployment up by [dp_name]. *)
+
+val auth_password : int -> int
+(** The password the authentication service expects for a user id —
+    derived, so tests and workloads agree with the server. *)

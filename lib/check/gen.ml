@@ -346,6 +346,13 @@ let recovery_plans ?(faults_per_plan = 3) ~steps ~count cfg rng =
   let seed = Int64.to_int (Prng.bits64 rng) land 0x3fffffff in
   Sep_robust.Fault_plan.generate_multi ~seed ~steps ~count ~faults_per_plan cfg
 
+let soak_plans ~nodes ~steps ~count cfg rng =
+  let seed = Int64.to_int (Prng.bits64 rng) land 0x3fffffff in
+  Sep_robust.Fault_plan.soak ~nodes ~seed ~steps ~count cfg
+
+let service_requests ~workload ~max rng =
+  List.init (Prng.int_in rng 1 (Stdlib.max 1 max)) (fun _ -> workload rng)
+
 let crashes ~colours ~max_steps ~max_crashes rng =
   let arr = Array.of_list colours in
   if Array.length arr = 0 then []

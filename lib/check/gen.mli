@@ -142,6 +142,21 @@ val recovery_plans :
     at once and force the recovery paths, the seed drawn from the
     generator state. *)
 
+val soak_plans :
+  nodes:Sep_robust.Fault_plan.node_space ->
+  steps:int -> count:int -> 'p Config.t -> Sep_robust.Fault_plan.t list t
+(** Seeded soak plans via {!Sep_robust.Fault_plan.soak} — sustained,
+    correlated node-level chaos (repeated same-shard crashes, flapping
+    partitions, tamper bursts) over a long horizon, the seed drawn from
+    the generator state. [steps] must be at least 256. *)
+
+val service_requests :
+  workload:(Sep_util.Prng.t -> int * int) -> max:int -> (int * int) list t
+(** A service workload: 1–[max] [(op, arg)] request draws from a
+    deployment's workload function ({!Sep_svc.Svc.deployment}'s
+    [dp_workload] has exactly this type), reproducible from the
+    generator state. *)
+
 val crashes :
   colours:Sep_model.Colour.t list -> max_steps:int -> max_crashes:int ->
   (int * Sep_model.Colour.t) list t

@@ -54,6 +54,80 @@ let class_to_wire c =
   | [] -> level
   | cs -> level ^ ":" ^ String.concat "," cs
 
+(* -- Word-level service frames ---------------------------------------------- *)
+
+type req = {
+  rq_op : int;
+  rq_rid : int;
+  rq_arg : int;
+}
+
+type rsp = {
+  rs_status : int;
+  rs_rid : int;
+  rs_value : int;
+}
+
+let frame_words = 3
+let frame_cksum w0 w1 = ((w0 * 31) + (w1 * 131) + 23) land 0xffff
+let req_magic = 0xa
+let rsp_magic = 0xb
+
+let head magic code rid = (magic lsl 12) lor ((code land 0xf) lsl 8) lor (rid land 0xff)
+
+let req_words r =
+  let w0 = head req_magic r.rq_op r.rq_rid in
+  let w1 = r.rq_arg land 0xffff in
+  [ w0; w1; frame_cksum w0 w1 ]
+
+let rsp_words r =
+  let w0 = head rsp_magic r.rs_status r.rs_rid in
+  let w1 = r.rs_value land 0xffff in
+  [ w0; w1; frame_cksum w0 w1 ]
+
+(* Stream decoding with resync: the transport underneath (channel rings
+   crossed by NIC wires) can lose or corrupt individual words under
+   faults, so a decoder must not trust word alignment. Three words are
+   buffered; if they don't form a valid frame — wrong magic or checksum —
+   the oldest word is discarded and decoding continues one word later.
+   A valid frame is therefore found again within [frame_words] words of
+   any corruption. *)
+type decoder = {
+  d_magic : int;
+  mutable d_buf : int list; (* oldest first, length < frame_words *)
+  mutable d_skipped : int;
+}
+
+let req_decoder () = { d_magic = req_magic; d_buf = []; d_skipped = 0 }
+let rsp_decoder () = { d_magic = rsp_magic; d_buf = []; d_skipped = 0 }
+let decoder_skipped d = d.d_skipped
+
+let feed d w =
+  match d.d_buf @ [ w land 0xffff ] with
+  | [ w0; w1; w2 ] ->
+    if w0 lsr 12 = d.d_magic && w2 = frame_cksum w0 w1 then begin
+      d.d_buf <- [];
+      Some (w0, w1)
+    end
+    else begin
+      d.d_buf <- [ w1; w2 ];
+      d.d_skipped <- d.d_skipped + 1;
+      None
+    end
+  | buf ->
+    d.d_buf <- buf;
+    None
+
+let feed_req d w =
+  Option.map
+    (fun (w0, w1) -> { rq_op = (w0 lsr 8) land 0xf; rq_rid = w0 land 0xff; rq_arg = w1 })
+    (feed d w)
+
+let feed_rsp d w =
+  Option.map
+    (fun (w0, w1) -> { rs_status = (w0 lsr 8) land 0xf; rs_rid = w0 land 0xff; rs_value = w1 })
+    (feed d w)
+
 let class_of_wire s =
   let level_str, comps =
     match String.index_opt s ':' with

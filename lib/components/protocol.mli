@@ -31,3 +31,48 @@ val class_to_wire : Sep_lattice.Sclass.t -> string
 
 val class_of_wire : string -> Sep_lattice.Sclass.t option
 (** Inverse of {!class_to_wire}. *)
+
+(** {1 Word-level service frames}
+
+    The request/response wire format {!Sep_svc} speaks through real
+    kernel channels: three 16-bit words per frame. The head word packs a
+    4-bit magic (0xA requests, 0xB responses), a 4-bit op or status code
+    and an 8-bit request id; the second word is the payload; the third an
+    end-to-end checksum over the first two. Request ids are monotone mod
+    256 per client — the dedup key and the retry-idempotency token. *)
+
+type req = {
+  rq_op : int;  (** 4-bit operation code *)
+  rq_rid : int;  (** 8-bit request id, monotone per client *)
+  rq_arg : int;  (** 16-bit argument *)
+}
+
+type rsp = {
+  rs_status : int;  (** 4-bit status code *)
+  rs_rid : int;  (** the request id this answers *)
+  rs_value : int;  (** 16-bit result *)
+}
+
+val frame_words : int
+(** Words per frame (3). *)
+
+val req_words : req -> int list
+val rsp_words : rsp -> int list
+
+type decoder
+(** An incremental frame decoder over a word stream, with resync: an
+    invalid three-word window (wrong magic or checksum — e.g. after a
+    fault destroyed a word in transit) discards its oldest word and
+    decoding continues, so alignment is re-found within {!frame_words}
+    words of any corruption. *)
+
+val req_decoder : unit -> decoder
+val rsp_decoder : unit -> decoder
+
+val feed_req : decoder -> int -> req option
+(** Feed one word; [Some r] when it completes a valid request frame. *)
+
+val feed_rsp : decoder -> int -> rsp option
+
+val decoder_skipped : decoder -> int
+(** Words discarded by resync so far. *)

@@ -129,12 +129,29 @@ let node_event_to_json e =
    protocol: the go-back-N layer recovers loss, the checksum rejects
    forgery. *)
 let cksum chan word = ((chan * 131) + (word * 31) + 7) land 0xffff
-let chan_msg chan word = Printf.sprintf "ch|%d|%d|%d" chan word (cksum chan word)
+
+(* The legacy single-word frame encoder: emission is all-batch now, but
+   the format stays decodable (and encodable, for mixed-version tests). *)
+let[@warning "-32"] chan_msg chan word = Printf.sprintf "ch|%d|%d|%d" chan word (cksum chan word)
+
+(* A batched frame carries a whole ring drain in one go:
+   "cb|<chan>|<n>|<w0>,<w1>,...|<ck>". The checksum folds every word, so
+   dropping, reordering or forging any word inside the batch is caught
+   exactly as it would be frame-by-frame. Single-word "ch|" frames stay
+   parseable for mixed-version traffic. *)
+let batch_cksum chan words =
+  List.fold_left (fun acc w -> ((acc * 31) + w + 11) land 0xffff) (((chan * 131) + 7) land 0xffff) words
+
+let batch_msg chan words =
+  Printf.sprintf "cb|%d|%d|%s|%d" chan (List.length words)
+    (String.concat "," (List.map string_of_int words))
+    (batch_cksum chan words)
+
 let hb_msg shard = Printf.sprintf "hb|%d" shard
 
 type payload =
   | P_hb of int
-  | P_chan of int * int
+  | P_chan of int * int list
   | P_bad
 
 let parse_payload s =
@@ -142,7 +159,18 @@ let parse_payload s =
   | [ "hb"; sh ] -> ( match int_of_string_opt sh with Some s -> P_hb s | None -> P_bad)
   | [ "ch"; c; w; k ] -> (
     match (int_of_string_opt c, int_of_string_opt w, int_of_string_opt k) with
-    | Some c, Some w, Some k when k = cksum c w && c >= 0 -> P_chan (c, w)
+    | Some c, Some w, Some k when k = cksum c w && c >= 0 -> P_chan (c, [ w ])
+    | _ -> P_bad)
+  | [ "cb"; c; n; ws; k ] -> (
+    match (int_of_string_opt c, int_of_string_opt n, int_of_string_opt k) with
+    | Some c, Some n, Some k when c >= 0 && n >= 1 ->
+      let parts = String.split_on_char ',' ws in
+      let words = List.map int_of_string_opt parts in
+      if List.length parts = n && List.for_all Option.is_some words then begin
+        let words = List.map Option.get words in
+        if k = batch_cksum c words then P_chan (c, words) else P_bad
+      end
+      else P_bad
     | _ -> P_bad)
   | _ -> P_bad
 
@@ -240,6 +268,7 @@ type t = {
   out_cursor : int array; (* Net outputs consumed, per shard node *)
   mutable ctrl_cursor : int;
   mutable flat_out : (int * int) list; (* newest first *)
+  out_q : (int * int) Queue.t; (* same outputs, drained by take_outputs *)
   mutable pending_drops : int list;
   mutable stuck : int list;
   mutable dup_after : int list;
@@ -363,6 +392,7 @@ let build ?(policy = default_policy) ?plan ?(monitor = false) spec =
     out_cursor = Array.make nshards 0;
     ctrl_cursor = 0;
     flat_out = [];
+    out_q = Queue.create ();
     pending_drops = [];
     stuck = [];
     dup_after = [];
@@ -374,7 +404,22 @@ let net t = t.net
 let shards t = t.nshards
 let links t = t.nwires
 let powered t ~shard = t.powered.(shard)
+let shard_state t ~shard = t.state.(shard)
+let step_no t = t.step_no
 let events t = List.rev t.events
+
+(* The service layer's doors into the federation: queue words for a
+   device's flow-controlled external input, and drain the Tx words the
+   shards emitted since the last call (device-step order, oldest first).
+   [finish]'s per-device transcript is unaffected by draining. *)
+let push_input t ~device words =
+  if device < 0 || device >= t.ndev then invalid_arg "Fed.push_input: no such device";
+  List.iter (fun w -> Queue.add (w land 0xffff) t.queues.(device)) words
+
+let take_outputs t =
+  let xs = List.of_seq (Queue.to_seq t.out_q) in
+  Queue.clear t.out_q;
+  xs
 
 let event t n e = t.events <- (n, e) :: t.events
 let shard_of t c = shard_of_spec t.spec c
@@ -518,9 +563,9 @@ let collect_shard t n s =
   List.iter
     (fun m ->
       match Option.map (fun (_, p) -> parse_payload p) (split_wire m) with
-      | Some (P_chan (c, w)) when c < Array.length t.pending_in ->
-        Queue.add w t.pending_in.(c);
-        t.delivered <- t.delivered + 1
+      | Some (P_chan (c, ws)) when c < Array.length t.pending_in ->
+        List.iter (fun w -> Queue.add w t.pending_in.(c)) ws;
+        t.delivered <- t.delivered + List.length ws
       | _ ->
         t.frame_rejects <- t.frame_rejects + 1;
         event t n (Frame_rejected s))
@@ -628,15 +673,19 @@ let step t =
   let externals = ref [] in
   for s = t.nshards - 1 downto 0 do
     if t.powered.(s) then begin
+      (* Batched NIC copies: one frame per drained ring, however many
+         words it held — the ROADMAP's first federation throughput
+         optimization. A single-word drain still rides the batch frame;
+         the legacy per-word codec remains accepted on arrival. *)
       Array.iter
         (fun rt ->
           if rt.rt_src = s then
-            List.iter
-              (fun word ->
-                externals :=
-                  (t.node_colour.(s), Printf.sprintf "%d|%s" rt.rt_wire (chan_msg rt.rt_chan word))
-                  :: !externals)
-              (List.rev (drain_send_ring t s rt.rt_chan)))
+            match List.rev (drain_send_ring t s rt.rt_chan) with
+            | [] -> ()
+            | words ->
+              externals :=
+                (t.node_colour.(s), Printf.sprintf "%d|%s" rt.rt_wire (batch_msg rt.rt_chan words))
+                :: !externals)
         t.routes;
       if n mod t.policy.fp_hb_period = 0 then
         externals :=
@@ -679,7 +728,11 @@ let step t =
       in
       let out = Sue.step t.kernels.(s) input in
       List.iter
-        (fun (d, w) -> if t.device_shard.(d) = s then t.flat_out <- (d, w) :: t.flat_out)
+        (fun (d, w) ->
+          if t.device_shard.(d) = s then begin
+            t.flat_out <- (d, w) :: t.flat_out;
+            Queue.add (d, w) t.out_q
+          end)
         out;
       force_stuck t;
       ignore (Recover.tick t.recovers.(s));

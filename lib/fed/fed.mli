@@ -150,8 +150,33 @@ val links : t -> int
 val kernel : t -> shard:int -> Sue.t
 val net : t -> Net.t
 val powered : t -> shard:int -> bool
+
+(** The supervisor's view of one shard. *)
+type shard_state =
+  | Up
+  | Quarantined
+  | Abandoned
+
+val shard_state : t -> shard:int -> shard_state
+val step_no : t -> int
 val events : t -> (int * node_event) list
 val device_owner_colour : t -> int -> Colour.t
+
+(** {1 Service-layer doors}
+
+    {!Sep_svc} drives request/response traffic through the federation via
+    these: words queued here enter the same flow-controlled per-device
+    input path the drip alphabet uses (one word per step per free Rx
+    latch, held at the boundary while the hosting shard is quarantined),
+    and Tx words drain in device-step order. *)
+
+val push_input : t -> device:int -> int list -> unit
+(** Queue words (masked to machine width) for a global device's external
+    input. Raises [Invalid_argument] on an unknown device. *)
+
+val take_outputs : t -> (int * int) list
+(** Drain the (device, word) outputs emitted since the last call, oldest
+    first. Draining does not affect {!finish}'s per-device transcript. *)
 
 val monitor_reports : t -> (int * Sep_core.Separability.report) list
 (** Per-shard online monitor reports, live watches first, then watches

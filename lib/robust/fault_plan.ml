@@ -228,6 +228,102 @@ let generate ?nodes ~seed ~steps ~count cfg =
       let fault = (Prng.choose rng kinds) rng in
       { label = Fmt.str "f%02d-%s@%d" i (kind_name fault) at; faults = [ (at, fault) ] })
 
+(* Soak shapes: sustained, {e correlated} node-level chaos rather than
+   independent single shots. Every shape pins its shard or link once and
+   then strikes it repeatedly across the whole horizon, so recovery
+   machinery (reboot budgets, quarantine/rejoin, retry/backoff above) is
+   exercised while still digesting the previous blow. Each plan carries
+   at least three node faults; a sprinkle of machine-level faults from
+   the ordinary sampler pool rides along so kernels see background noise
+   too. *)
+let soak ~nodes ~seed ~steps ~count cfg =
+  if steps < 256 then invalid_arg "Fault_plan.soak: needs at least 256 steps";
+  if count < 0 then invalid_arg "Fault_plan.soak: negative count";
+  if nodes.ns_shards < 1 then invalid_arg "Fault_plan.soak: needs at least one shard";
+  let rng = Prng.create seed in
+  let machine_kinds = samplers cfg in
+  let span = steps - 2 in
+  let clamp at = max 1 (min (steps - 2) at) in
+  (* k strikes spread across the horizon, each jittered inside its slot so
+     consecutive strikes never collapse onto one step. *)
+  let spread k jitter_of =
+    let gap = max 2 (span / (k + 1)) in
+    List.init k (fun j ->
+        let base = 1 + ((j + 1) * gap) in
+        clamp (base - (gap / 4) + jitter_of gap))
+  in
+  let repeated_crash rng =
+    let shard = Prng.int rng nodes.ns_shards in
+    let k = 3 + Prng.int rng 3 in
+    let ats = spread k (fun gap -> Prng.int rng (max 1 (gap / 2))) in
+    (List.map (fun at -> (at, Shard_crash { shard })) ats, Fmt.str "crashx%d-node%d" k shard)
+  in
+  let flapping_partition rng =
+    let link = Prng.int rng nodes.ns_links in
+    let k = 3 + Prng.int rng 4 in
+    let gap = max 2 (span / (k + 1)) in
+    let ats = spread k (fun gap -> Prng.int rng (max 1 (gap / 2))) in
+    let faults =
+      List.map
+        (fun at ->
+          let window = min (8 + Prng.int rng 48) (max 4 (gap / 2)) in
+          (at, Link_partition { link; window }))
+        ats
+    in
+    (faults, Fmt.str "flapx%d-wire%d" k link)
+  in
+  let tamper_burst rng =
+    let link = Prng.int rng nodes.ns_links in
+    let k = 4 + Prng.int rng 4 in
+    let start = 1 + Prng.int rng (max 1 (span / 2)) in
+    let spacing = 16 + Prng.int rng 32 in
+    let faults = List.init k (fun j -> (clamp (start + (j * spacing)), Frame_tamper { link })) in
+    (faults, Fmt.str "tamperx%d-wire%d" k link)
+  in
+  let mixed rng =
+    let shard = Prng.int rng nodes.ns_shards in
+    let link = if nodes.ns_links > 0 then Prng.int rng nodes.ns_links else 0 in
+    let k = 4 + Prng.int rng 2 in
+    let ats = spread k (fun gap -> Prng.int rng (max 1 (gap / 2))) in
+    let faults =
+      List.map
+        (fun at ->
+          let f =
+            if nodes.ns_links = 0 then Shard_crash { shard }
+            else
+              match Prng.int rng 3 with
+              | 0 -> Shard_crash { shard }
+              | 1 -> Link_partition { link; window = 8 + Prng.int rng 40 }
+              | _ -> Frame_tamper { link }
+          in
+          (at, f))
+        ats
+    in
+    (faults, Fmt.str "mixedx%d-node%d" k shard)
+  in
+  let shapes =
+    Array.of_list
+      (List.concat
+         [
+           [ repeated_crash ];
+           (if nodes.ns_links > 0 then [ flapping_partition; tamper_burst ] else []);
+           [ mixed ];
+         ])
+  in
+  List.init count (fun i ->
+      let node_faults, shape = (Prng.choose rng shapes) rng in
+      let extra = Prng.int rng 3 in
+      let machine_faults =
+        List.init extra (fun _ ->
+            let at = 1 + Prng.int rng (steps - 2) in
+            (at, (Prng.choose rng machine_kinds) rng))
+      in
+      let faults =
+        List.stable_sort (fun (a, _) (b, _) -> compare a b) (node_faults @ machine_faults)
+      in
+      let first = match faults with (at, _) :: _ -> at | [] -> 0 in
+      { label = Fmt.str "s%02d-%s@%d" i shape first; faults })
+
 let generate_multi ?nodes ~seed ~steps ~count ~faults_per_plan cfg =
   if steps < 3 then invalid_arg "Fault_plan.generate_multi: needs at least 3 steps";
   if count < 0 then invalid_arg "Fault_plan.generate_multi: negative count";

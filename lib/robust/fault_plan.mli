@@ -93,6 +93,18 @@ val generate : ?nodes:node_space -> seed:int -> steps:int -> count:int -> 'p Con
     plans generated without [nodes] are unchanged by its existence, draw
     for draw. *)
 
+val soak : nodes:node_space -> seed:int -> steps:int -> count:int -> 'p Config.t -> t list
+(** [count] {e soak} plans: sustained, correlated node-level chaos over a
+    long horizon ([steps] must be at least 256, typically thousands).
+    Each plan draws one shape — repeated crashes of the {e same} shard,
+    a flapping partition of the {e same} link, a burst of frame
+    tampering, or a mixed storm pinned to one shard/link pair — with at
+    least three node faults spread across the horizon, plus up to two
+    ordinary machine-level faults as background noise. Windows are kept
+    shorter than the spacing between strikes so the system is always
+    mid-digestion, never handed overlapping copies of the same cut.
+    Deterministic in [seed]. *)
+
 val generate_multi :
   ?nodes:node_space ->
   seed:int -> steps:int -> count:int -> faults_per_plan:int -> 'p Config.t -> t list

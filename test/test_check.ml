@@ -274,6 +274,48 @@ let test_bits_roundtrip () =
        (fun s -> Bytes.of_string s)
        (Gen.generate ~seed:17 ~count:50 (Gen.utf8_string ~max_len:12)))
 
+let test_gen_soak_plans () =
+  let dep = Sep_apps.Fed_services.file_server in
+  let spec = Sep_svc.Svc.spec_of dep in
+  let nodes = Sep_fed.Fed.node_space spec in
+  let steps = 5000 in
+  let gen = Gen.soak_plans ~nodes ~steps ~count:4 spec.Sep_fed.Fed.fs_cfg in
+  let plans = Gen.run ~seed:42 gen in
+  Alcotest.(check int) "count" 4 (List.length plans);
+  List.iter
+    (fun (p : Sep_robust.Fault_plan.t) ->
+      let node_faults =
+        List.filter
+          (fun (_, f) ->
+            match f with
+            | Sep_robust.Fault_plan.Shard_crash _ | Sep_robust.Fault_plan.Link_partition _
+            | Sep_robust.Fault_plan.Frame_tamper _ -> true
+            | _ -> false)
+          p.Sep_robust.Fault_plan.faults
+      in
+      Alcotest.(check bool)
+        (p.Sep_robust.Fault_plan.label ^ " has at least 3 node faults")
+        true
+        (List.length node_faults >= 3);
+      List.iter
+        (fun (at, _) -> Alcotest.(check bool) "strike in range" true (at >= 1 && at < steps))
+        p.Sep_robust.Fault_plan.faults)
+    plans;
+  Alcotest.(check bool) "deterministic in the seed" true (Gen.run ~seed:42 gen = plans)
+
+let test_gen_service_requests () =
+  let dep = Sep_apps.Fed_services.printer in
+  let gen = Gen.service_requests ~workload:dep.Sep_svc.Svc.dp_workload ~max:30 in
+  let reqs = Gen.run ~seed:7 gen in
+  Alcotest.(check bool) "non-empty, bounded" true
+    (List.length reqs >= 1 && List.length reqs <= 30);
+  List.iter
+    (fun (op, arg) ->
+      Alcotest.(check bool) "op is a printer op" true (op = 1 || op = 2);
+      Alcotest.(check bool) "arg is a word" true (arg >= 0 && arg <= 0xffff))
+    reqs;
+  Alcotest.(check bool) "deterministic in the seed" true (Gen.run ~seed:7 gen = reqs)
+
 let test_prng_streams () =
   let a = Prng.create 42 in
   let b = Prng.copy a in
@@ -460,6 +502,8 @@ let () =
           Alcotest.test_case "actions respect capabilities" `Quick test_gen_actions_capable;
           Alcotest.test_case "renderings assemble" `Quick test_gen_render_assembles;
           Alcotest.test_case "isa instructions round-trip" `Quick test_gen_isa_roundtrip;
+          Alcotest.test_case "soak plans are correlated and seeded" `Quick test_gen_soak_plans;
+          Alcotest.test_case "service workloads are seeded" `Quick test_gen_service_requests;
         ] );
       ( "shrink",
         [
